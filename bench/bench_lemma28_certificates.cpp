@@ -1,0 +1,50 @@
+// E14 — constructive Lemma 2.5 / 2.8 certificates: for a sweep of cuts
+// of Bn, route the proof's port bijection through the folded Beneš and
+// report the 2|Ā∩L0| edge-disjoint crossing paths certifying
+// C(A, Ā) >= 2|Ā∩L0|.
+#include <iostream>
+
+#include "core/rng.hpp"
+#include "cut/constructive.hpp"
+#include "io/table.hpp"
+#include "routing/rearrange_certificate.hpp"
+#include "topology/butterfly.hpp"
+
+int main() {
+  using namespace bfly;
+  std::cout << "E14 / Lemmas 2.5 & 2.8 — rearrangeability certificates\n\n";
+
+  io::Table t({"n", "cut", "|A-bar ∩ L0|", "crossing paths", "C(A,A-bar)",
+               "edge-disjoint", "bound holds"});
+  Rng rng(2026);
+  for (const std::uint32_t n : {8u, 16u, 32u}) {
+    const topo::Butterfly bf(n);
+    // The folklore column cut first.
+    {
+      const auto cutres = cut::column_split_bisection(bf);
+      const auto cert = routing::lemma28_certificate(bf, cutres.sides);
+      t.add(std::to_string(n), "column split",
+            std::to_string(cert.minority_level0),
+            std::to_string(cert.crossing_paths),
+            std::to_string(cert.cut_capacity),
+            cert.edge_disjoint ? "yes" : "NO",
+            cert.cut_capacity >= cert.crossing_paths ? "yes" : "NO");
+    }
+    // Then random cuts.
+    for (int trial = 0; trial < 3; ++trial) {
+      std::vector<std::uint8_t> sides(bf.num_nodes());
+      for (auto& s : sides) s = static_cast<std::uint8_t>(rng.below(2));
+      const auto cert = routing::lemma28_certificate(bf, sides);
+      t.add(std::to_string(n), "random #" + std::to_string(trial),
+            std::to_string(cert.minority_level0),
+            std::to_string(cert.crossing_paths),
+            std::to_string(cert.cut_capacity),
+            cert.edge_disjoint ? "yes" : "NO",
+            cert.cut_capacity >= cert.crossing_paths ? "yes" : "NO");
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nEvery row certifies C(A,Ā) >= 2|Ā∩L0| — the exact "
+               "mechanism of the paper's Lemma 2.8.\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+// E11 — solver performance (google-benchmark): the exact engines,
+// the heuristics, the analytic MOS optimum, and Beneš routing.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/rng.hpp"
+#include "cut/branch_bound.hpp"
+#include "cut/brute_force.hpp"
+#include "cut/constructive.hpp"
+#include "cut/fiduccia_mattheyses.hpp"
+#include "cut/kernighan_lin.hpp"
+#include "cut/mos_theory.hpp"
+#include "cut/multilevel.hpp"
+#include "cut/simulated_annealing.hpp"
+#include "cut/spectral_bisection.hpp"
+#include "expansion/expansion.hpp"
+#include "routing/benes_route.hpp"
+#include "topology/benes.hpp"
+#include "topology/butterfly.hpp"
+
+namespace {
+
+using namespace bfly;
+
+void BM_ExhaustiveBisection_B4(benchmark::State& state) {
+  const topo::Butterfly bf(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cut::min_bisection_exhaustive(bf.graph()));
+  }
+}
+BENCHMARK(BM_ExhaustiveBisection_B4);
+
+void BM_BranchBoundBisection_B8(benchmark::State& state) {
+  const topo::Butterfly bf(8);
+  for (auto _ : state) {
+    cut::BranchBoundOptions opts;
+    opts.initial_bound = 8;
+    benchmark::DoNotOptimize(
+        cut::min_bisection_branch_bound(bf.graph(), opts));
+  }
+}
+BENCHMARK(BM_BranchBoundBisection_B8);
+
+void BM_KernighanLin(benchmark::State& state) {
+  const topo::Butterfly bf(static_cast<std::uint32_t>(state.range(0)));
+  cut::KernighanLinOptions opts;
+  opts.restarts = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cut::min_bisection_kernighan_lin(bf.graph(), opts));
+  }
+}
+BENCHMARK(BM_KernighanLin)->Arg(8)->Arg(16);
+
+void BM_FiducciaMattheyses(benchmark::State& state) {
+  const topo::Butterfly bf(static_cast<std::uint32_t>(state.range(0)));
+  cut::FiducciaMattheysesOptions opts;
+  opts.restarts = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cut::min_bisection_fiduccia_mattheyses(bf.graph(), opts));
+  }
+}
+BENCHMARK(BM_FiducciaMattheyses)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SimulatedAnnealing_B16(benchmark::State& state) {
+  const topo::Butterfly bf(16);
+  cut::SimulatedAnnealingOptions opts;
+  opts.restarts = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cut::min_bisection_simulated_annealing(bf.graph(), opts));
+  }
+}
+BENCHMARK(BM_SimulatedAnnealing_B16);
+
+void BM_Multilevel(benchmark::State& state) {
+  const topo::Butterfly bf(static_cast<std::uint32_t>(state.range(0)));
+  cut::MultilevelOptions opts;
+  opts.cycles = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cut::min_bisection_multilevel(bf.graph(), opts));
+  }
+}
+BENCHMARK(BM_Multilevel)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SpectralBisection(benchmark::State& state) {
+  const topo::Butterfly bf(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cut::min_bisection_spectral(bf.graph()));
+  }
+}
+BENCHMARK(BM_SpectralBisection)->Arg(64)->Arg(256);
+
+void BM_MosAnalyticOptimum(benchmark::State& state) {
+  const auto j = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cut::mos_m2_bisection_value(j));
+  }
+}
+BENCHMARK(BM_MosAnalyticOptimum)->Arg(1024)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ExactExpansionSweep_B4(benchmark::State& state) {
+  const topo::Butterfly bf(4);
+  for (auto _ : state) {
+    expansion::ExactExpansionOptions opts;
+    opts.keep_witnesses = false;
+    benchmark::DoNotOptimize(expansion::exact_expansion(bf.graph(), opts));
+  }
+}
+BENCHMARK(BM_ExactExpansionSweep_B4);
+
+void BM_BenesLooping(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const topo::Benes benes(n);
+  Rng rng(9);
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  shuffle(perm, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(routing::route_permutation(benes, perm));
+  }
+}
+BENCHMARK(BM_BenesLooping)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ButterflyConstruction(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::Butterfly(n));
+  }
+}
+BENCHMARK(BM_ButterflyConstruction)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

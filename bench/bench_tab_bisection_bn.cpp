@@ -1,0 +1,89 @@
+// E3 — Theorem 2.20 headline table: BW(Bn)/n across n.
+//
+// exact       branch-and-bound / exhaustive optimum (materializable n)
+// heuristic   best of FM/KL (upper bound witness)
+// folklore    the column-split cut (capacity n) the paper debunks
+// MOS LB      the Lemma 2.13 analytic chain 2 BW(MOS_{n,n}, M2)/n^2
+// asymptote   2(sqrt2 - 1) = 0.8284..., the true limit of BW(Bn)/n
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "cut/branch_bound.hpp"
+#include "cut/brute_force.hpp"
+#include "cut/constructive.hpp"
+#include "cut/fiduccia_mattheyses.hpp"
+#include "cut/kernighan_lin.hpp"
+#include "cut/lemma213.hpp"
+#include "cut/mos_theory.hpp"
+#include "cut/multilevel.hpp"
+#include "io/table.hpp"
+#include "topology/butterfly.hpp"
+
+int main() {
+  using namespace bfly;
+  std::cout << "E3 / Theorem 2.20 — bisection width of Bn\n"
+            << "paper: 2(sqrt2-1) n < BW(Bn) <= 2(sqrt2-1) n + o(n);\n"
+            << "folklore (refuted asymptotically): BW(Bn) = n\n\n";
+
+  io::Table t({"n", "N", "BW(Bn)", "tag", "BW/n", "folklore/n",
+               "MOS chain LB /n", "asymptote"});
+
+  const double asym = 2.0 * (std::sqrt(2.0) - 1.0);
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    const topo::Butterfly bf(n);
+    std::size_t bw = 0;
+    const char* tag = "exact";
+    if (n <= 8) {
+      cut::BranchBoundOptions opts;
+      opts.initial_bound = cut::column_split_bisection(bf).capacity;
+      const auto r = cut::min_bisection_branch_bound(bf.graph(), opts);
+      bw = std::min<std::size_t>(r.capacity, n);
+    } else {
+      const auto fm = cut::min_bisection_fiduccia_mattheyses(bf.graph());
+      const auto kl = cut::min_bisection_kernighan_lin(bf.graph());
+      const auto ml = cut::min_bisection_multilevel(bf.graph());
+      bw = std::min({fm.capacity, kl.capacity, ml.capacity,
+                     static_cast<std::size_t>(n)});
+      tag = "heuristic UB";
+    }
+    const double moslb =
+        2.0 *
+        static_cast<double>(cut::mos_m2_bisection_value(n).capacity) /
+        (static_cast<double>(n) * n);
+    t.add(std::to_string(n), std::to_string(bf.num_nodes()),
+          std::to_string(bw), tag,
+          io::fmt(static_cast<double>(bw) / n, 4), "1.0000",
+          io::fmt(moslb, 4), io::fmt(asym, 4));
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: at materializable sizes the exact optimum equals the\n"
+         "folklore n (the o(n) term dominates); the sub-n bisection is an\n"
+         "asymptotic phenomenon — see E12 for the analytic crossover and\n"
+         "E4 for the exactly-computed constant sqrt2-1 = 0.4142.\n\n";
+
+  // The Lemma 2.13 lower-bound chain, executed step by step from the
+  // folklore bisection (every equality below is asserted inside
+  // lemma213_chain; a violation would throw).
+  io::Table chain({"n", "C(input)", "level cut (L2.12)",
+                   "lifted = n*level (L2.10)", "compacted (L2.9)",
+                   "MOS = compacted/2 (L2.11)", "analytic BW(MOS)",
+                   "2BW(MOS) <= n*C"});
+  for (const std::uint32_t n : {2u, 4u, 8u}) {
+    const topo::Butterfly bf(n);
+    const auto cs = cut::column_split_bisection(bf);
+    const auto tr = cut::lemma213_chain(bf, cs.sides);
+    chain.add(std::to_string(n), std::to_string(tr.input_capacity),
+              std::to_string(tr.level_cut_capacity),
+              std::to_string(tr.lifted_capacity),
+              std::to_string(tr.compacted_capacity),
+              std::to_string(tr.mos_capacity),
+              std::to_string(tr.mos_optimum),
+              tr.chain_holds ? "holds" : "VIOLATED");
+  }
+  std::cout << "Lemma 2.13 chain trace (machine-checked):\n";
+  chain.print(std::cout);
+  return 0;
+}

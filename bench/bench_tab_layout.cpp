@@ -1,0 +1,36 @@
+// E16 — Sections 1.1/1.2 VLSI facts: a concrete valid layout of Bn with
+// quadratic area, next to Thompson's lower bound A >= BW(Bn)^2 and the
+// optimal (1 ± o(1)) n^2 of Avior et al. [3].
+#include <iostream>
+
+#include "io/table.hpp"
+#include "layout/butterfly_layout.hpp"
+#include "layout/grid_layout.hpp"
+#include "topology/butterfly.hpp"
+
+int main() {
+  using namespace bfly;
+  std::cout << "E16 / VLSI layout — measured area vs Thompson's BW^2\n\n";
+
+  io::Table t({"n", "width", "height", "area", "area/n^2",
+               "Thompson LB (BW=n)", "optimal [3]"});
+  for (const std::uint32_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    const topo::Butterfly bf(n);
+    const auto l = layout::layout_butterfly(bf);
+    layout::validate_layout(bf.graph(), l);  // throws if invalid
+    t.add(std::to_string(n), std::to_string(l.width()),
+          std::to_string(l.height()), std::to_string(l.area()),
+          io::fmt(static_cast<double>(l.area()) /
+                      (static_cast<double>(n) * n),
+                  3),
+          std::to_string(layout::thompson_area_lower_bound(n)),
+          "~" + std::to_string(static_cast<std::uint64_t>(n) * n));
+  }
+  t.print(std::cout);
+  std::cout << "\nEvery layout is machine-validated (rectilinear wires, no\n"
+               "same-direction overlaps). The simple channel construction\n"
+               "has a constant-factor gap to the optimal n^2; Thompson's\n"
+               "bound holds with the folklore BW = n and, a fortiori, with\n"
+               "the paper's asymptotic 0.83n.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E18 — Section 1.5's related networks, summarized: bisection widths of
+// the hypercube, shuffle-exchange, and de Bruijn networks next to the
+// paper's butterfly-family values.
+#include <iostream>
+
+#include "cut/brute_force.hpp"
+#include "cut/multilevel.hpp"
+#include "io/table.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/debruijn.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/shuffle_exchange.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+int main() {
+  using namespace bfly;
+  std::cout << "E18 / Section 1.5 — bisection widths across the "
+               "hypercube family\n\n";
+
+  io::Table t({"network", "N", "BW measured", "tag", "known value"});
+  {
+    const topo::Hypercube q4(4);
+    const auto r = cut::min_bisection_exhaustive(q4.graph());
+    t.add("hypercube Q4", "16", std::to_string(r.capacity), "exact",
+          "2^(d-1) = 8");
+  }
+  {
+    const topo::Hypercube q7(7);
+    const auto r = cut::min_bisection_multilevel(q7.graph());
+    t.add("hypercube Q7", "128", std::to_string(r.capacity), "heuristic",
+          "2^(d-1) = 64");
+  }
+  {
+    const topo::ShuffleExchange se(4);
+    const auto r = cut::min_bisection_exhaustive(se.graph());
+    t.add("shuffle-exchange SE4", "16", std::to_string(r.capacity),
+          "exact", "Theta(n/log n)");
+  }
+  {
+    const topo::ShuffleExchange se(8);
+    const auto r = cut::min_bisection_multilevel(se.graph());
+    t.add("shuffle-exchange SE8", "256", std::to_string(r.capacity),
+          "heuristic", "Theta(n/log n)");
+  }
+  {
+    const topo::DeBruijn db(4);
+    const auto r = cut::min_bisection_exhaustive(db.graph());
+    t.add("de Bruijn dB4", "16", std::to_string(r.capacity), "exact",
+          "Theta(n/log n)");
+  }
+  {
+    const topo::DeBruijn db(8);
+    const auto r = cut::min_bisection_multilevel(db.graph());
+    t.add("de Bruijn dB8", "256", std::to_string(r.capacity),
+          "heuristic", "Theta(n/log n)");
+  }
+  {
+    const topo::Butterfly b8(8);
+    t.add("butterfly B8", "32", "8", "exact (E3)", "paper: ~0.83n asym.");
+    const topo::WrappedButterfly w8(8);
+    t.add("wrapped W8", "24", "8", "exact (E5)", "paper: n");
+    const topo::CubeConnectedCycles c8(8);
+    t.add("CCC8", "24", "4", "exact (E5)", "paper: n/2");
+  }
+  t.print(std::cout);
+  return 0;
+}

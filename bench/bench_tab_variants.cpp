@@ -1,0 +1,70 @@
+// E13 — Section 1.6 / Section 1.2 side results:
+//   * Snir's Ω_n port-expansion bound C log C >= 4k (exact minima table)
+//   * Hong–Kung's FFT_n dominator bound k <= 2|D| log|D|
+//   * the Kruskal–Snir [13] directed IO-bisection = n/2
+#include <cmath>
+#include <iostream>
+
+#include "expansion/constructive_sets.hpp"
+#include "io/table.hpp"
+#include "variants/bandwidth.hpp"
+#include "variants/fft.hpp"
+#include "variants/omega.hpp"
+
+int main() {
+  using namespace bfly;
+  std::cout << "E13 / Section 1.6 variants and the [13] directed "
+               "bisection\n\n";
+
+  {
+    const variants::OmegaNetwork omega(8);
+    const auto best = exact_port_expansion(omega);
+    io::Table t({"k", "min port-EE C (exact)", "C log C", "4k",
+                 "Snir holds"});
+    for (std::size_t k = 1; k < best.size(); ++k) {
+      const double clogc = static_cast<double>(best[k]) *
+                           std::log2(static_cast<double>(best[k]));
+      t.add(std::to_string(k), std::to_string(best[k]),
+            io::fmt(clogc, 2), std::to_string(4 * k),
+            clogc + 1e-9 >= 4.0 * static_cast<double>(k) ? "yes" : "NO");
+    }
+    std::cout << "Snir's Omega_8 (base B4), exact over all subsets:\n";
+    t.print(std::cout);
+  }
+
+  {
+    const topo::Butterfly bf(32);
+    io::Table t({"set (Lemma 4.10, delta)", "k", "|D| (min dominator)",
+                 "2|D|log|D|", "Hong-Kung holds"});
+    for (const std::uint32_t delta : {1u, 2u, 3u, 4u}) {
+      const auto set = expansion::bn_ne_set(bf, delta);
+      const auto chk = variants::hong_kung_check(bf, set);
+      t.add("delta=" + std::to_string(delta), std::to_string(chk.k),
+            std::to_string(chk.dominator_size), io::fmt(chk.bound, 1),
+            chk.holds ? "yes" : "NO");
+    }
+    std::cout << "\nHong-Kung FFT_32 dominator bound on output-anchored "
+                 "sets:\n";
+    t.print(std::cout);
+  }
+
+  {
+    io::Table t({"n", "[13] value (paper)", "flow LB", "MSB cut UB",
+                 "exhaustive"});
+    for (const std::uint32_t n : {4u, 8u}) {
+      const topo::Butterfly bf(n);
+      const auto lb = variants::directed_io_bisection_flow_bound(bf);
+      const auto ub = variants::directed_msb_cut(bf);
+      const std::string ex =
+          n <= 4
+              ? std::to_string(variants::directed_io_bisection_exhaustive(bf))
+              : "-";
+      t.add(std::to_string(n), std::to_string(n / 2), std::to_string(lb),
+            std::to_string(ub), ex);
+    }
+    std::cout << "\nKruskal-Snir directed IO-bisection (= n/2; bandwidth "
+                 "2n <= 4 * this):\n";
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// layout_svg — render the Theta(n^2) butterfly layout as an SVG file.
+//
+// Usage: layout_svg [n] [output.svg]
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "layout/butterfly_layout.hpp"
+#include "layout/svg.hpp"
+#include "topology/butterfly.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfly;
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+  const std::string out = argc > 2 ? argv[2] : "butterfly_layout.svg";
+
+  try {
+    const topo::Butterfly bf(n);
+    const auto layout = layout::layout_butterfly(bf);
+    layout::validate_layout(bf.graph(), layout);
+    std::ofstream os(out);
+    if (!os) {
+      std::cerr << "cannot open " << out << "\n";
+      return 1;
+    }
+    layout::write_svg(os, layout);
+    std::cout << "B" << n << " layout: " << layout.width() << " x "
+              << layout.height() << " = " << layout.area()
+              << " grid units -> " << out << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "algo/bfs.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace bfly::algo {
+
+namespace {
+
+std::vector<std::uint32_t> bfs_impl(const Graph& g,
+                                    std::span<const NodeId> sources,
+                                    std::vector<NodeId>* parents) {
+  std::vector<std::uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::vector<NodeId> frontier;
+  if (parents != nullptr) {
+    parents->assign(g.num_nodes(), kInvalidNode);
+  }
+  for (const NodeId s : sources) {
+    BFLY_CHECK(s < g.num_nodes(), "BFS source out of range");
+    if (dist[s] != 0) {
+      dist[s] = 0;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<NodeId> next;
+  std::uint32_t d = 0;
+  while (!frontier.empty()) {
+    ++d;
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (dist[v] == kUnreachable) {
+          dist[v] = d;
+          if (parents != nullptr) (*parents)[v] = u;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId src) {
+  const NodeId sources[] = {src};
+  return bfs_impl(g, sources, nullptr);
+}
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                         std::span<const NodeId> sources) {
+  return bfs_impl(g, sources, nullptr);
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId src) {
+  const auto dist = bfs_distances(g, src);
+  std::uint32_t ecc = 0;
+  for (const auto d : dist) {
+    if (d == kUnreachable) return kUnreachable;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+std::vector<NodeId> shortest_path(const Graph& g, NodeId src, NodeId dst) {
+  const NodeId sources[] = {src};
+  std::vector<NodeId> parents;
+  const auto dist = bfs_impl(g, sources, &parents);
+  if (dist[dst] == kUnreachable) return {};
+  std::vector<NodeId> path;
+  for (NodeId v = dst; v != src; v = parents[v]) path.push_back(v);
+  path.push_back(src);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace bfly::algo

@@ -1,0 +1,33 @@
+// Breadth-first search primitives.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::algo {
+
+/// Distance value for unreachable nodes.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Hop distances from src to every node (kUnreachable where disconnected).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(const Graph& g,
+                                                       NodeId src);
+
+/// Hop distances from the nearest of several sources.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(
+    const Graph& g, std::span<const NodeId> sources);
+
+/// Maximum finite distance from src; kUnreachable if any node unreachable.
+[[nodiscard]] std::uint32_t eccentricity(const Graph& g, NodeId src);
+
+/// One shortest path from src to dst (inclusive); empty if unreachable.
+[[nodiscard]] std::vector<NodeId> shortest_path(const Graph& g, NodeId src,
+                                                NodeId dst);
+
+}  // namespace bfly::algo

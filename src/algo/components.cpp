@@ -1,0 +1,49 @@
+#include "algo/components.hpp"
+
+#include <limits>
+
+namespace bfly::algo {
+
+std::vector<NodeId> Components::members(std::uint32_t c) const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < label.size(); ++v) {
+    if (label[v] == c) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Components::sizes() const {
+  std::vector<std::size_t> s(count, 0);
+  for (const auto c : label) ++s[c];
+  return s;
+}
+
+Components connected_components(const Graph& g) {
+  constexpr auto kUnset = std::numeric_limits<std::uint32_t>::max();
+  Components comp;
+  comp.label.assign(g.num_nodes(), kUnset);
+  std::vector<NodeId> stack;
+  for (NodeId root = 0; root < g.num_nodes(); ++root) {
+    if (comp.label[root] != kUnset) continue;
+    const std::uint32_t c = comp.count++;
+    comp.label[root] = c;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const NodeId v : g.neighbors(u)) {
+        if (comp.label[v] == kUnset) {
+          comp.label[v] = c;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_nodes() <= 1 || connected_components(g).count == 1;
+}
+
+}  // namespace bfly::algo

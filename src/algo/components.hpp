@@ -1,0 +1,29 @@
+// Connected components.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::algo {
+
+struct Components {
+  /// Component label of each node, labels in [0, count), assigned in
+  /// order of first appearance by node id.
+  std::vector<std::uint32_t> label;
+  std::uint32_t count = 0;
+
+  /// Node ids of one component.
+  [[nodiscard]] std::vector<NodeId> members(std::uint32_t c) const;
+
+  /// Sizes of all components.
+  [[nodiscard]] std::vector<std::size_t> sizes() const;
+};
+
+[[nodiscard]] Components connected_components(const Graph& g);
+
+[[nodiscard]] bool is_connected(const Graph& g);
+
+}  // namespace bfly::algo

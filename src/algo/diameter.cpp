@@ -1,0 +1,37 @@
+#include "algo/diameter.hpp"
+
+#include <atomic>
+
+#include "algo/bfs.hpp"
+#include "core/thread_pool.hpp"
+
+namespace bfly::algo {
+
+std::uint32_t diameter(const Graph& g, unsigned num_threads) {
+  const NodeId n = g.num_nodes();
+  if (n <= 1) return 0;
+  std::atomic<std::uint32_t> result{0};
+  parallel_for_blocked(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        std::uint32_t local = 0;
+        for (std::size_t v = begin; v < end; ++v) {
+          const std::uint32_t ecc =
+              eccentricity(g, static_cast<NodeId>(v));
+          if (ecc == kUnreachable) {
+            result.store(kUnreachable, std::memory_order_relaxed);
+            return;
+          }
+          if (ecc > local) local = ecc;
+        }
+        std::uint32_t cur = result.load(std::memory_order_relaxed);
+        while (cur != kUnreachable && local > cur &&
+               !result.compare_exchange_weak(cur, local,
+                                             std::memory_order_relaxed)) {
+        }
+      },
+      num_threads);
+  return result.load();
+}
+
+}  // namespace bfly::algo

@@ -1,0 +1,19 @@
+// Exact graph diameter via parallel all-pairs BFS.
+//
+// Verifies the Section 1.1 facts: diameter(Bn) = 2 log n and
+// diameter(Wn) = floor(3 log n / 2).
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+
+namespace bfly::algo {
+
+/// Exact diameter (max over nodes of eccentricity). Returns
+/// bfs::kUnreachable-equivalent UINT32_MAX if the graph is disconnected.
+/// Runs one BFS per node, blocked over `num_threads` (0 = default).
+[[nodiscard]] std::uint32_t diameter(const Graph& g,
+                                     unsigned num_threads = 0);
+
+}  // namespace bfly::algo

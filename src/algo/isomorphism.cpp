@@ -1,0 +1,116 @@
+#include "algo/isomorphism.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace bfly::algo {
+
+namespace {
+
+// One refinement round: new color = hash of (old color, sorted multiset of
+// neighbor colors). Colors are canonicalized through a map so runs are
+// deterministic and comparable across graphs.
+std::vector<std::uint64_t> wl_colors(const Graph& g) {
+  const NodeId n = g.num_nodes();
+
+  // Initial colors: degrees, canonicalized to 0..classes-1.
+  std::vector<std::uint64_t> color(n);
+  std::size_t num_classes;
+  {
+    std::map<std::size_t, std::uint64_t> canon;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto [it, ins] = canon.try_emplace(
+          g.degree(v), static_cast<std::uint64_t>(canon.size()));
+      color[v] = it->second;
+    }
+    num_classes = canon.size();
+  }
+
+  std::vector<std::uint64_t> next(n);
+  // The class count strictly grows until stable; n rounds suffice.
+  for (NodeId round = 0; round < n && num_classes < n; ++round) {
+    std::map<std::vector<std::uint64_t>, std::uint64_t> canon;
+    std::vector<std::uint64_t> sig;
+    for (NodeId v = 0; v < n; ++v) {
+      sig.clear();
+      sig.push_back(color[v]);
+      for (const NodeId u : g.neighbors(v)) sig.push_back(color[u]);
+      std::sort(sig.begin() + 1, sig.end());
+      const auto [it, inserted] =
+          canon.try_emplace(sig, static_cast<std::uint64_t>(canon.size()));
+      next[v] = it->second;
+    }
+    color = next;
+    if (canon.size() == num_classes) break;  // refinement is stable
+    num_classes = canon.size();
+  }
+  return color;
+}
+
+bool extend(const Graph& a, const Graph& b,
+            const std::vector<std::uint64_t>& ca,
+            const std::vector<std::uint64_t>& cb, std::vector<NodeId>& map_ab,
+            std::vector<NodeId>& map_ba, NodeId next) {
+  const NodeId n = a.num_nodes();
+  if (next == n) return true;
+  for (NodeId cand = 0; cand < n; ++cand) {
+    if (map_ba[cand] != kInvalidNode) continue;
+    if (cb[cand] != ca[next]) continue;
+    // Consistency: every already-mapped neighbor of `next` must map to a
+    // neighbor of `cand` with matching multiplicity, and vice versa.
+    bool ok = a.degree(next) == b.degree(cand);
+    if (ok) {
+      for (const NodeId u : a.neighbors(next)) {
+        if (map_ab[u] != kInvalidNode &&
+            a.edge_multiplicity(next, u) !=
+                b.edge_multiplicity(cand, map_ab[u])) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      for (const NodeId w : b.neighbors(cand)) {
+        if (map_ba[w] != kInvalidNode &&
+            b.edge_multiplicity(cand, w) !=
+                a.edge_multiplicity(next, map_ba[w])) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) continue;
+    map_ab[next] = cand;
+    map_ba[cand] = next;
+    if (extend(a, b, ca, cb, map_ab, map_ba, next + 1)) return true;
+    map_ab[next] = kInvalidNode;
+    map_ba[cand] = kInvalidNode;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> wl_certificate(const Graph& g) {
+  auto colors = wl_colors(g);
+  std::sort(colors.begin(), colors.end());
+  return colors;
+}
+
+bool are_isomorphic(const Graph& a, const Graph& b) {
+  if (a.num_nodes() != b.num_nodes() || a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  if (a.num_nodes() == 0) return true;
+  const auto ca = wl_colors(a);
+  const auto cb = wl_colors(b);
+  if (wl_certificate(a) != wl_certificate(b)) return false;
+  std::vector<NodeId> map_ab(a.num_nodes(), kInvalidNode);
+  std::vector<NodeId> map_ba(b.num_nodes(), kInvalidNode);
+  return extend(a, b, ca, cb, map_ab, map_ba, 0);
+}
+
+}  // namespace bfly::algo

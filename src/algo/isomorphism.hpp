@@ -1,0 +1,26 @@
+// Graph isomorphism for the structured instances this library manipulates.
+//
+// Two tools:
+//   * wl_certificate: a 1-dimensional Weisfeiler–Leman color-refinement
+//     certificate. Equal certificates are necessary for isomorphism and, on
+//     the rigid-ish butterfly-family graphs we compare, an effective
+//     screen.
+//   * are_isomorphic: exact backtracking isomorphism with WL-color pruning;
+//     intended for the small components Lemma 2.4 / Lemma 2.11 talk about
+//     (tens of nodes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace bfly::algo {
+
+/// Sorted multiset of stable WL colors; equal for isomorphic graphs.
+[[nodiscard]] std::vector<std::uint64_t> wl_certificate(const Graph& g);
+
+/// Exact isomorphism test (exponential worst case; use on small graphs).
+[[nodiscard]] bool are_isomorphic(const Graph& a, const Graph& b);
+
+}  // namespace bfly::algo

@@ -1,0 +1,147 @@
+#include "algo/maxflow.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace bfly::algo {
+
+std::uint32_t FlowNetwork::add_arc(NodeId u, NodeId v,
+                                   std::int64_t capacity) {
+  BFLY_CHECK(u < num_nodes() && v < num_nodes(), "arc endpoint range");
+  BFLY_CHECK(capacity >= 0, "capacity must be nonnegative");
+  const auto fwd = static_cast<std::uint32_t>(arcs_.size());
+  arcs_.push_back({v, head_[u], capacity, capacity});
+  head_[u] = fwd;
+  arcs_.push_back({u, head_[v], 0, 0});
+  head_[v] = fwd + 1;
+  return fwd;
+}
+
+bool FlowNetwork::bfs_levels(NodeId s, NodeId t) {
+  level_.assign(num_nodes(), kNoArc);
+  std::queue<NodeId> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const NodeId v = q.front();
+    q.pop();
+    for (std::uint32_t a = head_[v]; a != kNoArc; a = arcs_[a].next) {
+      if (arcs_[a].capacity > 0 && level_[arcs_[a].to] == kNoArc) {
+        level_[arcs_[a].to] = level_[v] + 1;
+        q.push(arcs_[a].to);
+      }
+    }
+  }
+  return level_[t] != kNoArc;
+}
+
+std::int64_t FlowNetwork::dfs_push(NodeId v, NodeId t, std::int64_t limit) {
+  if (v == t) return limit;
+  for (std::uint32_t& a = iter_[v]; a != kNoArc; a = arcs_[a].next) {
+    Arc& arc = arcs_[a];
+    if (arc.capacity > 0 && level_[arc.to] == level_[v] + 1) {
+      const std::int64_t pushed =
+          dfs_push(arc.to, t, std::min(limit, arc.capacity));
+      if (pushed > 0) {
+        arc.capacity -= pushed;
+        arcs_[a ^ 1u].capacity += pushed;
+        return pushed;
+      }
+    }
+  }
+  return 0;
+}
+
+std::int64_t FlowNetwork::max_flow(NodeId s, NodeId t) {
+  BFLY_CHECK(s != t, "source and sink must differ");
+  std::int64_t total = 0;
+  while (bfs_levels(s, t)) {
+    iter_ = head_;
+    while (true) {
+      const std::int64_t pushed =
+          dfs_push(s, t, std::numeric_limits<std::int64_t>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+bool FlowNetwork::on_source_side(NodeId v) const {
+  BFLY_CHECK(!level_.empty(), "call max_flow first");
+  return level_[v] != kNoArc;
+}
+
+std::int64_t FlowNetwork::flow_on(std::uint32_t arc) const {
+  BFLY_CHECK(arc < arcs_.size(), "arc index out of range");
+  return arcs_[arc].original - arcs_[arc].capacity;
+}
+
+std::int64_t max_edge_disjoint_paths(const Graph& g,
+                                     std::span<const NodeId> from,
+                                     std::span<const NodeId> to) {
+  const NodeId n = g.num_nodes();
+  FlowNetwork net(n + 2);
+  const NodeId s = n, t = n + 1;
+  // Undirected edge -> one unit of capacity usable in either direction:
+  // a pair of opposite unit arcs shares the edge only if flows cancel;
+  // with unit capacities, using both directions simultaneously is
+  // equivalent (by flow decomposition) to using neither, so the value is
+  // the max number of edge-disjoint paths.
+  for (const auto& [u, v] : g.edges()) {
+    net.add_arc(u, v, 1);
+    net.add_arc(v, u, 1);
+  }
+  for (const NodeId v : from) net.add_arc(s, v, 1ll << 30);
+  for (const NodeId v : to) net.add_arc(v, t, 1ll << 30);
+  return net.max_flow(s, t);
+}
+
+std::int64_t max_vertex_disjoint_paths(const Graph& g,
+                                       std::span<const NodeId> from,
+                                       std::span<const NodeId> to) {
+  const NodeId n = g.num_nodes();
+  // Split each node v into v_in (= v) and v_out (= n + v) joined by a
+  // unit arc; every node (endpoints included) carries at most one path.
+  FlowNetwork net(2 * n + 2);
+  const NodeId s = 2 * n, t = 2 * n + 1;
+  for (NodeId v = 0; v < n; ++v) net.add_arc(v, n + v, 1);
+  for (const auto& [u, v] : g.edges()) {
+    net.add_arc(n + u, v, 1ll << 30);
+    net.add_arc(n + v, u, 1ll << 30);
+  }
+  for (const NodeId v : from) net.add_arc(s, v, 1);
+  for (const NodeId v : to) net.add_arc(n + v, t, 1);
+  return net.max_flow(s, t);
+}
+
+VertexCut min_vertex_cut(const Graph& g, std::span<const NodeId> sources,
+                         std::span<const NodeId> sinks) {
+  const NodeId n = g.num_nodes();
+  FlowNetwork net(2 * n + 2);
+  const NodeId s = 2 * n, t = 2 * n + 1;
+  for (NodeId v = 0; v < n; ++v) net.add_arc(v, n + v, 1);
+  for (const auto& [u, v] : g.edges()) {
+    net.add_arc(n + u, v, 1ll << 30);
+    net.add_arc(n + v, u, 1ll << 30);
+  }
+  // Sources enter at v_in (the source node itself is cuttable), sinks
+  // exit at v_out (likewise cuttable), both with infinite multiplicity.
+  for (const NodeId v : sources) net.add_arc(s, v, 1ll << 30);
+  for (const NodeId v : sinks) net.add_arc(n + v, t, 1ll << 30);
+
+  VertexCut cut;
+  cut.size = net.max_flow(s, t);
+  // A node is in the minimum cut iff its split arc crosses the residual
+  // reachability boundary.
+  for (NodeId v = 0; v < n; ++v) {
+    if (net.on_source_side(v) && !net.on_source_side(n + v)) {
+      cut.nodes.push_back(v);
+    }
+  }
+  return cut;
+}
+
+}  // namespace bfly::algo

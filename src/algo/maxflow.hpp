@@ -1,0 +1,91 @@
+// Dinic's maximum-flow algorithm on explicit directed flow networks.
+//
+// Substrate for several of the paper's side results:
+//   * the directed input/output bisection ("bandwidth") of [13] quoted in
+//     Section 1.2 — a minimum directed cut;
+//   * Menger-type counts of edge-disjoint paths (Lemma 2.5/2.8 checks);
+//   * the Hong–Kung dominator bound of Section 1.6 — a minimum vertex
+//     cut via the standard node-splitting reduction.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::algo {
+
+/// A directed flow network with residual arcs.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(NodeId num_nodes) : head_(num_nodes, kNoArc) {}
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(head_.size());
+  }
+
+  /// Adds a directed arc u -> v with the given capacity (and its residual
+  /// reverse arc of capacity 0). Returns the arc index.
+  std::uint32_t add_arc(NodeId u, NodeId v, std::int64_t capacity);
+
+  /// Maximum flow from s to t (Dinic). May be called once per network.
+  [[nodiscard]] std::int64_t max_flow(NodeId s, NodeId t);
+
+  /// After max_flow: true iff v is reachable from s in the residual
+  /// network (i.e. v is on the source side of the minimum cut).
+  [[nodiscard]] bool on_source_side(NodeId v) const;
+
+  /// Flow currently on arc `arc` (as returned by add_arc).
+  [[nodiscard]] std::int64_t flow_on(std::uint32_t arc) const;
+
+ private:
+  static constexpr std::uint32_t kNoArc =
+      std::numeric_limits<std::uint32_t>::max();
+
+  struct Arc {
+    NodeId to;
+    std::uint32_t next;      // next arc out of the same tail
+    std::int64_t capacity;   // residual capacity
+    std::int64_t original;   // original capacity (for flow_on)
+  };
+
+  bool bfs_levels(NodeId s, NodeId t);
+  std::int64_t dfs_push(NodeId v, NodeId t, std::int64_t limit);
+
+  std::vector<Arc> arcs_;
+  std::vector<std::uint32_t> head_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> iter_;
+};
+
+/// Maximum number of pairwise EDGE-disjoint undirected paths between the
+/// node sets A and B in g (each undirected edge usable once, in either
+/// direction). Standard reduction: each undirected edge becomes two
+/// opposite arcs of capacity 1; super-source to A, B to super-sink.
+[[nodiscard]] std::int64_t max_edge_disjoint_paths(
+    const Graph& g, std::span<const NodeId> from, std::span<const NodeId> to);
+
+/// Maximum number of FULLY vertex-disjoint paths between A and B (every
+/// node, endpoints included, used by at most one path). Node-splitting
+/// reduction.
+[[nodiscard]] std::int64_t max_vertex_disjoint_paths(
+    const Graph& g, std::span<const NodeId> from, std::span<const NodeId> to);
+
+struct VertexCut {
+  std::int64_t size = 0;
+  std::vector<NodeId> nodes;  ///< one minimum cut (every node cuttable)
+};
+
+/// Minimum number of nodes whose removal intercepts every path from
+/// `sources` to `sinks` — ALL nodes are cuttable, including sources and
+/// sinks themselves (so the value is always finite). This is the
+/// dominator-set quantity in the Hong–Kung bound the paper cites in
+/// Section 1.6: every input-to-S path must pass through the cut.
+[[nodiscard]] VertexCut min_vertex_cut(const Graph& g,
+                                       std::span<const NodeId> sources,
+                                       std::span<const NodeId> sinks);
+
+}  // namespace bfly::algo

@@ -1,0 +1,86 @@
+#include "algo/spectral.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace bfly::algo {
+
+namespace {
+
+void remove_mean(std::vector<double>& x) {
+  double mean = 0.0;
+  for (const double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  for (double& v : x) v -= mean;
+}
+
+double normalize(std::vector<double>& x) {
+  double norm2 = 0.0;
+  for (const double v : x) norm2 += v * v;
+  const double norm = std::sqrt(norm2);
+  if (norm > 0) {
+    for (double& v : x) v /= norm;
+  }
+  return norm;
+}
+
+}  // namespace
+
+double laplacian_quadratic(const Graph& g, const std::vector<double>& x) {
+  BFLY_CHECK(x.size() == g.num_nodes(), "vector size mismatch");
+  double q = 0.0;
+  for (const auto& [u, v] : g.edges()) {
+    const double d = x[u] - x[v];
+    q += d * d;
+  }
+  return q;
+}
+
+FiedlerResult fiedler_vector(const Graph& g, const FiedlerOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(n >= 2, "need at least two nodes");
+
+  // Power-iterate on M = c*I - L, whose dominant eigenvector orthogonal to
+  // the all-ones vector is the Fiedler vector. c = 2*max_degree bounds the
+  // Laplacian spectrum (lambda_max <= 2*max_degree).
+  const double c = 2.0 * static_cast<double>(g.max_degree()) + 1.0;
+
+  Rng rng(opts.seed);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.uniform() - 0.5;
+  remove_mean(x);
+  normalize(x);
+
+  FiedlerResult res;
+  double prev_lambda = 0.0;
+  for (std::uint32_t it = 0; it < opts.max_iterations; ++it) {
+    // y = (c*I - L) x = c*x - (D - A) x
+    for (NodeId v = 0; v < n; ++v) {
+      y[v] = (c - static_cast<double>(g.degree(v))) * x[v];
+    }
+    for (const auto& [u, v] : g.edges()) {
+      y[u] += x[v];
+      y[v] += x[u];
+    }
+    remove_mean(y);
+    normalize(y);
+    x.swap(y);
+    res.iterations = it + 1;
+
+    if ((it & 15u) == 15u || it + 1 == opts.max_iterations) {
+      const double lambda = laplacian_quadratic(g, x);
+      if (std::abs(lambda - prev_lambda) < opts.tolerance) {
+        prev_lambda = lambda;
+        break;
+      }
+      prev_lambda = lambda;
+    }
+  }
+  res.vector = std::move(x);
+  res.eigenvalue = laplacian_quadratic(g, res.vector);
+  return res;
+}
+
+}  // namespace bfly::algo

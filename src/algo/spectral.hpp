@@ -1,0 +1,35 @@
+// Spectral graph machinery: Laplacian quadratic forms and an
+// approximation of the Fiedler vector (eigenvector of the second-smallest
+// Laplacian eigenvalue) via shifted power iteration with deflation of the
+// all-ones vector. Feeds the spectral bisection baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace bfly::algo {
+
+struct FiedlerOptions {
+  std::uint32_t max_iterations = 2000;
+  double tolerance = 1e-9;
+  std::uint64_t seed = 0xf1ed1e5u;
+};
+
+struct FiedlerResult {
+  std::vector<double> vector;  ///< unit-norm, orthogonal to all-ones
+  double eigenvalue = 0.0;     ///< Rayleigh quotient estimate of lambda_2
+  std::uint32_t iterations = 0;
+};
+
+/// Approximates the Fiedler vector of g's Laplacian. Requires a connected
+/// graph for the eigenvalue to be meaningful, but runs on any input.
+[[nodiscard]] FiedlerResult fiedler_vector(const Graph& g,
+                                           const FiedlerOptions& opts = {});
+
+/// x^T L x = sum over edges (x_u - x_v)^2.
+[[nodiscard]] double laplacian_quadratic(const Graph& g,
+                                         const std::vector<double>& x);
+
+}  // namespace bfly::algo

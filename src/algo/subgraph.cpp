@@ -1,0 +1,28 @@
+#include "algo/subgraph.hpp"
+
+#include "core/error.hpp"
+
+namespace bfly::algo {
+
+InducedSubgraph induced_subgraph(const Graph& g,
+                                 std::span<const NodeId> nodes) {
+  InducedSubgraph out;
+  out.to_original.assign(nodes.begin(), nodes.end());
+  out.to_sub.assign(g.num_nodes(), kInvalidNode);
+  for (NodeId i = 0; i < out.to_original.size(); ++i) {
+    const NodeId v = out.to_original[i];
+    BFLY_CHECK(v < g.num_nodes(), "subgraph node out of range");
+    BFLY_CHECK(out.to_sub[v] == kInvalidNode, "duplicate subgraph node");
+    out.to_sub[v] = i;
+  }
+  GraphBuilder gb(static_cast<NodeId>(out.to_original.size()));
+  for (const auto& [u, v] : g.edges()) {
+    if (out.to_sub[u] != kInvalidNode && out.to_sub[v] != kInvalidNode) {
+      gb.add_edge(out.to_sub[u], out.to_sub[v]);
+    }
+  }
+  out.graph = std::move(gb).build();
+  return out;
+}
+
+}  // namespace bfly::algo

@@ -1,0 +1,25 @@
+// Induced subgraphs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::algo {
+
+struct InducedSubgraph {
+  Graph graph;
+  /// original node id of subgraph node i.
+  std::vector<NodeId> to_original;
+  /// subgraph id of original node, kInvalidNode if not included.
+  std::vector<NodeId> to_sub;
+};
+
+/// Subgraph induced by `nodes` (must be distinct). Parallel edges between
+/// included endpoints are preserved.
+[[nodiscard]] InducedSubgraph induced_subgraph(const Graph& g,
+                                               std::span<const NodeId> nodes);
+
+}  // namespace bfly::algo

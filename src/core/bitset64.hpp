@@ -1,0 +1,82 @@
+// Dynamic bitset over 64-bit words.
+//
+// Used by the exact solvers to represent node subsets; sized at runtime,
+// supports popcount and word-level iteration which the subset-enumeration
+// kernels rely on.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace bfly {
+
+class Bitset64 {
+ public:
+  Bitset64() = default;
+
+  explicit Bitset64(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+
+  void set(std::size_t i) {
+    BFLY_ASSERT(i < nbits_);
+    words_[i >> 6] |= (1ull << (i & 63));
+  }
+
+  void reset(std::size_t i) {
+    BFLY_ASSERT(i < nbits_);
+    words_[i >> 6] &= ~(1ull << (i & 63));
+  }
+
+  void flip(std::size_t i) {
+    BFLY_ASSERT(i < nbits_);
+    words_[i >> 6] ^= (1ull << (i & 63));
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    BFLY_ASSERT(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1ull;
+  }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (auto w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  /// Calls fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        fn(wi * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const Bitset64&, const Bitset64&) = default;
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bfly

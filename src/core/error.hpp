@@ -1,0 +1,45 @@
+// Checked-precondition helpers.
+//
+// BFLY_CHECK is always on: it guards public API preconditions whose
+// violation would otherwise corrupt results silently (wrong-size partition,
+// non-power-of-two butterfly order, ...). BFLY_ASSERT compiles away in
+// release builds and guards internal invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bfly {
+
+/// Exception thrown on violated API preconditions.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "BFLY_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace bfly
+
+#define BFLY_CHECK(expr, msg)                                         \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::bfly::detail::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define BFLY_ASSERT(expr) ((void)0)
+#else
+#define BFLY_ASSERT(expr) BFLY_CHECK(expr, "internal invariant")
+#endif

@@ -1,0 +1,69 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace bfly {
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  BFLY_CHECK(u < num_nodes_ && v < num_nodes_, "edge endpoint out of range");
+  BFLY_CHECK(u != v, "self loops are not supported");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() && {
+  Graph g;
+  const NodeId n = num_nodes_;
+  g.edges_ = std::move(edges_);
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  for (const auto& [u, v] : g.edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  const std::size_t m2 = g.edges_.size() * 2;
+  g.adj_.resize(m2);
+  g.adj_edge_.resize(m2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.edges_.size(); ++e) {
+    const auto [u, v] = g.edges_[e];
+    g.adj_[cursor[u]] = v;
+    g.adj_edge_[cursor[u]++] = e;
+    g.adj_[cursor[v]] = u;
+    g.adj_edge_[cursor[v]++] = e;
+  }
+
+  // Sort each adjacency row by neighbor id (co-sorting edge ids) so that
+  // has_edge can binary-search.
+  std::vector<std::pair<NodeId, EdgeId>> row;
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t b = g.offsets_[v], e = g.offsets_[v + 1];
+    row.clear();
+    for (std::size_t i = b; i < e; ++i) {
+      row.emplace_back(g.adj_[i], g.adj_edge_[i]);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = b; i < e; ++i) {
+      g.adj_[i] = row[i - b].first;
+      g.adj_edge_[i] = row[i - b].second;
+    }
+    g.max_degree_ = std::max(g.max_degree_, e - b);
+  }
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+std::size_t Graph::edge_multiplicity(NodeId u, NodeId v) const {
+  const auto nb = neighbors(u);
+  const auto [lo, hi] = std::equal_range(nb.begin(), nb.end(), v);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+}  // namespace bfly

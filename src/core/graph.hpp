@@ -1,0 +1,104 @@
+// Immutable undirected graph in CSR (compressed sparse row) form.
+//
+// Graphs are constructed once through GraphBuilder and never mutated
+// afterwards; every algorithm in the library reads them concurrently
+// without synchronization. Parallel edges are representable (the 2K_N
+// embedding lower bounds of Section 1.4 of the paper need them); self
+// loops are rejected since none of the paper's networks contain any.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace bfly {
+
+class Graph;
+
+/// Mutable edge-list accumulator; call build() to freeze into a Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds one undirected edge. Parallel edges allowed; self loops rejected.
+  void add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size();
+  }
+
+  /// Freezes the accumulated edges into an immutable Graph.
+  [[nodiscard]] Graph build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return edges_.size();
+  }
+
+  [[nodiscard]] std::size_t degree(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbors of v, sorted ascending (parallel edges appear repeated).
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return {adj_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Edge ids incident to v, co-indexed with neighbors(v).
+  [[nodiscard]] std::span<const EdgeId> incident_edges(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return {adj_edge_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  /// Endpoints of edge e, normalized so that first <= second.
+  [[nodiscard]] std::pair<NodeId, NodeId> edge(EdgeId e) const {
+    BFLY_ASSERT(e < edges_.size());
+    return edges_[e];
+  }
+
+  /// All edges, normalized (u <= v), in id order.
+  [[nodiscard]] std::span<const std::pair<NodeId, NodeId>> edges()
+      const noexcept {
+    return edges_;
+  }
+
+  /// True iff at least one (u, v) edge exists. O(log deg(u)).
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Number of parallel (u, v) edges. O(log deg(u)).
+  [[nodiscard]] std::size_t edge_multiplicity(NodeId u, NodeId v) const;
+
+  [[nodiscard]] std::size_t max_degree() const noexcept { return max_degree_; }
+
+  /// Sum of degrees == 2 * num_edges(); exposed for sanity checks.
+  [[nodiscard]] std::size_t degree_sum() const noexcept { return adj_.size(); }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;  // size num_nodes + 1
+  std::vector<NodeId> adj_;           // size 2 * num_edges
+  std::vector<EdgeId> adj_edge_;      // co-indexed with adj_
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  std::size_t max_degree_ = 0;
+};
+
+}  // namespace bfly

@@ -1,0 +1,54 @@
+// Small integer-math helpers used throughout the butterfly constructions.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "core/error.hpp"
+
+namespace bfly {
+
+/// True iff x is a power of two (x > 0).
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Exact base-2 logarithm; requires is_pow2(x).
+[[nodiscard]] inline std::uint32_t log2_exact(std::uint64_t x) {
+  BFLY_CHECK(is_pow2(x), "log2_exact requires a power of two");
+  return static_cast<std::uint32_t>(std::countr_zero(x));
+}
+
+/// Floor of log2(x); requires x > 0.
+[[nodiscard]] inline std::uint32_t log2_floor(std::uint64_t x) {
+  BFLY_CHECK(x > 0, "log2_floor requires x > 0");
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+/// Ceiling division for nonnegative integers.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Integer power (small exponents).
+[[nodiscard]] constexpr std::uint64_t ipow(std::uint64_t base,
+                                           std::uint32_t exp) noexcept {
+  std::uint64_t r = 1;
+  while (exp-- > 0) r *= base;
+  return r;
+}
+
+/// Binomial coefficient C(n, k) as a double (used only for search-space
+/// size estimates, so floating point is fine).
+[[nodiscard]] inline double binomial_approx(unsigned n, unsigned k) {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double r = 1.0;
+  for (unsigned i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return r;
+}
+
+}  // namespace bfly

@@ -1,0 +1,58 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+namespace bfly {
+
+unsigned default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for_blocked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    unsigned num_threads) {
+  if (n == 0) return;
+  unsigned t = num_threads == 0 ? default_thread_count() : num_threads;
+  t = static_cast<unsigned>(std::min<std::size_t>(t, n));
+
+  if (t <= 1) {
+    fn(0, n);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(t);
+  const std::size_t chunk = (n + t - 1) / t;
+  for (unsigned w = 0; w < t; ++w) {
+    const std::size_t begin = static_cast<std::size_t>(w) * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned num_threads) {
+  parallel_for_blocked(
+      n,
+      [&fn](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      },
+      num_threads);
+}
+
+}  // namespace bfly

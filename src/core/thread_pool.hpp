@@ -1,0 +1,31 @@
+// Fork-join data parallelism.
+//
+// The HPC guides' idiom is explicit parallelism: every parallel region in
+// this library goes through parallel_for with a statically blocked
+// iteration space (all-pairs BFS for diameters, SA restarts, subset
+// sweeps). Work items must be independent; the caller owns any reduction.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace bfly {
+
+/// Number of worker threads used by default (>= 1).
+[[nodiscard]] unsigned default_thread_count() noexcept;
+
+/// Runs fn(i) for i in [0, n), statically blocked over num_threads threads
+/// (0 = default_thread_count()). Exceptions thrown by fn propagate to the
+/// caller (the first one observed).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  unsigned num_threads = 0);
+
+/// Blocked variant: fn(begin, end) per chunk; lower per-item overhead for
+/// cheap bodies.
+void parallel_for_blocked(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+    unsigned num_threads = 0);
+
+}  // namespace bfly

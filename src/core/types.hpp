@@ -1,0 +1,23 @@
+// Fundamental integer types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace bfly {
+
+/// Node identifier. Graphs in this library are bounded by a few million
+/// nodes, so 32 bits suffice and halve the memory traffic of adjacency scans.
+using NodeId = std::uint32_t;
+
+/// Edge identifier (index into the canonical edge list, one entry per
+/// undirected edge; parallel edges get distinct ids).
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+}  // namespace bfly

@@ -1,0 +1,47 @@
+#include "cut/bisection.hpp"
+
+#include "core/error.hpp"
+#include "core/partition.hpp"
+
+namespace bfly::cut {
+
+const char* to_string(Exactness e) {
+  switch (e) {
+    case Exactness::kExact:
+      return "exact";
+    case Exactness::kBound:
+      return "bound";
+    case Exactness::kHeuristic:
+      return "heuristic";
+  }
+  return "?";
+}
+
+bool is_bisection(const std::vector<std::uint8_t>& sides) {
+  std::size_t ones = 0;
+  for (const auto s : sides) ones += s;
+  const std::size_t n = sides.size();
+  const std::size_t half = (n + 1) / 2;
+  return ones <= half && (n - ones) <= half;
+}
+
+bool bisects_subset(const std::vector<std::uint8_t>& sides,
+                    std::span<const NodeId> subset) {
+  std::size_t ones = 0;
+  for (const NodeId v : subset) {
+    BFLY_CHECK(v < sides.size(), "subset node out of range");
+    ones += sides[v];
+  }
+  const std::size_t u = subset.size();
+  const std::size_t half = (u + 1) / 2;
+  return ones <= half && (u - ones) <= half;
+}
+
+void validate_cut(const Graph& g, const CutResult& r) {
+  BFLY_CHECK(r.sides.size() == g.num_nodes(),
+             "cut side vector does not match graph");
+  BFLY_CHECK(cut_capacity(g, r.sides) == r.capacity,
+             "cut capacity does not match side vector");
+}
+
+}  // namespace bfly::cut

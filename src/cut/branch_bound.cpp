@@ -1,0 +1,192 @@
+#include "cut/branch_bound.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace bfly::cut {
+
+namespace {
+
+constexpr std::uint8_t kUnassigned = 2;
+
+struct Searcher {
+  const Graph& g;
+  const BranchBoundOptions& opts;
+
+  NodeId n;
+  std::vector<NodeId> order;         // assignment order (BFS)
+  std::vector<std::uint8_t> state;   // 0, 1, or kUnassigned
+  std::vector<std::uint32_t> a[2];   // assigned-neighbor counts per side
+  std::vector<std::uint8_t> in_subset;
+
+  std::size_t cap_side;       // max nodes per side (bisection mode)
+  bool subset_mode = false;
+  std::size_t u_total = 0;    // |U|
+  std::size_t u_floor = 0, u_ceil = 0;
+
+  std::size_t cnt[2] = {0, 0};
+  std::size_t u1 = 0;          // subset nodes currently on side 1
+  std::size_t u_assigned = 0;  // subset nodes assigned so far
+  std::size_t cur_cut = 0;
+  std::size_t sum_min = 0;     // sum over unassigned v of min(a0, a1)
+
+  std::size_t best_cap = std::numeric_limits<std::size_t>::max();
+  std::vector<std::uint8_t> best_sides;
+  bool have_best = false;
+
+  std::uint64_t visited = 0;
+  bool aborted = false;
+
+  explicit Searcher(const Graph& graph, const BranchBoundOptions& o)
+      : g(graph), opts(o), n(graph.num_nodes()) {
+    state.assign(n, kUnassigned);
+    a[0].assign(n, 0);
+    a[1].assign(n, 0);
+    in_subset.assign(n, 0);
+    cap_side = (static_cast<std::size_t>(n) + 1) / 2;
+
+    if (!opts.bisect_subset.empty()) {
+      subset_mode = true;
+      for (const NodeId v : opts.bisect_subset) {
+        BFLY_CHECK(v < n, "subset node out of range");
+        in_subset[v] = 1;
+      }
+      u_total = opts.bisect_subset.size();
+      u_floor = u_total / 2;
+      u_ceil = (u_total + 1) / 2;
+    }
+
+    // BFS assignment order (per component) so the frontier — and hence the
+    // cut — grows early, tightening the bound.
+    std::vector<std::uint8_t> seen(n, 0);
+    order.reserve(n);
+    for (NodeId root = 0; root < n; ++root) {
+      if (seen[root]) continue;
+      seen[root] = 1;
+      std::size_t head = order.size();
+      order.push_back(root);
+      while (head < order.size()) {
+        const NodeId u = order[head++];
+        for (const NodeId w : g.neighbors(u)) {
+          if (!seen[w]) {
+            seen[w] = 1;
+            order.push_back(w);
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t prune_threshold() const {
+    if (have_best) return best_cap;
+    return opts.initial_bound == std::numeric_limits<std::size_t>::max()
+               ? std::numeric_limits<std::size_t>::max()
+               : opts.initial_bound + 1;
+  }
+
+  [[nodiscard]] bool side_feasible(int s) const {
+    if (!subset_mode) return cnt[s] < cap_side;
+    return true;  // subset mode has no overall balance constraint
+  }
+
+  [[nodiscard]] bool subset_feasible() const {
+    if (!subset_mode) return true;
+    const std::size_t remaining = u_total - u_assigned;
+    // Final u1 must land in [u_floor, u_ceil].
+    return u1 <= u_ceil && u1 + remaining >= u_floor;
+  }
+
+  void assign(NodeId v, int s) {
+    state[v] = static_cast<std::uint8_t>(s);
+    ++cnt[s];
+    cur_cut += a[1 - s][v];
+    sum_min -= std::min(a[0][v], a[1][v]);
+    if (in_subset[v]) {
+      ++u_assigned;
+      if (s == 1) ++u1;
+    }
+    for (const NodeId w : g.neighbors(v)) {
+      if (state[w] == kUnassigned) {
+        const std::uint32_t old_min = std::min(a[0][w], a[1][w]);
+        ++a[s][w];
+        sum_min += std::min(a[0][w], a[1][w]) - old_min;  // grows or stays
+      }
+    }
+  }
+
+  void unassign(NodeId v, int s) {
+    for (const NodeId w : g.neighbors(v)) {
+      if (state[w] == kUnassigned) {
+        const std::uint32_t old_min = std::min(a[0][w], a[1][w]);
+        --a[s][w];
+        sum_min -= old_min - std::min(a[0][w], a[1][w]);  // shrinks or stays
+      }
+    }
+    if (in_subset[v]) {
+      --u_assigned;
+      if (s == 1) --u1;
+    }
+    sum_min += std::min(a[0][v], a[1][v]);
+    cur_cut -= a[1 - s][v];
+    --cnt[s];
+    state[v] = kUnassigned;
+  }
+
+  void dfs(NodeId depth) {
+    if (aborted) return;
+    if (opts.node_limit != 0 && ++visited > opts.node_limit) {
+      aborted = true;
+      return;
+    }
+    if (cur_cut + sum_min >= prune_threshold()) return;
+    if (depth == n) {
+      // Constraints were enforced along the path.
+      best_cap = cur_cut;
+      best_sides = state;
+      have_best = true;
+      return;
+    }
+    const NodeId v = order[depth];
+    // Try the side with more assigned neighbors first (smaller immediate
+    // cut growth). Fix order[0] to side 0 (complement symmetry).
+    int first = a[0][v] >= a[1][v] ? 0 : 1;
+    const int sides_to_try = depth == 0 ? 1 : 2;
+    if (depth == 0) first = 0;
+    for (int t = 0; t < sides_to_try; ++t) {
+      const int s = t == 0 ? first : 1 - first;
+      if (!side_feasible(s)) continue;
+      assign(v, s);
+      if (subset_feasible()) dfs(depth + 1);
+      unassign(v, s);
+      if (aborted) return;
+    }
+  }
+};
+
+}  // namespace
+
+CutResult min_bisection_branch_bound(const Graph& g,
+                                     const BranchBoundOptions& opts) {
+  BFLY_CHECK(g.num_nodes() >= 2, "bisection needs at least two nodes");
+  Searcher s(g, opts);
+  s.dfs(0);
+
+  CutResult res;
+  res.method = opts.bisect_subset.empty() ? "branch-and-bound"
+                                          : "branch-and-bound-subset";
+  if (s.have_best) {
+    res.capacity = s.best_cap;
+    res.sides = std::move(s.best_sides);
+    res.exactness = s.aborted ? Exactness::kHeuristic : Exactness::kExact;
+  } else {
+    // No solution at or below the supplied bound (or search aborted).
+    res.capacity = std::numeric_limits<std::size_t>::max();
+    res.exactness = s.aborted ? Exactness::kHeuristic : Exactness::kExact;
+  }
+  return res;
+}
+
+}  // namespace bfly::cut

@@ -1,0 +1,36 @@
+// Exact minimum bisection by branch and bound.
+//
+// Nodes are assigned in BFS order (so the cut materializes early); the
+// bound is current capacity plus, for every unassigned node, the smaller
+// of its assigned-neighbor counts on each side — a valid additive lower
+// bound because those edges are attributed to their unique unassigned
+// endpoint. Supports the plain bisection constraint and the paper's
+// U-bisection constraint (Section 2.1). Practical to ~40 nodes on the
+// butterfly-family instances.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/graph.hpp"
+#include "cut/bisection.hpp"
+
+namespace bfly::cut {
+
+struct BranchBoundOptions {
+  /// Optional incumbent capacity (exclusive upper bound on the search);
+  /// supply a heuristic solution's capacity to speed things up. The solver
+  /// still proves optimality.
+  std::size_t initial_bound = static_cast<std::size_t>(-1);
+  /// Abort after this many search-tree nodes (0 = unlimited). When hit,
+  /// the result's exactness degrades to kHeuristic.
+  std::uint64_t node_limit = 0;
+  /// If nonempty, minimize over cuts bisecting this subset instead of over
+  /// balanced bisections.
+  std::span<const NodeId> bisect_subset;
+};
+
+[[nodiscard]] CutResult min_bisection_branch_bound(
+    const Graph& g, const BranchBoundOptions& opts = {});
+
+}  // namespace bfly::cut

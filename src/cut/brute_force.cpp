@@ -1,0 +1,157 @@
+#include "cut/brute_force.hpp"
+
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+
+namespace bfly::cut {
+
+namespace {
+
+// Walks side assignments in binary-reflected Gray-code order, flipping one
+// node per step. `fix_node0` halves the space using complement symmetry
+// (valid when the objective and constraints are complement-invariant).
+// visit(sides, capacity, ones, flipped) is called for every visited state;
+// flipped is kInvalidNode for the all-zeros start.
+template <typename Visit>
+void gray_walk(const Graph& g, bool fix_node0, std::uint64_t max_states,
+               Visit&& visit) {
+  const NodeId n = g.num_nodes();
+  const NodeId bits = fix_node0 ? n - 1 : n;
+  BFLY_CHECK(bits < 63, "graph too large for exhaustive enumeration");
+  const std::uint64_t states = 1ull << bits;
+  BFLY_CHECK(states <= max_states,
+             "exhaustive enumeration exceeds the configured state limit");
+
+  std::vector<std::uint8_t> sides(n, 0);
+  std::size_t capacity = 0;
+  std::size_t ones = 0;
+  visit(sides, capacity, ones, kInvalidNode);
+
+  for (std::uint64_t i = 1; i < states; ++i) {
+    const NodeId v = static_cast<NodeId>(std::countr_zero(i)) +
+                     (fix_node0 ? 1u : 0u);
+    // Flipping v: each same-side neighbor edge becomes crossing and vice
+    // versa.
+    std::int64_t same = 0, cross = 0;
+    for (const NodeId u : g.neighbors(v)) {
+      if (sides[u] == sides[v]) {
+        ++same;
+      } else {
+        ++cross;
+      }
+    }
+    capacity = static_cast<std::size_t>(
+        static_cast<std::int64_t>(capacity) + same - cross);
+    ones += sides[v] ? -1 : +1;
+    sides[v] ^= 1;
+    visit(sides, capacity, ones, v);
+  }
+}
+
+}  // namespace
+
+CutResult min_bisection_exhaustive(const Graph& g,
+                                   const BruteForceOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(n >= 2, "bisection needs at least two nodes");
+  const std::size_t half = (n + 1) / 2;
+
+  CutResult best;
+  best.capacity = std::numeric_limits<std::size_t>::max();
+  best.exactness = Exactness::kExact;
+  best.method = "exhaustive";
+
+  gray_walk(g, /*fix_node0=*/true, opts.max_states,
+            [&](const std::vector<std::uint8_t>& sides, std::size_t cap,
+                std::size_t ones, NodeId /*flipped*/) {
+              if (ones > half || (n - ones) > half) return;
+              if (cap < best.capacity) {
+                best.capacity = cap;
+                best.sides = sides;
+              }
+            });
+  return best;
+}
+
+CutResult min_cut_bisecting_exhaustive(const Graph& g,
+                                       std::span<const NodeId> subset,
+                                       const BruteForceOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(!subset.empty(), "subset must be nonempty");
+  std::vector<std::uint8_t> in_subset(n, 0);
+  for (const NodeId v : subset) {
+    BFLY_CHECK(v < n, "subset node out of range");
+    in_subset[v] = 1;
+  }
+  const std::size_t u = subset.size();
+  const std::size_t uhalf = (u + 1) / 2;
+
+  CutResult best;
+  best.capacity = std::numeric_limits<std::size_t>::max();
+  best.exactness = Exactness::kExact;
+  best.method = "exhaustive-subset-bisection";
+
+  std::size_t subset_ones = 0;
+  gray_walk(g, /*fix_node0=*/true, opts.max_states,
+            [&](const std::vector<std::uint8_t>& sides, std::size_t cap,
+                std::size_t /*ones*/, NodeId flipped) {
+              if (flipped != kInvalidNode && in_subset[flipped]) {
+                subset_ones += sides[flipped] ? +1 : -1;
+              }
+              if (subset_ones > uhalf || (u - subset_ones) > uhalf) return;
+              if (cap < best.capacity) {
+                best.capacity = cap;
+                best.sides = sides;
+              }
+            });
+  return best;
+}
+
+std::vector<CutResult> min_cuts_all_sizes(const Graph& g,
+                                          const BruteForceOptions& opts) {
+  const NodeId n = g.num_nodes();
+  std::vector<CutResult> best(n + 1);
+  for (std::size_t k = 0; k <= n; ++k) {
+    best[k].capacity = std::numeric_limits<std::size_t>::max();
+    best[k].exactness = Exactness::kExact;
+    best[k].method = "exhaustive-size-" + std::to_string(k);
+  }
+  gray_walk(g, /*fix_node0=*/false, opts.max_states,
+            [&](const std::vector<std::uint8_t>& sides, std::size_t cap,
+                std::size_t ones, NodeId /*flipped*/) {
+              auto& b = best[ones];
+              if (cap < b.capacity) {
+                b.capacity = cap;
+                b.sides = sides;
+              }
+            });
+  return best;
+}
+
+CutResult min_cut_of_size_exhaustive(const Graph& g, std::size_t k,
+                                     const BruteForceOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(k <= n, "subset size exceeds node count");
+
+  CutResult best;
+  best.capacity = std::numeric_limits<std::size_t>::max();
+  best.exactness = Exactness::kExact;
+  best.method = "exhaustive-size-" + std::to_string(k);
+
+  gray_walk(g, /*fix_node0=*/false, opts.max_states,
+            [&](const std::vector<std::uint8_t>& sides, std::size_t cap,
+                std::size_t ones, NodeId /*flipped*/) {
+              if (ones != k) return;
+              if (cap < best.capacity) {
+                best.capacity = cap;
+                best.sides = sides;
+              }
+            });
+  return best;
+}
+
+}  // namespace bfly::cut

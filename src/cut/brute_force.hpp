@@ -1,0 +1,43 @@
+// Exact minimum bisection by exhaustive enumeration.
+//
+// A binary-reflected Gray code walks all 2^(N-1) side assignments with one
+// node fixed (complement symmetry); each step flips a single node, so
+// capacity and balance counters update in O(deg). Practical to ~26 nodes;
+// beyond that use branch_bound.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/graph.hpp"
+#include "cut/bisection.hpp"
+
+namespace bfly::cut {
+
+struct BruteForceOptions {
+  /// Refuse to enumerate more states than this (guards accidental blowups).
+  std::uint64_t max_states = 1ull << 28;
+};
+
+/// Exact BW(G): minimum capacity over all bisections.
+[[nodiscard]] CutResult min_bisection_exhaustive(
+    const Graph& g, const BruteForceOptions& opts = {});
+
+/// Exact BW(G, U): minimum capacity over all cuts that bisect the subset U
+/// (the cut itself need not be balanced) — paper Section 2.1.
+[[nodiscard]] CutResult min_cut_bisecting_exhaustive(
+    const Graph& g, std::span<const NodeId> subset,
+    const BruteForceOptions& opts = {});
+
+/// Exact edge-expansion value EE(G, k) = min over |S| = k of C(S, S̄)
+/// (Section 1.3), same Gray-code engine with a cardinality filter.
+[[nodiscard]] CutResult min_cut_of_size_exhaustive(
+    const Graph& g, std::size_t k, const BruteForceOptions& opts = {});
+
+/// One sweep computing min_cut_of_size for EVERY k in [0, N] (entry k of
+/// the result); vastly cheaper than N separate sweeps when tabulating the
+/// whole edge-expansion function EE(G, ·).
+[[nodiscard]] std::vector<CutResult> min_cuts_all_sizes(
+    const Graph& g, const BruteForceOptions& opts = {});
+
+}  // namespace bfly::cut

@@ -1,0 +1,79 @@
+#include "cut/compactness.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/partition.hpp"
+
+namespace bfly::cut {
+
+bool is_compact_exhaustive(const Graph& g, std::span<const NodeId> subset,
+                           std::uint64_t max_states) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(n >= 1 && n < 63, "graph too large for exhaustive check");
+  const std::uint64_t states = 1ull << (n - 1);
+  BFLY_CHECK(states <= max_states, "state space exceeds limit");
+
+  std::vector<std::uint8_t> sides(n, 0);
+  for (std::uint64_t bits = 0; bits < states; ++bits) {
+    for (NodeId v = 1; v < n; ++v) {
+      sides[v] = static_cast<std::uint8_t>((bits >> (v - 1)) & 1u);
+    }
+    sides[0] = 0;
+    const std::size_t cap = cut_capacity(g, sides);
+
+    auto with_subset_on = [&](std::uint8_t side) {
+      std::vector<std::uint8_t> s2 = sides;
+      for (const NodeId v : subset) s2[v] = side;
+      return cut_capacity(g, s2);
+    };
+    if (with_subset_on(0) > cap && with_subset_on(1) > cap) return false;
+  }
+  return true;
+}
+
+bool is_amenable_exhaustive(const Graph& g, std::span<const NodeId> subset,
+                            const std::vector<std::uint8_t>& sides) {
+  const std::size_t u = subset.size();
+  BFLY_CHECK(u >= 1 && u < 26, "subset too large for exhaustive check");
+  BFLY_CHECK(sides.size() == g.num_nodes(), "side vector size mismatch");
+  const std::size_t base_cap = cut_capacity(g, sides);
+
+  // best[k] = min capacity over assignments with k subset nodes on side 0.
+  std::vector<std::size_t> best(u + 1,
+                                std::numeric_limits<std::size_t>::max());
+  std::vector<std::uint8_t> s2 = sides;
+  const std::uint64_t states = 1ull << u;
+  for (std::uint64_t bits = 0; bits < states; ++bits) {
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < u; ++i) {
+      const std::uint8_t side = static_cast<std::uint8_t>((bits >> i) & 1u);
+      s2[subset[i]] = side;
+      zeros += side == 0;
+    }
+    const std::size_t cap = cut_capacity(g, s2);
+    best[zeros] = std::min(best[zeros], cap);
+  }
+  for (std::size_t k = 0; k <= u; ++k) {
+    if (best[k] > base_cap) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> push_tail_levels(const topo::Butterfly& bf,
+                                           std::vector<std::uint8_t> sides) {
+  BFLY_CHECK(sides.size() == bf.num_nodes(), "side vector size mismatch");
+  // Majority side of level 0 (the paper's WLOG |Ā∩L0| <= |A∩L0|).
+  std::size_t on1 = 0;
+  for (std::uint32_t w = 0; w < bf.n(); ++w) on1 += sides[bf.node(w, 0)];
+  const std::uint8_t majority = on1 * 2 >= bf.n() ? 1 : 0;
+  for (std::uint32_t lvl = 1; lvl <= bf.dims(); ++lvl) {
+    for (std::uint32_t w = 0; w < bf.n(); ++w) {
+      sides[bf.node(w, lvl)] = majority;
+    }
+  }
+  return sides;
+}
+
+}  // namespace bfly::cut

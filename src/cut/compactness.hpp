@@ -1,0 +1,47 @@
+// Machine checks for the paper's compactness and amenability notions
+// (Section 2 definitions, Lemmas 2.6–2.9 and 2.14–2.15).
+//
+// A node set U is *compact* in G if any cut can be transformed — moving
+// only nodes of U, all to one side — without increasing capacity. U is
+// *amenable* w.r.t. a cut if, moving only nodes of U, every count
+// 0..|U| of U-nodes can be placed on side A without increasing capacity.
+// These are for-all-cuts statements over finite structures, so they are
+// exhaustively checkable on small instances; that is what these helpers
+// do, plus the concrete capacity-nonincreasing transformations the paper
+// builds from them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly::cut {
+
+/// Exhaustively verifies that U is compact in g: for every cut (2^(N-1)
+/// of them), moving U entirely to one side (keeping everything else
+/// fixed) must not increase capacity. Practical to ~22 nodes.
+[[nodiscard]] bool is_compact_exhaustive(const Graph& g,
+                                         std::span<const NodeId> subset,
+                                         std::uint64_t max_states = 1ull
+                                                                    << 26);
+
+/// Verifies the amenability of U with respect to the specific cut
+/// `sides`: for every k in [0, |U|] there must be an assignment of U
+/// (others fixed) with exactly k U-nodes on side 0 and capacity at most
+/// the original. Exhaustive over 2^|U| assignments; |U| <= ~22.
+[[nodiscard]] bool is_amenable_exhaustive(const Graph& g,
+                                          std::span<const NodeId> subset,
+                                          const std::vector<std::uint8_t>&
+                                              sides);
+
+/// The Lemma 2.8 transformation: returns the cut with U = levels
+/// 1..log n of Bn moved entirely to the side holding the majority of
+/// level 0 (the paper proves this never increases capacity).
+[[nodiscard]] std::vector<std::uint8_t> push_tail_levels(
+    const topo::Butterfly& bf, std::vector<std::uint8_t> sides);
+
+}  // namespace bfly::cut

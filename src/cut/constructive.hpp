@@ -1,0 +1,51 @@
+// Constructive cuts: the folklore column split, the CCC dimension cut,
+// and the paper's Lemma 2.16 mesh-of-stars-lifted bisection of Bn.
+#pragma once
+
+#include <cstdint>
+
+#include "cut/bisection.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::cut {
+
+/// The "folklore" bisection: side = most significant column bit. Capacity
+/// is exactly n for Bn — the cut the community believed optimal before
+/// Theorem 2.20.
+[[nodiscard]] CutResult column_split_bisection(const topo::Butterfly& bf);
+
+/// Same construction on Wn; capacity n, which Section 3 proves optimal.
+[[nodiscard]] CutResult column_split_bisection(
+    const topo::WrappedButterfly& wb);
+
+/// Dimension cut of CCCn (capacity n/2, optimal per Lemma 3.3).
+[[nodiscard]] CutResult dimension_cut_bisection(
+    const topo::CubeConnectedCycles& ccc);
+
+struct Lemma216Result {
+  CutResult cut;
+  std::uint32_t j = 0;           ///< mesh parameter used
+  std::uint64_t mos_capacity = 0;  ///< BW(MOS_{j,j}, M2)
+  /// Paper bound 2n*BW(MOS)/j^2 + 4n/j that the construction is promised
+  /// to meet when j^3 + 2j - 1 <= log n.
+  double promised_capacity = 0.0;
+  /// True iff this n satisfies the lemma's size requirement for j.
+  bool size_requirement_met = false;
+  /// Nodes moved by the final greedy cleanup (0 when the amenable
+  /// rebalancing alone restored balance).
+  std::size_t cleanup_moves = 0;
+};
+
+/// The Lemma 2.16 pipeline on a materializable Bn: build the optimal
+/// M2-bisecting cut of MOS_{j,j}, lift it through the Lemma 2.11
+/// embedding, restore balance via the Lemma 2.15 amenable prefix
+/// reassignment inside two M2-components, and (on sizes too small for the
+/// lemma's guarantee) finish with greedy capacity-minimal moves. Always
+/// returns a genuine bisection of Bn; the capacity is an upper bound on
+/// BW(Bn). Requires j even, j^2 <= n/2.
+[[nodiscard]] Lemma216Result lemma216_bisection(const topo::Butterfly& bf,
+                                                std::uint32_t j);
+
+}  // namespace bfly::cut

@@ -1,0 +1,157 @@
+#include "cut/fiduccia_mattheyses.hpp"
+
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/partition.hpp"
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+
+namespace bfly::cut {
+
+namespace {
+
+// One FM pass: every node moves exactly once, chosen greedily by gain from
+// the side currently at or above half; the best balanced prefix is kept.
+// Lazy priority queues tolerate stale gain entries (validated on pop).
+bool fm_pass(Partition& part) {
+  const Graph& g = part.graph();
+  const NodeId n = g.num_nodes();
+  const std::size_t start_cap = part.cut_capacity();
+
+  using Entry = std::pair<std::int64_t, NodeId>;  // (gain, node)
+  std::priority_queue<Entry> pq[2];
+  std::vector<std::uint8_t> locked(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    pq[part.side(v)].emplace(part.gain(v), v);
+  }
+
+  std::vector<NodeId> moves;
+  moves.reserve(n);
+  std::size_t best_cap = start_cap;
+  std::size_t best_prefix = 0;
+
+  for (NodeId step = 0; step < n; ++step) {
+    // Move from the larger side (keeps the walk near balance); on ties
+    // prefer whichever side offers the better (fresh) gain.
+    int from;
+    if (part.side_size(0) != part.side_size(1)) {
+      from = part.side_size(0) > part.side_size(1) ? 0 : 1;
+    } else {
+      from = 0;
+    }
+    // Pop until a fresh, unlocked entry appears; fall back to the other
+    // side when this one is exhausted.
+    NodeId v = kInvalidNode;
+    for (int attempt = 0; attempt < 2 && v == kInvalidNode; ++attempt) {
+      auto& q = pq[from];
+      while (!q.empty()) {
+        const auto [gain, cand] = q.top();
+        if (locked[cand] || part.side(cand) != from) {
+          q.pop();
+          continue;
+        }
+        if (gain != part.gain(cand)) {
+          q.pop();
+          q.emplace(part.gain(cand), cand);
+          continue;
+        }
+        v = cand;
+        break;
+      }
+      if (v == kInvalidNode) from = 1 - from;
+    }
+    if (v == kInvalidNode) break;
+
+    pq[from].pop();
+    part.move(v);
+    locked[v] = 1;
+    moves.push_back(v);
+    // Neighbors' gains changed; push fresh entries (stale ones remain and
+    // are skipped on pop).
+    for (const NodeId w : g.neighbors(v)) {
+      if (!locked[w]) pq[part.side(w)].emplace(part.gain(w), w);
+    }
+    if (part.is_bisection() && part.cut_capacity() < best_cap) {
+      best_cap = part.cut_capacity();
+      best_prefix = moves.size();
+    }
+  }
+
+  for (std::size_t i = moves.size(); i > best_prefix; --i) {
+    part.move(moves[i - 1]);
+  }
+  BFLY_ASSERT(part.cut_capacity() == best_cap);
+  BFLY_ASSERT(part.is_bisection());
+  return best_cap < start_cap;
+}
+
+std::vector<std::uint8_t> random_balanced_sides(NodeId n, Rng& rng) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  shuffle(perm, rng);
+  std::vector<std::uint8_t> sides(n, 0);
+  for (NodeId i = n / 2; i < n; ++i) sides[perm[i]] = 1;
+  return sides;
+}
+
+}  // namespace
+
+CutResult min_bisection_fiduccia_mattheyses(
+    const Graph& g, const FiducciaMattheysesOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(n >= 2, "bisection needs at least two nodes");
+  const std::uint32_t restarts = std::max(1u, opts.restarts);
+
+  // Each restart is independent with a derived seed, so the restarts can
+  // run on any number of threads with a deterministic outcome.
+  std::vector<CutResult> results(restarts);
+  const auto run_restart = [&](std::size_t r) {
+    SplitMix64 sm(opts.seed + 0x9e37u * (r + 1));
+    Rng rng(sm.next());
+    Partition part(g, random_balanced_sides(n, rng));
+    for (std::uint32_t pass = 0; pass < opts.max_passes; ++pass) {
+      if (!fm_pass(part)) break;
+    }
+    results[r].capacity = part.cut_capacity();
+    results[r].sides = part.sides();
+  };
+  if (opts.num_threads > 1) {
+    parallel_for(restarts, run_restart, opts.num_threads);
+  } else {
+    for (std::uint32_t r = 0; r < restarts; ++r) run_restart(r);
+  }
+
+  CutResult best;
+  best.capacity = std::numeric_limits<std::size_t>::max();
+  best.exactness = Exactness::kHeuristic;
+  best.method = "fiduccia-mattheyses";
+  for (auto& r : results) {
+    if (is_bisection(r.sides) && r.capacity < best.capacity) {
+      best.capacity = r.capacity;
+      best.sides = std::move(r.sides);
+    }
+  }
+  return best;
+}
+
+CutResult refine_fiduccia_mattheyses(const Graph& g,
+                                     std::vector<std::uint8_t> sides,
+                                     std::uint32_t max_passes) {
+  BFLY_CHECK(is_bisection(sides), "FM refinement needs a bisection start");
+  Partition part(g, sides);
+  for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
+    if (!fm_pass(part)) break;
+  }
+  CutResult res;
+  res.capacity = part.cut_capacity();
+  res.sides = part.sides();
+  res.exactness = Exactness::kHeuristic;
+  res.method = "fm-refined";
+  return res;
+}
+
+}  // namespace bfly::cut

@@ -1,0 +1,35 @@
+// Fiduccia–Mattheyses-style bisection refinement: single-node moves with
+// balance control, lazy max-gain priority queues, one-move-per-node passes
+// with best-balanced-prefix rollback, random restarts. Scales to the
+// larger instances Kernighan–Lin's O(n^3) passes cannot handle.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "cut/bisection.hpp"
+
+namespace bfly::cut {
+
+struct FiducciaMattheysesOptions {
+  std::uint32_t restarts = 8;
+  std::uint32_t max_passes = 24;  ///< per restart
+  std::uint64_t seed = 0x666du;   // "fm"
+  /// Worker threads for the independent restarts (0 = serial). The
+  /// result is deterministic regardless of thread count: every restart
+  /// derives its own seed, and ties break toward the lowest restart
+  /// index.
+  std::uint32_t num_threads = 0;
+};
+
+[[nodiscard]] CutResult min_bisection_fiduccia_mattheyses(
+    const Graph& g, const FiducciaMattheysesOptions& opts = {});
+
+/// Refines an existing side assignment in place (no restarts); returns the
+/// refined result. Used to polish spectral/constructive cuts.
+[[nodiscard]] CutResult refine_fiduccia_mattheyses(
+    const Graph& g, std::vector<std::uint8_t> sides,
+    std::uint32_t max_passes = 24);
+
+}  // namespace bfly::cut

@@ -1,0 +1,104 @@
+#include "cut/kernighan_lin.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/partition.hpp"
+#include "core/rng.hpp"
+
+namespace bfly::cut {
+
+namespace {
+
+// One KL pass: greedily pick the best swap among unlocked cross pairs,
+// apply it tentatively, and finally roll back to the best prefix.
+// Returns true if the pass improved the capacity.
+bool kl_pass(Partition& part) {
+  const Graph& g = part.graph();
+  const NodeId n = g.num_nodes();
+  const std::size_t start_cap = part.cut_capacity();
+
+  std::vector<std::uint8_t> locked(n, 0);
+  std::vector<NodeId> swap_a, swap_b;
+  std::size_t best_cap = start_cap;
+  std::size_t best_prefix = 0;
+
+  const std::size_t pairs =
+      std::min(part.side_size(0), part.side_size(1));
+  for (std::size_t step = 0; step < pairs; ++step) {
+    // Find the unlocked cross pair with the largest combined gain.
+    std::int64_t best_gain = std::numeric_limits<std::int64_t>::min();
+    NodeId pa = kInvalidNode, pb = kInvalidNode;
+    for (NodeId u = 0; u < n; ++u) {
+      if (locked[u] || part.side(u) != 0) continue;
+      const std::int64_t gu = part.gain(u);
+      for (NodeId v = 0; v < n; ++v) {
+        if (locked[v] || part.side(v) != 1) continue;
+        const std::int64_t w =
+            static_cast<std::int64_t>(g.edge_multiplicity(u, v));
+        const std::int64_t gain = gu + part.gain(v) - 2 * w;
+        if (gain > best_gain) {
+          best_gain = gain;
+          pa = u;
+          pb = v;
+        }
+      }
+    }
+    if (pa == kInvalidNode) break;
+    part.swap_across(pa, pb);
+    locked[pa] = locked[pb] = 1;
+    swap_a.push_back(pa);
+    swap_b.push_back(pb);
+    if (part.cut_capacity() < best_cap) {
+      best_cap = part.cut_capacity();
+      best_prefix = swap_a.size();
+    }
+  }
+
+  // Roll back swaps beyond the best prefix.
+  for (std::size_t i = swap_a.size(); i > best_prefix; --i) {
+    part.swap_across(swap_b[i - 1], swap_a[i - 1]);
+  }
+  BFLY_ASSERT(part.cut_capacity() == best_cap);
+  return best_cap < start_cap;
+}
+
+std::vector<std::uint8_t> random_balanced_sides(NodeId n, Rng& rng) {
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  shuffle(perm, rng);
+  std::vector<std::uint8_t> sides(n, 0);
+  for (NodeId i = n / 2; i < n; ++i) sides[perm[i]] = 1;
+  return sides;
+}
+
+}  // namespace
+
+CutResult min_bisection_kernighan_lin(const Graph& g,
+                                      const KernighanLinOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(n >= 2, "bisection needs at least two nodes");
+  Rng rng(opts.seed);
+
+  CutResult best;
+  best.capacity = std::numeric_limits<std::size_t>::max();
+  best.exactness = Exactness::kHeuristic;
+  best.method = "kernighan-lin";
+
+  for (std::uint32_t r = 0; r < std::max(1u, opts.restarts); ++r) {
+    Partition part(g, random_balanced_sides(n, rng));
+    for (std::uint32_t pass = 0; pass < opts.max_passes; ++pass) {
+      if (!kl_pass(part)) break;
+    }
+    if (part.cut_capacity() < best.capacity) {
+      best.capacity = part.cut_capacity();
+      best.sides = part.sides();
+    }
+  }
+  return best;
+}
+
+}  // namespace bfly::cut

@@ -1,0 +1,22 @@
+// Kernighan–Lin bisection heuristic (pair-swap passes with best-prefix
+// rollback), with random restarts. One of the baselines the paper's exact
+// machinery is compared against in bench_solvers.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "cut/bisection.hpp"
+
+namespace bfly::cut {
+
+struct KernighanLinOptions {
+  std::uint32_t restarts = 8;
+  std::uint32_t max_passes = 16;  ///< per restart
+  std::uint64_t seed = 0x6b6cu;  // "kl"
+};
+
+[[nodiscard]] CutResult min_bisection_kernighan_lin(
+    const Graph& g, const KernighanLinOptions& opts = {});
+
+}  // namespace bfly::cut

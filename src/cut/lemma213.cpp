@@ -1,0 +1,145 @@
+#include "cut/lemma213.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/partition.hpp"
+#include "cut/bisection.hpp"
+#include "cut/level_balance.hpp"
+#include "cut/mos_theory.hpp"
+#include "topology/mesh_of_stars.hpp"
+
+namespace bfly::cut {
+
+Lemma213Trace lemma213_chain(const topo::Butterfly& bf,
+                             const std::vector<std::uint8_t>& sides) {
+  const std::uint32_t n = bf.n();
+  const std::uint32_t d = bf.dims();
+  BFLY_CHECK(n >= 2 && n <= 16, "chain materializes B_{n^2}; keep n <= 16");
+
+  Lemma213Trace trace;
+  trace.input_capacity = cut_capacity(bf.graph(), sides);
+
+  // Step 1 — Lemma 2.12(1).
+  const auto lb = balance_some_level(bf, sides);
+  trace.level_cut_capacity = lb.capacity;
+  trace.bisected_level = lb.bisected_level;
+  BFLY_CHECK(trace.level_cut_capacity <= trace.input_capacity,
+             "level balancing increased capacity");
+
+  // Step 2 — lift through the Lemma 2.10 embedding (i = bisected level,
+  // j = log n) into B_{n^2}.
+  const topo::Butterfly guest(n * n);
+  const std::uint32_t D = 2 * d;
+  const std::uint32_t i = lb.bisected_level;
+  const auto host_image = [&](NodeId gv) {
+    const std::uint32_t w = guest.column(gv);
+    const std::uint32_t l = guest.level(gv);
+    const std::uint32_t top = i == 0 ? 0u : w >> (D - i);
+    const std::uint32_t bot =
+        (d - i) == 0 ? 0u : w & ((1u << (d - i)) - 1);
+    const std::uint32_t col = (top << (d - i)) | bot;
+    const std::uint32_t lvl = l < i ? l : (l <= i + d ? i : l - d);
+    return bf.node(col, lvl);
+  };
+  std::vector<std::uint8_t> lifted(guest.num_nodes());
+  for (NodeId gv = 0; gv < guest.num_nodes(); ++gv) {
+    lifted[gv] = lb.sides[host_image(gv)];
+  }
+  trace.lifted_capacity = cut_capacity(guest.graph(), lifted);
+  BFLY_CHECK(trace.lifted_capacity ==
+                 static_cast<std::size_t>(n) * trace.level_cut_capacity,
+             "lift did not multiply capacity by the congestion n");
+  // Property (5): level log n of the guest is bisected.
+  {
+    std::uint32_t cnt = 0;
+    for (std::uint32_t w = 0; w < n * n; ++w) {
+      cnt += lifted[guest.node(w, d)] == 0;
+    }
+    BFLY_CHECK(cnt == n * n / 2, "lifted cut does not bisect level log n");
+  }
+
+  // Step 3 — make every M1/M3 component preimage monochromatic, moving
+  // each to its cheaper side. Compactness (Lemma 2.9) promises this
+  // never increases capacity; we assert it.
+  const auto component_nodes_m1 = [&](std::uint32_t p) {
+    // Levels [0, d-1], columns with bottom d bits == p.
+    std::vector<NodeId> out;
+    for (std::uint32_t hi = 0; hi < n; ++hi) {
+      const std::uint32_t col = (hi << d) | p;
+      for (std::uint32_t lvl = 0; lvl < d; ++lvl) {
+        out.push_back(guest.node(col, lvl));
+      }
+    }
+    return out;
+  };
+  const auto component_nodes_m3 = [&](std::uint32_t q) {
+    // Levels [d+1, 2d], columns with top d bits == q.
+    std::vector<NodeId> out;
+    for (std::uint32_t lo = 0; lo < n; ++lo) {
+      const std::uint32_t col = (q << d) | lo;
+      for (std::uint32_t lvl = d + 1; lvl <= D; ++lvl) {
+        out.push_back(guest.node(col, lvl));
+      }
+    }
+    return out;
+  };
+  std::size_t current = trace.lifted_capacity;
+  const auto monochromatize = [&](const std::vector<NodeId>& comp) {
+    std::vector<std::uint8_t> to0 = lifted, to1 = lifted;
+    for (const NodeId v : comp) {
+      to0[v] = 0;
+      to1[v] = 1;
+    }
+    const std::size_t c0 = cut_capacity(guest.graph(), to0);
+    const std::size_t c1 = cut_capacity(guest.graph(), to1);
+    BFLY_CHECK(std::min(c0, c1) <= current,
+               "compactness violated (Lemma 2.9)");
+    if (c0 <= c1) {
+      lifted = std::move(to0);
+      current = c0;
+    } else {
+      lifted = std::move(to1);
+      current = c1;
+    }
+  };
+  for (std::uint32_t p = 0; p < n; ++p) {
+    monochromatize(component_nodes_m1(p));
+  }
+  for (std::uint32_t q = 0; q < n; ++q) {
+    monochromatize(component_nodes_m3(q));
+  }
+  trace.compacted_capacity = current;
+
+  // Step 4 — project onto MOS_{n,n} (Lemma 2.11 with j = k = n;
+  // congestion exactly 2).
+  const topo::MeshOfStars mos(n, n);
+  std::vector<std::uint8_t> mos_sides(mos.num_nodes());
+  for (std::uint32_t p = 0; p < n; ++p) {
+    mos_sides[mos.m1_node(p)] = lifted[component_nodes_m1(p).front()];
+  }
+  for (std::uint32_t q = 0; q < n; ++q) {
+    mos_sides[mos.m3_node(q)] = lifted[component_nodes_m3(q).front()];
+  }
+  for (std::uint32_t w = 0; w < n * n; ++w) {
+    const std::uint32_t p = w & (n - 1);
+    const std::uint32_t q = w >> d;
+    mos_sides[mos.m2_node(p, q)] = lifted[guest.node(w, d)];
+  }
+  trace.mos_capacity = cut_capacity(mos.graph(), mos_sides);
+  BFLY_CHECK(2 * trace.mos_capacity == trace.compacted_capacity,
+             "projection did not halve the capacity");
+  BFLY_CHECK(bisects_subset(mos_sides, mos.m2_nodes()),
+             "projected cut does not bisect M2");
+
+  trace.mos_optimum = mos_m2_bisection_value(n).capacity;
+  BFLY_CHECK(trace.mos_capacity >= trace.mos_optimum,
+             "projected cut beats the analytic MOS optimum");
+  // 2 BW(MOS)/n^2 <= C(input)/n  <=>  2 BW(MOS) <= n * C(input).
+  trace.chain_holds =
+      2 * trace.mos_optimum <=
+      static_cast<std::uint64_t>(n) * trace.input_capacity;
+  return trace;
+}
+
+}  // namespace bfly::cut

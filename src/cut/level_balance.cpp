@@ -1,0 +1,87 @@
+#include "cut/level_balance.hpp"
+
+#include "core/error.hpp"
+#include "core/partition.hpp"
+#include "cut/bisection.hpp"
+
+namespace bfly::cut {
+
+LevelBalanceResult balance_some_level(const topo::Butterfly& bf,
+                                      const std::vector<std::uint8_t>& sides) {
+  BFLY_CHECK(sides.size() == bf.num_nodes(), "side vector size mismatch");
+  BFLY_CHECK(is_bisection(sides), "input must be a bisection");
+  const std::uint32_t n = bf.n();
+  const std::uint32_t d = bf.dims();
+
+  Partition part(bf.graph(), sides);
+  LevelBalanceResult out;
+  out.moves = 0;
+
+  // Per-level side-0 counts.
+  std::vector<std::uint32_t> cnt(d + 1, 0);
+  for (std::uint32_t lvl = 0; lvl <= d; ++lvl) {
+    for (std::uint32_t w = 0; w < n; ++w) {
+      cnt[lvl] += part.side(bf.node(w, lvl)) == 0;
+    }
+  }
+
+  const auto find_bisected = [&]() -> std::int64_t {
+    for (std::uint32_t lvl = 0; lvl <= d; ++lvl) {
+      if (cnt[lvl] == n / 2) return lvl;
+    }
+    return -1;
+  };
+
+  std::int64_t done = find_bisected();
+  while (done < 0) {
+    // Locate an adjacent straddling pair (counts on both sides of n/2).
+    std::uint32_t b = d;  // boundary index
+    for (std::uint32_t i = 0; i < d; ++i) {
+      if ((cnt[i] < n / 2) != (cnt[i + 1] < n / 2)) {
+        b = i;
+        break;
+      }
+    }
+    BFLY_CHECK(b < d, "no straddling boundary despite imbalanced levels");
+    const std::uint32_t lo_lvl = cnt[b] < n / 2 ? b : b + 1;
+    const std::uint32_t hi_lvl = lo_lvl == b ? b + 1 : b;
+    const std::uint32_t mask = bf.cross_mask(b);
+
+    // Find a 4-cycle with fewer side-0 nodes on the deficient level.
+    bool moved = false;
+    for (std::uint32_t w = 0; w < n && !moved; ++w) {
+      if (w & mask) continue;  // enumerate each column pair once
+      const NodeId lo1 = bf.node(w, lo_lvl), lo2 = bf.node(w ^ mask, lo_lvl);
+      const NodeId hi1 = bf.node(w, hi_lvl), hi2 = bf.node(w ^ mask, hi_lvl);
+      const int a_lo = (part.side(lo1) == 0) + (part.side(lo2) == 0);
+      const int a_hi = (part.side(hi1) == 0) + (part.side(hi2) == 0);
+      if (a_lo >= a_hi) continue;
+      [[maybe_unused]] const std::size_t cap_before = part.cut_capacity();
+      if (a_hi == 2) {
+        // Both upper 4-cycle nodes in A: pull a lower non-A node in —
+        // its two boundary edges stop crossing; at most two on the other
+        // side start.
+        const NodeId v = part.side(lo1) != 0 ? lo1 : lo2;
+        part.move(v);
+        ++cnt[lo_lvl];
+      } else {
+        // a_lo == 0, a_hi == 1: push the upper A-node out.
+        const NodeId u = part.side(hi1) == 0 ? hi1 : hi2;
+        part.move(u);
+        --cnt[hi_lvl];
+      }
+      BFLY_ASSERT(part.cut_capacity() <= cap_before);
+      ++out.moves;
+      moved = true;
+    }
+    BFLY_CHECK(moved, "no eligible 4-cycle despite straddling counts");
+    done = find_bisected();
+  }
+
+  out.sides = part.sides();
+  out.capacity = part.cut_capacity();
+  out.bisected_level = static_cast<std::uint32_t>(done);
+  return out;
+}
+
+}  // namespace bfly::cut

@@ -1,0 +1,35 @@
+// Constructive Lemma 2.12(1): from any bisection of Bn, derive a cut of
+// no larger capacity that bisects some level L_i.
+//
+// The paper's proof picks a boundary where the per-level counts of A
+// straddle n/2 and uses the 4-cycle structure of boundary edges: in a
+// 4-cycle v-u-v'-u'-v with strictly more A-nodes on the upper level,
+// either both lower nodes are outside A (then moving one upper A-node
+// down-and-out removes two crossing edges and adds at most two) or both
+// upper nodes are in A (symmetrically, move a lower node in). Each move
+// shrinks the imbalance by one without increasing capacity, terminating
+// with a bisected level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly::cut {
+
+struct LevelBalanceResult {
+  std::vector<std::uint8_t> sides;
+  std::uint32_t bisected_level = 0;  ///< some L_i the output cut bisects
+  std::size_t capacity = 0;
+  std::size_t moves = 0;  ///< 4-cycle moves performed
+};
+
+/// Applies the Lemma 2.12(1) transformation. `sides` must be a bisection
+/// of Bn. The result satisfies capacity <= the input capacity and
+/// bisects level `bisected_level`.
+[[nodiscard]] LevelBalanceResult balance_some_level(
+    const topo::Butterfly& bf, const std::vector<std::uint8_t>& sides);
+
+}  // namespace bfly::cut

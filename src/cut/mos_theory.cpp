@@ -1,0 +1,151 @@
+#include "cut/mos_theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/partition.hpp"
+
+namespace bfly::cut {
+
+double mos_f(double x, double y) {
+  return x + y - std::min(1.0, 2.0 * x * y);
+}
+
+std::uint64_t mos_m2_cut_capacity(std::uint32_t j, std::uint32_t a,
+                                  std::uint32_t b) {
+  BFLY_CHECK(j >= 2 && j % 2 == 0, "j must be even and >= 2");
+  BFLY_CHECK(a <= j && b <= j, "side counts out of range");
+  const std::uint64_t J = j;
+  const std::uint64_t total = J * J;
+  const std::uint64_t half = total / 2;
+  // Monotonic length-2 paths by endpoint sides.
+  const std::uint64_t p_aa = static_cast<std::uint64_t>(a) * b;
+  const std::uint64_t p_bb =
+      static_cast<std::uint64_t>(j - a) * (j - b);
+  const std::uint64_t p_mix = total - p_aa - p_bb;
+  // Mixed paths cost one edge regardless of their middle node's side.
+  // Same-side paths cost 0 with the middle on that side, else 2. The M2
+  // bisection forces exactly `half` middles onto side A; if one same-side
+  // class exceeds `half`, the excess middles must defect at cost 2 each
+  // (both classes cannot exceed half simultaneously since they sum to at
+  // most total). Mixed middles balance for free.
+  std::uint64_t cap = p_mix;
+  if (p_aa > half) cap += 2 * (p_aa - half);
+  if (p_bb > half) cap += 2 * (p_bb - half);
+  return cap;
+}
+
+MosM2Bisection mos_m2_bisection_value(std::uint32_t j) {
+  BFLY_CHECK(j >= 2 && j % 2 == 0, "j must be even and >= 2");
+  MosM2Bisection best;
+  best.capacity = std::numeric_limits<std::uint64_t>::max();
+
+  const std::uint64_t half = static_cast<std::uint64_t>(j) * j / 2;
+  const auto consider = [&](std::uint32_t a, std::int64_t b_signed) {
+    if (b_signed < 0 || b_signed > j) return;
+    const auto b = static_cast<std::uint32_t>(b_signed);
+    const std::uint64_t cap = mos_m2_cut_capacity(j, a, b);
+    if (cap < best.capacity) {
+      best.capacity = cap;
+      best.a = a;
+      best.b = b;
+    }
+  };
+
+  // For fixed a, capacity is piecewise linear in b with kinks only where
+  // a*b or (j-a)*(j-b) crosses j^2/2; the minimum over b is attained at a
+  // kink or an endpoint.
+  for (std::uint32_t a = 0; a <= j; ++a) {
+    consider(a, 0);
+    consider(a, j);
+    if (a > 0) {
+      const std::int64_t b0 = static_cast<std::int64_t>(half / a);
+      consider(a, b0);
+      consider(a, b0 + 1);
+    }
+    const std::uint32_t ja = j - a;
+    if (ja > 0) {
+      const std::int64_t b1 =
+          static_cast<std::int64_t>(j) - static_cast<std::int64_t>(half / ja);
+      consider(a, b1);
+      consider(a, b1 - 1);
+    }
+  }
+  best.normalized = static_cast<double>(best.capacity) /
+                    (static_cast<double>(j) * static_cast<double>(j));
+  return best;
+}
+
+CutResult mos_m2_bisection_cut(const topo::MeshOfStars& mos) {
+  const std::uint32_t j = mos.j();
+  BFLY_CHECK(mos.k() == j, "mos_m2_bisection_cut needs a square mesh");
+  const auto opt = mos_m2_bisection_value(j);
+  const std::uint32_t a = opt.a, b = opt.b;
+  const std::uint64_t half = static_cast<std::uint64_t>(j) * j / 2;
+
+  std::vector<std::uint8_t> sides(mos.num_nodes(), 1);
+  for (std::uint32_t p = 0; p < a; ++p) sides[mos.m1_node(p)] = 0;
+  for (std::uint32_t q = a; q < j; ++q) sides[mos.m1_node(q)] = 1;
+  for (std::uint32_t p = 0; p < b; ++p) sides[mos.m3_node(p)] = 0;
+
+  // Middle nodes: same-side paths glue to their endpoints' side; mixed
+  // paths are free and fill whatever A (side 0) still needs. If A-A paths
+  // alone exceed half, part of them defects (cost 2 each) — exactly the
+  // accounting of mos_m2_cut_capacity.
+  const std::uint64_t p_aa = static_cast<std::uint64_t>(a) * b;
+  const std::uint64_t p_bb =
+      static_cast<std::uint64_t>(j - a) * (j - b);
+  std::uint64_t a_side_quota = half;  // middles that must end up on side 0
+
+  std::uint64_t aa_to_a = std::min<std::uint64_t>(p_aa, a_side_quota);
+  a_side_quota -= aa_to_a;
+  // Mixed middles available to fill side 0.
+  const std::uint64_t p_mix =
+      static_cast<std::uint64_t>(j) * j - p_aa - p_bb;
+  std::uint64_t mix_to_a = std::min<std::uint64_t>(p_mix, a_side_quota);
+  a_side_quota -= mix_to_a;
+  // If still short, B-B middles defect to side 0 (cost 2 each). Happens
+  // iff p_bb > half.
+  std::uint64_t bb_to_a = a_side_quota;
+  BFLY_CHECK(bb_to_a <= p_bb, "middle accounting violated");
+
+  for (std::uint32_t p = 0; p < j; ++p) {
+    for (std::uint32_t q = 0; q < j; ++q) {
+      const NodeId mid = mos.m2_node(p, q);
+      const bool end1_a = p < a;
+      const bool end3_a = q < b;
+      if (end1_a && end3_a) {
+        sides[mid] = aa_to_a > 0 ? (--aa_to_a, 0) : 1;
+      } else if (!end1_a && !end3_a) {
+        sides[mid] = bb_to_a > 0 ? (--bb_to_a, 0) : 1;
+      } else {
+        sides[mid] = mix_to_a > 0 ? (--mix_to_a, 0) : 1;
+      }
+    }
+  }
+
+  CutResult res;
+  res.capacity = cut_capacity(mos.graph(), sides);
+  res.sides = std::move(sides);
+  res.exactness = Exactness::kExact;
+  res.method = "mos-m2-bisection(a=" + std::to_string(a) +
+               ",b=" + std::to_string(b) + ")";
+  BFLY_CHECK(res.capacity == opt.capacity,
+             "constructed cut does not match the closed form");
+  return res;
+}
+
+double lemma216_upper_bound_coefficient(std::uint32_t j) {
+  const auto v = mos_m2_bisection_value(j);
+  return 2.0 * v.normalized + 4.0 / static_cast<double>(j);
+}
+
+std::uint64_t lemma216_min_log_n(std::uint32_t j) {
+  const std::uint64_t J = j;
+  return J * J * J + 2 * J - 1;
+}
+
+}  // namespace bfly::cut

@@ -1,0 +1,52 @@
+// Exact M2-bisection width of the mesh of stars (paper Section 2.2).
+//
+// Lemma 2.17 is an *equality*: among cuts of MOS_{j,j} that bisect M2 and
+// put a nodes of M1 and b nodes of M3 on side A, the minimum capacity has
+// the closed form implemented by mos_m2_cut_capacity. Minimizing it over
+// the integer (a, b) grid therefore computes BW(MOS_{j,j}, M2) exactly —
+// for any j, including sizes whose graphs could never be materialized.
+// Lemma 2.18/2.19: the normalized value converges to sqrt(2) - 1 from
+// above, which is the constant in the paper's headline Theorem 2.20.
+#pragma once
+
+#include <cstdint>
+
+#include "cut/bisection.hpp"
+#include "topology/mesh_of_stars.hpp"
+
+namespace bfly::cut {
+
+/// The paper's f(x, y) = x + y - min(1, 2xy) on D = {0<=x,y<=1, x+y>=1}
+/// (Lemma 2.17/2.18). Global minimum f(1/sqrt2, 1/sqrt2) = sqrt2 - 1.
+[[nodiscard]] double mos_f(double x, double y);
+
+/// Exact minimum capacity over cuts of MOS_{j,j} that bisect M2 with
+/// |A ∩ M1| = a and |A ∩ M3| = b. Requires j even (so j^2/2 is integral,
+/// as in Lemma 2.17).
+[[nodiscard]] std::uint64_t mos_m2_cut_capacity(std::uint32_t j,
+                                                std::uint32_t a,
+                                                std::uint32_t b);
+
+struct MosM2Bisection {
+  std::uint64_t capacity = 0;   ///< exact BW(MOS_{j,j}, M2)
+  std::uint32_t a = 0, b = 0;   ///< optimal |A ∩ M1|, |A ∩ M3|
+  double normalized = 0.0;      ///< capacity / j^2 — converges to sqrt2-1
+};
+
+/// Exact BW(MOS_{j,j}, M2) by minimizing the closed form over the integer
+/// grid. O(j) time: for fixed a the capacity is piecewise linear in b, so
+/// only hyperbola breakpoints and endpoints need evaluation.
+[[nodiscard]] MosM2Bisection mos_m2_bisection_value(std::uint32_t j);
+
+/// Constructs an actual side assignment of MOS_{j,j} achieving
+/// mos_m2_bisection_value (j = k = mos.j() even).
+[[nodiscard]] CutResult mos_m2_bisection_cut(const topo::MeshOfStars& mos);
+
+/// Lemma 2.16's upper-bound coefficient 2*BW(MOS_{j,j},M2)/j^2 + 4/j:
+/// BW(Bn)/n is at most this for any even j with j^3 + 2j - 1 <= log n.
+[[nodiscard]] double lemma216_upper_bound_coefficient(std::uint32_t j);
+
+/// Smallest log n for which Lemma 2.16 admits this j.
+[[nodiscard]] std::uint64_t lemma216_min_log_n(std::uint32_t j);
+
+}  // namespace bfly::cut

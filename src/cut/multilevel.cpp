@@ -1,0 +1,303 @@
+#include "cut/multilevel.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/partition.hpp"
+#include "core/rng.hpp"
+
+namespace bfly::cut {
+
+namespace {
+
+// One level of the multilevel hierarchy: a (multi)graph whose parallel
+// edges act as integer edge weights, integer node weights, and the map
+// from the finer level's nodes onto this one.
+struct Level {
+  Graph graph;
+  std::vector<std::uint32_t> node_weight;
+  std::vector<NodeId> parent;  // finer node -> this level's node
+};
+
+// Heavy-edge matching: visit nodes in random order; match each unmatched
+// node with the unmatched neighbor of maximum connection multiplicity.
+Level coarsen(const Graph& g, const std::vector<std::uint32_t>& weight,
+              Rng& rng) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  shuffle(order, rng);
+
+  std::vector<NodeId> mate(n, kInvalidNode);
+  std::vector<std::uint32_t> conn(n, 0);  // scratch: multiplicity to v
+  std::vector<NodeId> touched;
+  for (const NodeId v : order) {
+    if (mate[v] != kInvalidNode) continue;
+    touched.clear();
+    for (const NodeId u : g.neighbors(v)) {
+      if (mate[u] != kInvalidNode || u == v) continue;
+      if (conn[u] == 0) touched.push_back(u);
+      ++conn[u];
+    }
+    NodeId best = kInvalidNode;
+    std::uint32_t best_conn = 0;
+    for (const NodeId u : touched) {
+      if (conn[u] > best_conn) {
+        best_conn = conn[u];
+        best = u;
+      }
+      conn[u] = 0;
+    }
+    if (best != kInvalidNode) {
+      mate[v] = best;
+      mate[best] = v;
+    } else {
+      mate[v] = v;  // stays single
+    }
+  }
+
+  Level level;
+  level.parent.assign(n, kInvalidNode);
+  NodeId coarse_n = 0;
+  for (const NodeId v : order) {
+    if (level.parent[v] != kInvalidNode) continue;
+    const NodeId m = mate[v];
+    level.parent[v] = coarse_n;
+    level.parent[m] = coarse_n;  // m == v for singletons
+    ++coarse_n;
+  }
+  level.node_weight.assign(coarse_n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    level.node_weight[level.parent[v]] += weight[v];
+  }
+  GraphBuilder gb(coarse_n);
+  for (const auto& [a, b] : g.edges()) {
+    const NodeId ca = level.parent[a], cb = level.parent[b];
+    if (ca != cb) gb.add_edge(ca, cb);  // parallels accumulate as weight
+  }
+  level.graph = std::move(gb).build();
+  return level;
+}
+
+// Weighted FM pass with best-balanced-prefix rollback. Balance: both
+// side weights within ceil(W/2) + slack, where slack is the heaviest
+// node (coarse nodes cannot split).
+bool weighted_fm_pass(const Graph& g,
+                      const std::vector<std::uint32_t>& weight,
+                      std::vector<std::uint8_t>& sides,
+                      std::uint64_t slack) {
+  const NodeId n = g.num_nodes();
+  std::uint64_t total = 0, w0 = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    total += weight[v];
+    if (sides[v] == 0) w0 += weight[v];
+  }
+  const std::uint64_t cap = (total + 1) / 2 + slack;
+
+  const auto gain = [&](NodeId v) {
+    std::int64_t cross = 0, same = 0;
+    for (const NodeId u : g.neighbors(v)) {
+      (sides[u] == sides[v] ? same : cross) += 1;
+    }
+    return cross - same;
+  };
+
+  std::size_t cut = cut_capacity(g, sides);
+  const std::size_t start_cut = cut;
+
+  using Entry = std::pair<std::int64_t, NodeId>;
+  std::priority_queue<Entry> pq[2];
+  std::vector<std::uint8_t> locked(n, 0);
+  for (NodeId v = 0; v < n; ++v) pq[sides[v]].emplace(gain(v), v);
+
+  std::vector<NodeId> moves;
+  const auto balanced = [&] {
+    return w0 <= cap && (total - w0) <= cap;
+  };
+  const bool start_balanced = balanced();
+  std::size_t best_cut =
+      start_balanced ? cut : std::numeric_limits<std::size_t>::max();
+  std::size_t best_prefix = 0;
+  bool found_balanced_prefix = false;
+
+  for (NodeId step = 0; step < n; ++step) {
+    const int from = w0 >= total - w0 ? 0 : 1;
+    NodeId v = kInvalidNode;
+    int side_used = from;
+    for (int attempt = 0; attempt < 2 && v == kInvalidNode; ++attempt) {
+      auto& q = pq[side_used];
+      while (!q.empty()) {
+        const auto [gn, cand] = q.top();
+        if (locked[cand] || sides[cand] != side_used) {
+          q.pop();
+          continue;
+        }
+        if (gn != gain(cand)) {
+          q.pop();
+          q.emplace(gain(cand), cand);
+          continue;
+        }
+        v = cand;
+        break;
+      }
+      if (v == kInvalidNode) side_used = 1 - side_used;
+    }
+    if (v == kInvalidNode) break;
+    pq[side_used].pop();
+    cut = static_cast<std::size_t>(
+        static_cast<std::int64_t>(cut) - gain(v));
+    if (sides[v] == 0) {
+      w0 -= weight[v];
+    } else {
+      w0 += weight[v];
+    }
+    sides[v] ^= 1;
+    locked[v] = 1;
+    moves.push_back(v);
+    for (const NodeId u : g.neighbors(v)) {
+      if (!locked[u]) pq[sides[u]].emplace(gain(u), u);
+    }
+    if (balanced() && cut < best_cut) {
+      best_cut = cut;
+      best_prefix = moves.size();
+      found_balanced_prefix = true;
+    }
+  }
+
+  // Keep the best balanced prefix. From a balanced start we only accept
+  // strict improvements; from an unbalanced start any balanced prefix is
+  // progress even if the cut grew.
+  const bool keep = start_balanced ? (found_balanced_prefix &&
+                                      best_cut < start_cut)
+                                   : found_balanced_prefix;
+  const std::size_t prefix = keep ? best_prefix : 0;
+  for (std::size_t i = moves.size(); i > prefix; --i) {
+    sides[moves[i - 1]] ^= 1;
+  }
+  return keep;
+}
+
+// Greedy region growing on the coarsest graph: BFS from a random seed,
+// absorbing nodes until half the total weight is reached.
+std::vector<std::uint8_t> grow_initial(const Graph& g,
+                                       const std::vector<std::uint32_t>& w,
+                                       Rng& rng) {
+  const NodeId n = g.num_nodes();
+  std::uint64_t total = 0;
+  for (const auto x : w) total += x;
+
+  std::vector<std::uint8_t> sides(n, 1);
+  std::vector<std::uint8_t> seen(n, 0);
+  std::queue<NodeId> q;
+  const NodeId seed = static_cast<NodeId>(rng.below(n));
+  q.push(seed);
+  seen[seed] = 1;
+  std::uint64_t grown = 0;
+  while (!q.empty() && grown * 2 < total) {
+    const NodeId v = q.front();
+    q.pop();
+    sides[v] = 0;
+    grown += w[v];
+    for (const NodeId u : g.neighbors(v)) {
+      if (!seen[u]) {
+        seen[u] = 1;
+        q.push(u);
+      }
+    }
+  }
+  return sides;
+}
+
+}  // namespace
+
+CutResult min_bisection_multilevel(const Graph& g,
+                                   const MultilevelOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(n >= 2, "bisection needs at least two nodes");
+  Rng rng(opts.seed);
+
+  CutResult best;
+  best.capacity = std::numeric_limits<std::size_t>::max();
+  best.exactness = Exactness::kHeuristic;
+  best.method = "multilevel";
+
+  for (std::uint32_t cycle = 0; cycle < std::max(1u, opts.cycles); ++cycle) {
+    // --- coarsen ---------------------------------------------------
+    std::vector<Level> hierarchy;
+    const Graph* cur = &g;
+    std::vector<std::uint32_t> cur_weight(n, 1);
+    while (cur->num_nodes() > opts.coarsen_to) {
+      Level level = coarsen(*cur, cur_weight, rng);
+      if (level.graph.num_nodes() == cur->num_nodes()) break;  // stuck
+      cur_weight = level.node_weight;
+      hierarchy.push_back(std::move(level));
+      cur = &hierarchy.back().graph;
+    }
+
+    // --- initial partition on the coarsest graph -------------------
+    const Graph& coarsest = hierarchy.empty() ? g : hierarchy.back().graph;
+    if (hierarchy.empty()) cur_weight.assign(n, 1);
+    const std::vector<std::uint32_t>& cw = cur_weight;
+    const std::uint32_t max_w = *std::max_element(cw.begin(), cw.end());
+
+    std::vector<std::uint8_t> sides;
+    std::size_t sides_cut = std::numeric_limits<std::size_t>::max();
+    for (std::uint32_t t = 0; t < std::max(1u, opts.initial_tries); ++t) {
+      auto cand = grow_initial(coarsest, cw, rng);
+      for (std::uint32_t p = 0; p < opts.refine_passes; ++p) {
+        if (!weighted_fm_pass(coarsest, cw, cand, max_w)) break;
+      }
+      const std::size_t c = cut_capacity(coarsest, cand);
+      if (c < sides_cut) {
+        sides_cut = c;
+        sides = std::move(cand);
+      }
+    }
+
+    // --- uncoarsen + refine ----------------------------------------
+    for (std::size_t lev = hierarchy.size(); lev-- > 0;) {
+      const Level& level = hierarchy[lev];
+      const Graph& fine =
+          lev == 0 ? g : hierarchy[lev - 1].graph;
+      std::vector<std::uint8_t> fine_sides(fine.num_nodes());
+      for (NodeId v = 0; v < fine.num_nodes(); ++v) {
+        fine_sides[v] = sides[level.parent[v]];
+      }
+      std::vector<std::uint32_t> fine_weight(fine.num_nodes(), 1);
+      if (lev != 0) fine_weight = hierarchy[lev - 1].node_weight;
+      const std::uint32_t fine_max =
+          *std::max_element(fine_weight.begin(), fine_weight.end());
+      const std::uint64_t slack = lev == 0 ? 0 : fine_max;
+      for (std::uint32_t p = 0; p < opts.refine_passes; ++p) {
+        if (!weighted_fm_pass(fine, fine_weight, fine_sides, slack)) break;
+      }
+      sides = std::move(fine_sides);
+    }
+
+    // At the finest level all weights are 1, so balance means a genuine
+    // bisection; run a final strict pass if needed.
+    if (!is_bisection(sides)) {
+      std::vector<std::uint32_t> unit(n, 1);
+      for (std::uint32_t p = 0; p < opts.refine_passes; ++p) {
+        weighted_fm_pass(g, unit, sides, 0);
+        if (is_bisection(sides)) break;
+      }
+    }
+    if (is_bisection(sides)) {
+      const std::size_t c = cut_capacity(g, sides);
+      if (c < best.capacity) {
+        best.capacity = c;
+        best.sides = sides;
+      }
+    }
+  }
+  BFLY_CHECK(!best.sides.empty(),
+             "multilevel failed to produce a bisection");
+  return best;
+}
+
+}  // namespace bfly::cut

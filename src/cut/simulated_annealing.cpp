@@ -1,0 +1,77 @@
+#include "cut/simulated_annealing.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/partition.hpp"
+#include "core/rng.hpp"
+
+namespace bfly::cut {
+
+CutResult min_bisection_simulated_annealing(
+    const Graph& g, const SimulatedAnnealingOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(n >= 2, "bisection needs at least two nodes");
+  Rng rng(opts.seed);
+
+  const std::uint32_t steps = opts.steps_per_temperature == 0
+                                  ? 8 * n
+                                  : opts.steps_per_temperature;
+  const double t0 = opts.initial_temperature == 0.0
+                        ? static_cast<double>(g.max_degree())
+                        : opts.initial_temperature;
+
+  CutResult best;
+  best.capacity = std::numeric_limits<std::size_t>::max();
+  best.exactness = Exactness::kHeuristic;
+  best.method = "simulated-annealing";
+
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+
+  for (std::uint32_t r = 0; r < std::max(1u, opts.restarts); ++r) {
+    shuffle(perm, rng);
+    std::vector<std::uint8_t> sides(n, 0);
+    for (NodeId i = n / 2; i < n; ++i) sides[perm[i]] = 1;
+    Partition part(g, sides);
+
+    // Maintain per-side node lists for O(1) random cross-pair picks; the
+    // lists track positions so swaps stay O(1).
+    std::vector<NodeId> side_nodes[2];
+    for (const NodeId v : perm) side_nodes[part.side(v)].push_back(v);
+
+    for (double temp = t0; temp > opts.final_temperature;
+         temp *= opts.cooling) {
+      for (std::uint32_t s = 0; s < steps; ++s) {
+        auto& s0 = side_nodes[0];
+        auto& s1 = side_nodes[1];
+        const std::size_t i0 = rng.below(s0.size());
+        const std::size_t i1 = rng.below(s1.size());
+        const NodeId u = s0[i0];
+        const NodeId v = s1[i1];
+        const std::int64_t w =
+            static_cast<std::int64_t>(g.edge_multiplicity(u, v));
+        const std::int64_t delta = -(part.gain(u) + part.gain(v) - 2 * w);
+        if (delta <= 0 ||
+            rng.uniform() < std::exp(-static_cast<double>(delta) / temp)) {
+          part.swap_across(u, v);
+          std::swap(s0[i0], s1[i1]);
+        }
+      }
+      if (part.cut_capacity() < best.capacity && part.is_bisection()) {
+        best.capacity = part.cut_capacity();
+        best.sides = part.sides();
+      }
+    }
+    if (part.cut_capacity() < best.capacity && part.is_bisection()) {
+      best.capacity = part.cut_capacity();
+      best.sides = part.sides();
+    }
+  }
+  return best;
+}
+
+}  // namespace bfly::cut

@@ -1,0 +1,25 @@
+// Simulated-annealing bisection: balance-preserving cross swaps under a
+// geometric cooling schedule, with restarts. A deliberately generic
+// baseline against the paper's structure-aware constructions.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "cut/bisection.hpp"
+
+namespace bfly::cut {
+
+struct SimulatedAnnealingOptions {
+  std::uint32_t restarts = 4;
+  std::uint32_t steps_per_temperature = 0;  ///< 0 = 8 * num_nodes
+  double initial_temperature = 0.0;         ///< 0 = max_degree
+  double final_temperature = 0.05;
+  double cooling = 0.95;
+  std::uint64_t seed = 0x5au;  // "sa"
+};
+
+[[nodiscard]] CutResult min_bisection_simulated_annealing(
+    const Graph& g, const SimulatedAnnealingOptions& opts = {});
+
+}  // namespace bfly::cut

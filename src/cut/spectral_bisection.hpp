@@ -1,0 +1,20 @@
+// Spectral bisection: split at the median of the Fiedler vector,
+// optionally polished by FM refinement.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "cut/bisection.hpp"
+
+namespace bfly::cut {
+
+struct SpectralBisectionOptions {
+  bool refine = true;  ///< run FM passes on the spectral split
+  std::uint64_t seed = 0x5bec7ull;
+};
+
+[[nodiscard]] CutResult min_bisection_spectral(
+    const Graph& g, const SpectralBisectionOptions& opts = {});
+
+}  // namespace bfly::cut

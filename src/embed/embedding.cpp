@@ -1,0 +1,71 @@
+#include "embed/embedding.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace bfly::embed {
+
+EmbeddingMetrics measure_embedding(const Graph& guest, const Graph& host,
+                                   const Embedding& e) {
+  BFLY_CHECK(e.node_map.size() == guest.num_nodes(),
+             "node map must cover every guest node");
+  BFLY_CHECK(e.paths.size() == guest.num_edges(),
+             "paths must cover every guest edge");
+
+  EmbeddingMetrics m;
+
+  // Load.
+  std::vector<std::size_t> load(host.num_nodes(), 0);
+  for (const NodeId h : e.node_map) {
+    BFLY_CHECK(h < host.num_nodes(), "node map target out of range");
+    ++load[h];
+  }
+  m.load = *std::max_element(load.begin(), load.end());
+
+  // Path validity, dilation, and per-connection use counts.
+  std::unordered_map<std::uint64_t, std::size_t> use;
+  const auto key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  for (EdgeId ge = 0; ge < guest.num_edges(); ++ge) {
+    const auto& path = e.paths[ge];
+    BFLY_CHECK(!path.empty(), "empty path");
+    const auto [gu, gv] = guest.edge(ge);
+    const NodeId a = e.node_map[gu];
+    const NodeId b = e.node_map[gv];
+    const bool forward = path.front() == a && path.back() == b;
+    const bool backward = path.front() == b && path.back() == a;
+    BFLY_CHECK(forward || backward,
+               "path endpoints do not match the guest edge");
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      BFLY_CHECK(host.has_edge(path[i], path[i + 1]),
+                 "path step is not a host edge");
+      ++use[key(path[i], path[i + 1])];
+    }
+    m.dilation = std::max(m.dilation, path.size() - 1);
+  }
+
+  // Congestion, pooling parallel host edges.
+  m.edge_use.assign(host.num_edges(), 0);
+  for (const auto& [k, cnt] : use) {
+    const auto u = static_cast<NodeId>(k >> 32);
+    const auto v = static_cast<NodeId>(k & 0xffffffffu);
+    const std::size_t mult = host.edge_multiplicity(u, v);
+    const std::size_t per_edge = (cnt + mult - 1) / mult;
+    m.congestion = std::max(m.congestion, per_edge);
+    // Record on the first matching edge id for reporting.
+    for (const EdgeId he : host.incident_edges(u)) {
+      const auto [x, y] = host.edge(he);
+      if ((x == u && y == v) || (x == v && y == u)) {
+        m.edge_use[he] = cnt;
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace bfly::embed

@@ -1,0 +1,48 @@
+// Network embeddings (paper Section 1.4).
+//
+// An embedding maps guest nodes to host nodes and guest edges to host
+// paths. Its load is the max number of guest nodes on one host node, its
+// congestion the max number of paths through one host edge, its dilation
+// the longest path length. The paper derives all its lower bounds on
+// bisection width and expansion from embeddings of complete graphs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::embed {
+
+struct Embedding {
+  /// Host image of each guest node.
+  std::vector<NodeId> node_map;
+  /// Host path (inclusive node sequence) of each guest edge, indexed by
+  /// guest edge id. A path must start/end at the mapped endpoints (in
+  /// either order) and follow host edges.
+  std::vector<std::vector<NodeId>> paths;
+};
+
+struct EmbeddingMetrics {
+  std::size_t load = 0;
+  std::size_t congestion = 0;
+  std::size_t dilation = 0;
+  /// Congestion per host edge pair {u,v} (parallel host edges are pooled),
+  /// indexed like host adjacency; exposed for the lower-bound calculators.
+  std::vector<std::size_t> edge_use;  ///< indexed by host edge id of the
+                                      ///< first parallel edge
+};
+
+/// Validates the embedding (every path connects its guest edge's mapped
+/// endpoints through genuine host edges) and measures load, congestion,
+/// and dilation. Throws PreconditionError on malformed embeddings.
+///
+/// Congestion counting pools parallel host edges: a {u,v} host connection
+/// of multiplicity m counts ceil(use / m) toward the congestion, matching
+/// the capacity interpretation.
+[[nodiscard]] EmbeddingMetrics measure_embedding(const Graph& guest,
+                                                 const Graph& host,
+                                                 const Embedding& e);
+
+}  // namespace bfly::embed

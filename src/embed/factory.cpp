@@ -1,0 +1,377 @@
+#include "embed/factory.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+#include "topology/benes.hpp"
+#include "topology/complete.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/mesh_of_stars.hpp"
+
+namespace bfly::embed {
+
+namespace {
+
+// Straight walk within one column of a leveled network, from level `from`
+// to level `to`, appended to `path` (excluding the node at `from`,
+// which the caller already appended). Steps of +-1; `wrap` applies mod-d
+// arithmetic going downward only for the wrapped monotonic segments,
+// which never occur here (segments 1 and 3 move strictly within 0..d).
+template <typename Net>
+void walk_column(const Net& net, std::uint32_t col, std::uint32_t from,
+                 std::uint32_t to, std::vector<NodeId>& path) {
+  while (from != to) {
+    from = to > from ? from + 1 : from - 1;
+    path.push_back(net.node(col, from));
+  }
+}
+
+}  // namespace
+
+EmbeddingCase knn_into_bn(const topo::Butterfly& bf) {
+  const std::uint32_t n = bf.n();
+  EmbeddingCase out;
+  out.name = "K_{n,n}->Bn (Lemma 3.1)";
+  out.guest = topo::complete_bipartite(n, n);
+  out.host = bf.graph();
+  out.emb.node_map.resize(out.guest.num_nodes());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.emb.node_map[i] = bf.node(i, 0);            // left side -> inputs
+    out.emb.node_map[n + i] = bf.node(i, bf.dims());  // right -> outputs
+  }
+  out.emb.paths.reserve(out.guest.num_edges());
+  for (EdgeId e = 0; e < out.guest.num_edges(); ++e) {
+    const auto [u, v] = out.guest.edge(e);  // u < n <= v
+    out.emb.paths.push_back(bf.monotonic_path(u, v - n));
+  }
+  return out;
+}
+
+EmbeddingCase kn_into_wn(const topo::WrappedButterfly& wb) {
+  const std::uint32_t n = wb.n();
+  const std::uint32_t d = wb.dims();
+  EmbeddingCase out;
+  out.name = "K_N->Wn (Theorem 4.3)";
+  out.guest = topo::complete_graph(wb.num_nodes());
+  out.host = wb.graph();
+  out.emb.node_map.resize(out.guest.num_nodes());
+  for (NodeId v = 0; v < out.guest.num_nodes(); ++v) {
+    out.emb.node_map[v] = v;  // identity (same id layout)
+  }
+  out.emb.paths.reserve(out.guest.num_edges());
+  for (EdgeId e = 0; e < out.guest.num_edges(); ++e) {
+    const auto [gu, gv] = out.guest.edge(e);
+    const std::uint32_t wu = wb.column(gu), lu = wb.level(gu);
+    const std::uint32_t wv = wb.column(gv), lv = wb.level(gv);
+    std::vector<NodeId> path;
+    path.push_back(wb.node(wu, lu));
+    // Segment 1: up column wu to level 0.
+    walk_column(wb, wu, lu, 0, path);
+    // Segment 2: monotonic length-d walk correcting bits toward wv, in
+    // increasing level order, ending back on level 0 (== level d).
+    for (std::uint32_t step = 1; step <= d; ++step) {
+      const std::uint32_t high_mask =
+          step == d ? n - 1 : (~((1u << (d - step)) - 1)) & (n - 1);
+      const std::uint32_t col = (wv & high_mask) | (wu & ~high_mask & (n - 1));
+      path.push_back(wb.node(col, step % d));
+    }
+    // Segment 3: down column wv in decreasing level order to lv.
+    if (lv != 0) {
+      for (std::uint32_t lvl = d - 1; lvl >= lv; --lvl) {
+        path.push_back(wb.node(wv, lvl));
+        if (lvl == lv) break;
+      }
+    }
+    out.emb.paths.push_back(std::move(path));
+  }
+  return out;
+}
+
+EmbeddingCase kn_into_bn(const topo::Butterfly& bf) {
+  const std::uint32_t d = bf.dims();
+  EmbeddingCase out;
+  out.name = "K_N->Bn (Section 4.2)";
+  out.guest = topo::complete_graph(bf.num_nodes());
+  out.host = bf.graph();
+  out.emb.node_map.resize(out.guest.num_nodes());
+  for (NodeId v = 0; v < out.guest.num_nodes(); ++v) {
+    out.emb.node_map[v] = v;
+  }
+  out.emb.paths.reserve(out.guest.num_edges());
+  for (EdgeId e = 0; e < out.guest.num_edges(); ++e) {
+    const auto [gu, gv] = out.guest.edge(e);
+    const std::uint32_t wu = bf.column(gu), lu = bf.level(gu);
+    const std::uint32_t wv = bf.column(gv), lv = bf.level(gv);
+    std::vector<NodeId> path;
+    path.push_back(bf.node(wu, lu));
+    walk_column(bf, wu, lu, 0, path);  // up to level 0
+    const auto mono = bf.monotonic_path(wu, wv);
+    path.insert(path.end(), mono.begin() + 1, mono.end());  // to <wv, d>
+    walk_column(bf, wv, d, lv, path);  // back up to lv
+    out.emb.paths.push_back(std::move(path));
+  }
+  return out;
+}
+
+EmbeddingCase k2n_into_bn(const topo::Butterfly& bf) {
+  const std::uint32_t d = bf.dims();
+  EmbeddingCase out;
+  out.name = "2K_N->Bn (Section 1.4)";
+  out.guest = topo::complete_graph(bf.num_nodes(), 2);
+  out.host = bf.graph();
+  out.emb.node_map.resize(out.guest.num_nodes());
+  for (NodeId v = 0; v < out.guest.num_nodes(); ++v) {
+    out.emb.node_map[v] = v;
+  }
+  // complete_graph(N, 2) lays the two copies of each pair out
+  // consecutively, so even guest-edge ids take the level-0 route and odd
+  // ids the mirrored level-log n route.
+  out.emb.paths.reserve(out.guest.num_edges());
+  for (EdgeId e = 0; e < out.guest.num_edges(); ++e) {
+    const auto [gu, gv] = out.guest.edge(e);
+    const std::uint32_t wu = bf.column(gu), lu = bf.level(gu);
+    const std::uint32_t wv = bf.column(gv), lv = bf.level(gv);
+    std::vector<NodeId> path;
+    path.push_back(bf.node(wu, lu));
+    if (e % 2 == 0) {
+      // Copy 1: up to level 0, monotone descent, up to lv.
+      walk_column(bf, wu, lu, 0, path);
+      const auto mono = bf.monotonic_path(wu, wv);
+      path.insert(path.end(), mono.begin() + 1, mono.end());
+      walk_column(bf, wv, d, lv, path);
+    } else {
+      // Copy 2: down to level log n, monotone ascent, down to lv.
+      walk_column(bf, wu, lu, d, path);
+      auto mono = bf.monotonic_path(wv, wu);  // <wv,0> .. <wu,d>
+      std::reverse(mono.begin(), mono.end());
+      path.insert(path.end(), mono.begin() + 1, mono.end());
+      walk_column(bf, wv, 0, lv, path);
+    }
+    out.emb.paths.push_back(std::move(path));
+  }
+  return out;
+}
+
+EmbeddingCase benes_into_bn(const topo::Butterfly& bf) {
+  const std::uint32_t d = bf.dims();
+  BFLY_CHECK(d >= 2, "need log n >= 2 to fold a Benes into Bn");
+  const std::uint32_t D = d - 1;
+  const topo::Benes benes(bf.n() / 2);
+
+  EmbeddingCase out;
+  out.name = "Benes_{d-1}->Bn (Lemma 2.5)";
+  out.guest = benes.graph();
+  out.host = bf.graph();
+
+  // Node map: first half <x, l> -> <x0, l>; second half -> <x1, 2D-l>.
+  const auto image = [&](NodeId g) {
+    const std::uint32_t x = benes.column(g);
+    const std::uint32_t l = benes.level(g);
+    if (l <= D) return bf.node(x << 1, l);
+    return bf.node((x << 1) | 1u, 2 * D - l);
+  };
+  out.emb.node_map.resize(out.guest.num_nodes());
+  for (NodeId g = 0; g < out.guest.num_nodes(); ++g) {
+    out.emb.node_map[g] = image(g);
+  }
+
+  out.emb.paths.reserve(out.guest.num_edges());
+  for (EdgeId e = 0; e < out.guest.num_edges(); ++e) {
+    auto [ga, gb] = out.guest.edge(e);
+    if (benes.level(ga) > benes.level(gb)) std::swap(ga, gb);
+    const std::uint32_t b = benes.level(ga);  // guest boundary index
+    std::vector<NodeId> path;
+    if (b != D) {
+      // Dilation-1 edges: both halves map boundary-aligned.
+      path = {image(ga), image(gb)};
+    } else {
+      // Middle boundary: three-hop fold through level d (dilation 3).
+      const std::uint32_t x0 = benes.column(ga) << 1;
+      const std::uint32_t x1 = x0 | 1u;
+      const bool straight = benes.column(ga) == benes.column(gb);
+      if (straight) {
+        // <x0,d-1> -s-> <x0,d> -c-> <x1,d-1> -s-> <x1,d-2>
+        path = {bf.node(x0, d - 1), bf.node(x0, d), bf.node(x1, d - 1),
+                bf.node(x1, d - 2)};
+      } else {
+        // <x0,d-1> -c-> <x1,d> -s-> <x1,d-1> -c-> <x'1,d-2>
+        const std::uint32_t xp1 = (benes.column(gb) << 1) | 1u;
+        path = {bf.node(x0, d - 1), bf.node(x1, d), bf.node(x1, d - 1),
+                bf.node(xp1, d - 2)};
+      }
+    }
+    out.emb.paths.push_back(std::move(path));
+  }
+  return out;
+}
+
+EmbeddingCase bk_into_bn(const topo::Butterfly& bf, std::uint32_t i,
+                         std::uint32_t j) {
+  const std::uint32_t d = bf.dims();
+  BFLY_CHECK(i <= d, "collapse level out of range");
+  BFLY_CHECK(d + j < 26, "guest butterfly too large");
+  const topo::Butterfly guest_bf(bf.n() << j);
+  const std::uint32_t D = d + j;
+
+  EmbeddingCase out;
+  out.name = "B_{n2^j}->Bn (Lemma 2.10)";
+  out.guest = guest_bf.graph();
+  out.host = bf.graph();
+
+  const auto image = [&](NodeId g) {
+    const std::uint32_t w = guest_bf.column(g);
+    const std::uint32_t l = guest_bf.level(g);
+    const std::uint32_t top = i == 0 ? 0u : w >> (D - i);
+    const std::uint32_t bot =
+        (d - i) == 0 ? 0u : w & ((1u << (d - i)) - 1);
+    const std::uint32_t col = (top << (d - i)) | bot;
+    std::uint32_t lvl;
+    if (l < i) {
+      lvl = l;
+    } else if (l <= i + j) {
+      lvl = i;
+    } else {
+      lvl = l - j;
+    }
+    return bf.node(col, lvl);
+  };
+  out.emb.node_map.resize(out.guest.num_nodes());
+  for (NodeId g = 0; g < out.guest.num_nodes(); ++g) {
+    out.emb.node_map[g] = image(g);
+  }
+  out.emb.paths.reserve(out.guest.num_edges());
+  for (EdgeId e = 0; e < out.guest.num_edges(); ++e) {
+    const auto [ga, gb] = out.guest.edge(e);
+    const NodeId ha = image(ga), hb = image(gb);
+    if (ha == hb) {
+      out.emb.paths.push_back({ha});  // collapsed inside the band
+    } else {
+      out.emb.paths.push_back({ha, hb});  // dilation 1
+    }
+  }
+  return out;
+}
+
+EmbeddingCase bn_into_mos(const topo::Butterfly& bf, std::uint32_t j,
+                          std::uint32_t k) {
+  const std::uint32_t d = bf.dims();
+  BFLY_CHECK(is_pow2(j) && is_pow2(k), "j and k must be powers of two");
+  const std::uint32_t tj = log2_exact(j);
+  const std::uint32_t tk = log2_exact(k);
+  BFLY_CHECK(tj + tk <= d, "jk must divide n");
+  const topo::MeshOfStars mos(j, k);
+
+  EmbeddingCase out;
+  out.name = "Bn->MOS (Lemma 2.11)";
+  out.guest = bf.graph();
+  out.host = mos.graph();
+
+  const auto image = [&](NodeId g) {
+    const std::uint32_t col = bf.column(g);
+    const std::uint32_t lvl = bf.level(g);
+    const std::uint32_t p = col & (j - 1);   // M1 index (bottom log j bits)
+    const std::uint32_t q = col >> (d - tk);  // M3 index (top log k bits)
+    if (lvl < tk) return mos.m1_node(p);
+    if (lvl > d - tj) return mos.m3_node(q);
+    return mos.m2_node(p, q);
+  };
+  out.emb.node_map.resize(out.guest.num_nodes());
+  for (NodeId g = 0; g < out.guest.num_nodes(); ++g) {
+    out.emb.node_map[g] = image(g);
+  }
+  out.emb.paths.reserve(out.guest.num_edges());
+  for (EdgeId e = 0; e < out.guest.num_edges(); ++e) {
+    const auto [ga, gb] = out.guest.edge(e);
+    const NodeId ha = image(ga), hb = image(gb);
+    if (ha == hb) {
+      out.emb.paths.push_back({ha});
+    } else {
+      out.emb.paths.push_back({ha, hb});  // dilation 1 (Lemma 2.11(1))
+    }
+  }
+  return out;
+}
+
+EmbeddingCase wn_into_ccc(const topo::CubeConnectedCycles& cc) {
+  const std::uint32_t n = cc.n();
+  const std::uint32_t d = cc.dims();
+  const topo::WrappedButterfly wb(n);
+
+  EmbeddingCase out;
+  out.name = "Wn->CCCn (Lemma 3.3)";
+  out.guest = wb.graph();
+  out.host = cc.graph();
+  out.emb.node_map.resize(out.guest.num_nodes());
+  for (NodeId g = 0; g < out.guest.num_nodes(); ++g) {
+    out.emb.node_map[g] = cc.node(wb.column(g), wb.level(g));
+  }
+  out.emb.paths.reserve(out.guest.num_edges());
+  // Orientation check: ga at level i, gb one level up, and (for cross
+  // edges) the column difference matching boundary i's mask. With
+  // log n = 2 both orientations are level-adjacent, so the mask test is
+  // what disambiguates.
+  const auto oriented = [&](NodeId x, NodeId y) {
+    if ((wb.level(x) + 1) % d != wb.level(y)) return false;
+    if (wb.column(x) == wb.column(y)) return true;
+    return (wb.column(x) ^ wb.column(y)) == wb.cross_mask(wb.level(x));
+  };
+  for (EdgeId e = 0; e < out.guest.num_edges(); ++e) {
+    auto [ga, gb] = out.guest.edge(e);
+    if (!oriented(ga, gb)) std::swap(ga, gb);
+    BFLY_ASSERT(oriented(ga, gb));
+    const std::uint32_t i = wb.level(ga);
+    const std::uint32_t wa = wb.column(ga), wc = wb.column(gb);
+    if (wa == wc) {
+      // Straight edge -> the corresponding cycle edge.
+      out.emb.paths.push_back({cc.node(wa, i), cc.node(wa, (i + 1) % d)});
+    } else {
+      // Cross edge -> cube edge at position i, then a cycle edge.
+      out.emb.paths.push_back({cc.node(wa, i), cc.node(wc, i),
+                               cc.node(wc, (i + 1) % d)});
+    }
+  }
+  return out;
+}
+
+EmbeddingCase bn_into_hypercube(const topo::Butterfly& bf) {
+  const std::uint32_t d = bf.dims();
+  std::uint32_t level_bits = 1;
+  while ((1u << level_bits) < d + 1) ++level_bits;
+
+  const topo::Hypercube q(d + level_bits);
+
+  EmbeddingCase out;
+  out.name = "Bn->hypercube (Section 1.5)";
+  out.guest = bf.graph();
+  out.host = q.graph();
+
+  const auto gray = [](std::uint32_t i) { return i ^ (i >> 1); };
+  const auto image = [&](NodeId g) {
+    return static_cast<NodeId>((bf.column(g) << level_bits) |
+                               gray(bf.level(g)));
+  };
+  out.emb.node_map.resize(out.guest.num_nodes());
+  for (NodeId g = 0; g < out.guest.num_nodes(); ++g) {
+    out.emb.node_map[g] = image(g);
+  }
+  out.emb.paths.reserve(out.guest.num_edges());
+  for (EdgeId e = 0; e < out.guest.num_edges(); ++e) {
+    auto [ga, gb] = out.guest.edge(e);
+    if (bf.level(ga) > bf.level(gb)) std::swap(ga, gb);
+    const NodeId ha = image(ga), hb = image(gb);
+    if (bf.column(ga) == bf.column(gb)) {
+      out.emb.paths.push_back({ha, hb});  // Gray codes differ in one bit
+    } else {
+      // Column and level both change: two hops via (column of gb, level
+      // of ga).
+      const NodeId mid = static_cast<NodeId>(
+          (bf.column(gb) << level_bits) | gray(bf.level(ga)));
+      out.emb.paths.push_back({ha, mid, hb});
+    }
+  }
+  return out;
+}
+
+}  // namespace bfly::embed

@@ -1,0 +1,56 @@
+// The paper's embeddings, constructed explicitly so their load,
+// congestion, and dilation can be measured and every structural property
+// the proofs rely on can be machine-checked.
+//
+//   knn_into_bn      Lemma 3.1    K_{n,n} -> Bn   (load 1, congestion n/2,
+//                                                  dilation log n)
+//   kn_into_wn       Theorem 4.3  K_N -> Wn       (3-segment routes,
+//                                                  congestion O(N log n))
+//   kn_into_bn       Section 4.2  K_N -> Bn       (adapted 3-segment)
+//   benes_into_bn    Lemma 2.5    Beneš_{d-1} -> Bn (load 1, congestion 1,
+//                                                  dilation 3)
+//   bk_into_bn       Lemma 2.10   B_{n 2^j} -> Bn (dilation <= 1 per edge,
+//                                                  congestion 2^j)
+//   bn_into_mos      Lemma 2.11   Bn -> MOS_{j,k} (dilation 1, congestion
+//                                                  2n/jk)
+//   wn_into_ccc      Lemma 3.3    Wn -> CCCn      (congestion 2)
+//   bn_into_hypercube  §1.5       Bn -> Q_{log n + ceil(log(log n + 1))}
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "embed/embedding.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::embed {
+
+/// A self-contained embedding instance: guest and host graphs plus the
+/// mapping, ready for measure_embedding.
+struct EmbeddingCase {
+  std::string name;
+  Graph guest;
+  Graph host;
+  Embedding emb;
+};
+
+[[nodiscard]] EmbeddingCase knn_into_bn(const topo::Butterfly& bf);
+[[nodiscard]] EmbeddingCase kn_into_wn(const topo::WrappedButterfly& wb);
+[[nodiscard]] EmbeddingCase kn_into_bn(const topo::Butterfly& bf);
+
+/// The doubled complete graph 2K_N into Bn (Section 1.4): the first copy
+/// of each edge routes through level 0, the second through level log n,
+/// so the two copies of an edge are (mostly) edge-disjoint. This is the
+/// embedding behind the pre-paper bound BW(Bn) >= n/2.
+[[nodiscard]] EmbeddingCase k2n_into_bn(const topo::Butterfly& bf);
+[[nodiscard]] EmbeddingCase benes_into_bn(const topo::Butterfly& bf);
+[[nodiscard]] EmbeddingCase bk_into_bn(const topo::Butterfly& bf,
+                                       std::uint32_t i, std::uint32_t j);
+[[nodiscard]] EmbeddingCase bn_into_mos(const topo::Butterfly& bf,
+                                        std::uint32_t j, std::uint32_t k);
+[[nodiscard]] EmbeddingCase wn_into_ccc(const topo::CubeConnectedCycles& cc);
+[[nodiscard]] EmbeddingCase bn_into_hypercube(const topo::Butterfly& bf);
+
+}  // namespace bfly::embed

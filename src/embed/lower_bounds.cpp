@@ -1,0 +1,33 @@
+#include "embed/lower_bounds.hpp"
+
+namespace bfly::embed {
+
+std::size_t bw_complete(std::size_t n) { return (n / 2) * ((n + 1) / 2); }
+
+std::size_t ee_complete(std::size_t n, std::size_t k) {
+  return k * (n - k);
+}
+
+double bw_lower_bound_from_kn(std::size_t n, std::size_t congestion,
+                              std::size_t multiplicity) {
+  return static_cast<double>(multiplicity) *
+         static_cast<double>(bw_complete(n)) /
+         static_cast<double>(congestion);
+}
+
+double ee_lower_bound_from_kn(std::size_t n, std::size_t k,
+                              std::size_t congestion) {
+  return static_cast<double>(ee_complete(n, k)) /
+         static_cast<double>(congestion);
+}
+
+double input_bisection_lower_bound_from_knn(std::size_t n,
+                                            std::size_t congestion) {
+  // A cut bisecting the left side of K_{n,n} has capacity >= n^2/2
+  // (Lemma 3.1's counting argument), so the host cut has capacity at
+  // least that divided by the embedding's congestion.
+  const double min_knn_cut = static_cast<double>(n) * n / 2.0;
+  return min_knn_cut / static_cast<double>(congestion);
+}
+
+}  // namespace bfly::embed

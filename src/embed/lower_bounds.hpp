@@ -1,0 +1,33 @@
+// Section 1.4 lower-bound arithmetic: turning a measured embedding of a
+// complete (or complete bipartite) graph into bounds on the host's
+// bisection width and edge expansion.
+#pragma once
+
+#include <cstddef>
+
+namespace bfly::embed {
+
+/// BW(K_N) = floor(N/2) * ceil(N/2).
+[[nodiscard]] std::size_t bw_complete(std::size_t n);
+
+/// EE(K_N, k) = k (N - k).
+[[nodiscard]] std::size_t ee_complete(std::size_t n, std::size_t k);
+
+/// Host bisection-width lower bound from an embedding of m*K_N with
+/// load 1 and measured congestion c: BW(host) >= m * BW(K_N) / c
+/// (Section 1.4). Returns the (real-valued) bound.
+[[nodiscard]] double bw_lower_bound_from_kn(std::size_t n,
+                                            std::size_t congestion,
+                                            std::size_t multiplicity = 1);
+
+/// Host edge-expansion lower bound EE(host, k) >= k (N - k) / c.
+[[nodiscard]] double ee_lower_bound_from_kn(std::size_t n, std::size_t k,
+                                            std::size_t congestion);
+
+/// Lemma 3.1 bound: a cut of Bn bisecting inputs (or outputs, or both
+/// pooled) has capacity >= BW-of-K_{n,n}-bisection / congestion, i.e.
+/// (n^2/2) / (n/2) = n when the measured congestion is n/2.
+[[nodiscard]] double input_bisection_lower_bound_from_knn(
+    std::size_t n, std::size_t congestion);
+
+}  // namespace bfly::embed

@@ -1,0 +1,71 @@
+#include "expansion/constructive_sets.hpp"
+
+#include "core/error.hpp"
+
+namespace bfly::expansion {
+
+std::vector<NodeId> wn_ee_set(const topo::WrappedButterfly& wb,
+                              std::uint32_t delta) {
+  const std::uint32_t d = wb.dims();
+  BFLY_CHECK(delta + 1 <= d, "sub-butterfly does not fit");
+  std::vector<NodeId> set;
+  set.reserve((delta + 1) << delta);
+  for (std::uint32_t lvl = 0; lvl <= delta; ++lvl) {
+    for (std::uint32_t f = 0; f < (1u << delta); ++f) {
+      // Free bits are paper positions 1..delta (the top machine bits).
+      set.push_back(wb.node(f << (d - delta), lvl % d));
+    }
+  }
+  return set;
+}
+
+std::vector<NodeId> wn_ne_set(const topo::WrappedButterfly& wb,
+                              std::uint32_t delta) {
+  const std::uint32_t d = wb.dims();
+  BFLY_CHECK(delta + 2 <= d, "enclosing sub-butterfly does not fit");
+  std::vector<NodeId> set;
+  set.reserve(static_cast<std::size_t>(delta + 1) << (delta + 1));
+  // The enclosing (delta+1)-dimensional sub-butterfly spans levels
+  // 0..delta+1 on columns with free paper positions 1..delta+1; the set
+  // omits its first level, splitting into B' (position 1 bit = 0) and
+  // B'' (bit = 1).
+  for (std::uint32_t lvl = 1; lvl <= delta + 1; ++lvl) {
+    for (std::uint32_t f = 0; f < (2u << delta); ++f) {
+      set.push_back(wb.node(f << (d - delta - 1), lvl % d));
+    }
+  }
+  return set;
+}
+
+std::vector<NodeId> bn_ee_set(const topo::Butterfly& bf,
+                              std::uint32_t delta) {
+  const std::uint32_t d = bf.dims();
+  BFLY_CHECK(delta <= d, "sub-butterfly does not fit");
+  std::vector<NodeId> set;
+  set.reserve(static_cast<std::size_t>(delta + 1) << delta);
+  for (std::uint32_t lvl = 0; lvl <= delta; ++lvl) {
+    for (std::uint32_t f = 0; f < (1u << delta); ++f) {
+      set.push_back(bf.node(delta == d ? f : f << (d - delta), lvl));
+    }
+  }
+  return set;
+}
+
+std::vector<NodeId> bn_ne_set(const topo::Butterfly& bf,
+                              std::uint32_t delta) {
+  const std::uint32_t d = bf.dims();
+  BFLY_CHECK(delta + 1 <= d, "enclosing sub-butterfly does not fit");
+  std::vector<NodeId> set;
+  set.reserve(static_cast<std::size_t>(delta + 1) << (delta + 1));
+  // Enclosing (delta+1)-dimensional sub-butterfly on levels
+  // d-delta-1 .. d with free paper positions d-delta..d (bottom machine
+  // bits); the set omits its first level.
+  for (std::uint32_t lvl = d - delta; lvl <= d; ++lvl) {
+    for (std::uint32_t f = 0; f < (2u << delta); ++f) {
+      set.push_back(bf.node(f, lvl));
+    }
+  }
+  return set;
+}
+
+}  // namespace bfly::expansion

@@ -1,0 +1,44 @@
+// The extremal node sets behind the paper's expansion UPPER bounds
+// (Section 4.3 upper-bound table):
+//   Lemma 4.1: a sub-butterfly of Wn      -> EE(Wn,k) <= (4+o(1))k/log k
+//   Lemma 4.4: two sub-butterflies in Wn  -> NE(Wn,k) <= (3+o(1))k/log k
+//   Lemma 4.7: input-anchored sub-bfly    -> EE(Bn,k) <= (2+o(1))k/log k
+//   Lemma 4.10: two output-anchored ones  -> NE(Bn,k) <= (1+o(1))k/log k
+// Each function returns the concrete set; callers measure its boundary
+// with expansion::edge_boundary / node_boundary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/types.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::expansion {
+
+/// Lemma 4.1 witness: the delta-dimensional sub-butterfly of Wn spanning
+/// levels 0..delta on the 2^delta columns whose non-top bits are zero.
+/// |set| = (delta+1) * 2^delta. Requires delta <= log n - 1.
+[[nodiscard]] std::vector<NodeId> wn_ee_set(const topo::WrappedButterfly& wb,
+                                            std::uint32_t delta);
+
+/// Lemma 4.4 witness: the union of two delta-dimensional sub-butterflies
+/// B', B'' inside a (delta+1)-dimensional one (its levels 1..delta+1).
+/// |set| = (delta+1) * 2^(delta+1). Requires delta <= log n - 2.
+[[nodiscard]] std::vector<NodeId> wn_ne_set(const topo::WrappedButterfly& wb,
+                                            std::uint32_t delta);
+
+/// Lemma 4.7 witness: sub-butterfly whose level 0 sits on level 0 of Bn
+/// (inputs have no outside neighbors). |set| = (delta+1) * 2^delta.
+/// Requires delta <= log n.
+[[nodiscard]] std::vector<NodeId> bn_ee_set(const topo::Butterfly& bf,
+                                            std::uint32_t delta);
+
+/// Lemma 4.10 witness: two sub-butterflies with outputs on level log n of
+/// Bn (outputs have no outside neighbors). |set| = (delta+1)*2^(delta+1).
+/// Requires delta <= log n - 1.
+[[nodiscard]] std::vector<NodeId> bn_ne_set(const topo::Butterfly& bf,
+                                            std::uint32_t delta);
+
+}  // namespace bfly::expansion

@@ -1,0 +1,218 @@
+#include "expansion/credit_scheme.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+#include "expansion/expansion.hpp"
+
+namespace bfly::expansion {
+
+namespace {
+
+// Children of <w, l> in a down-tree (+1 direction) or up-tree (-1) of a
+// butterfly-family network. `wrap` selects mod-d level arithmetic (Wn).
+struct TreeStepper {
+  std::uint32_t dims;
+  bool wrap;
+
+  // Returns the two child columns and the child level for a node at
+  // (column, level) stepping in `dir` (+1 = down, -1 = up).
+  struct Step {
+    std::uint32_t col_straight, col_cross, level;
+  };
+
+  [[nodiscard]] Step step(std::uint32_t col, std::uint32_t lvl,
+                          int dir) const {
+    Step s{};
+    if (dir > 0) {
+      // Boundary lvl flips paper position lvl+1.
+      const std::uint32_t mask = topo::bit_mask(dims, (lvl % dims) + 1);
+      s.level = wrap ? (lvl + 1) % dims : lvl + 1;
+      s.col_straight = col;
+      s.col_cross = col ^ mask;
+    } else {
+      // Stepping up across boundary lvl-1 flips paper position lvl.
+      const std::uint32_t prev = wrap ? (lvl + dims - 1) % dims : lvl - 1;
+      const std::uint32_t mask = topo::bit_mask(dims, prev % dims + 1);
+      s.level = prev;
+      s.col_straight = col;
+      s.col_cross = col ^ mask;
+    }
+    return s;
+  }
+};
+
+std::uint64_t edge_key(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+struct Accumulator {
+  std::unordered_map<std::uint64_t, double> edge_credit;  // cut edges
+  std::vector<double> node_credit;                        // N(A) nodes
+  double stranded = 0.0;
+};
+
+// Distributes `credit` from (col, lvl) for `depth_left` more tree levels.
+// Edge mode: credit sticks to cut edges and leaf edges; node mode: to
+// non-A nodes and leaf nodes.
+template <typename Net>
+void descend(const Net& net, const TreeStepper& st,
+             const std::vector<std::uint8_t>& in_a, bool node_mode, int dir,
+             std::uint32_t col, std::uint32_t lvl, std::uint32_t depth_left,
+             double credit, Accumulator& acc) {
+  const TreeStepper::Step s = st.step(col, lvl, dir);
+  const NodeId parent = net.node(col, lvl);
+  const double half = credit / 2.0;
+  for (const std::uint32_t child_col : {s.col_straight, s.col_cross}) {
+    const NodeId child = net.node(child_col, s.level);
+    if (node_mode) {
+      if (!in_a[child]) {
+        acc.node_credit[child] += half;  // child is in N(A)
+      } else if (depth_left == 1) {
+        acc.stranded += half;  // leaf of the tree, still inside A
+      } else {
+        descend(net, st, in_a, node_mode, dir, child_col, s.level,
+                depth_left - 1, half, acc);
+      }
+    } else {
+      const bool cut_edge = in_a[parent] != in_a[child];
+      if (cut_edge) {
+        acc.edge_credit[edge_key(parent, child)] += half;
+      } else if (depth_left == 1) {
+        acc.stranded += half;
+      } else {
+        descend(net, st, in_a, node_mode, dir, child_col, s.level,
+                depth_left - 1, half, acc);
+      }
+    }
+  }
+}
+
+CreditReport finalize(const Accumulator& acc, std::size_t k,
+                      double per_item_cap, std::size_t actual_boundary) {
+  CreditReport rep;
+  rep.per_item_cap = per_item_cap;
+  rep.retained_elsewhere = acc.stranded;
+  for (const auto& [key, c] : acc.edge_credit) {
+    rep.retained_by_boundary += c;
+    rep.max_per_boundary_item = std::max(rep.max_per_boundary_item, c);
+  }
+  for (const double c : acc.node_credit) {
+    if (c > 0) {
+      rep.retained_by_boundary += c;
+      rep.max_per_boundary_item = std::max(rep.max_per_boundary_item, c);
+    }
+  }
+  rep.implied_lower_bound = rep.retained_by_boundary / per_item_cap;
+  rep.actual_boundary = actual_boundary;
+  (void)k;
+  return rep;
+}
+
+template <typename Net>
+std::vector<std::uint8_t> membership(const Net& net,
+                                     std::span<const NodeId> set) {
+  std::vector<std::uint8_t> in(net.num_nodes(), 0);
+  for (const NodeId v : set) {
+    BFLY_CHECK(v < net.num_nodes(), "set node out of range");
+    in[v] = 1;
+  }
+  return in;
+}
+
+}  // namespace
+
+CreditReport credit_edge_wn(const topo::WrappedButterfly& wb,
+                            std::span<const NodeId> set) {
+  const auto in_a = membership(wb, set);
+  const TreeStepper st{wb.dims(), /*wrap=*/true};
+  Accumulator acc;
+  for (const NodeId u : set) {
+    descend(wb, st, in_a, /*node_mode=*/false, +1, wb.column(u),
+            wb.level(u), wb.dims(), 0.5, acc);
+    descend(wb, st, in_a, /*node_mode=*/false, -1, wb.column(u),
+            wb.level(u), wb.dims(), 0.5, acc);
+  }
+  const std::size_t k = set.size();
+  const double cap =
+      (std::floor(std::log2(static_cast<double>(k))) + 1.0) / 4.0;
+  return finalize(acc, k, cap, edge_boundary(wb.graph(), set));
+}
+
+CreditReport credit_node_wn(const topo::WrappedButterfly& wb,
+                            std::span<const NodeId> set) {
+  const auto in_a = membership(wb, set);
+  const TreeStepper st{wb.dims(), /*wrap=*/true};
+  Accumulator acc;
+  acc.node_credit.assign(wb.num_nodes(), 0.0);
+  for (const NodeId u : set) {
+    descend(wb, st, in_a, /*node_mode=*/true, +1, wb.column(u), wb.level(u),
+            wb.dims(), 0.5, acc);
+    descend(wb, st, in_a, /*node_mode=*/true, -1, wb.column(u), wb.level(u),
+            wb.dims(), 0.5, acc);
+  }
+  const std::size_t k = set.size();
+  const double cap =
+      std::max(1.0, std::floor(std::log2(static_cast<double>(k))));
+  return finalize(acc, k, cap, node_boundary(wb.graph(), set));
+}
+
+CreditReport credit_edge_bn(const topo::Butterfly& bf,
+                            std::span<const NodeId> set) {
+  const auto in_a = membership(bf, set);
+  const std::uint32_t d = bf.dims();
+  const TreeStepper st{d, /*wrap=*/false};
+  const std::uint32_t split = (d + 1) / 2;  // floor((log n + 1)/2)
+  Accumulator acc;
+  for (const NodeId u : set) {
+    const std::uint32_t lvl = bf.level(u);
+    if (lvl < split) {
+      if (lvl < d) {
+        descend(bf, st, in_a, /*node_mode=*/false, +1, bf.column(u), lvl,
+                d - lvl, 1.0, acc);
+      }
+    } else {
+      if (lvl > 0) {
+        descend(bf, st, in_a, /*node_mode=*/false, -1, bf.column(u), lvl,
+                lvl, 1.0, acc);
+      }
+    }
+  }
+  const std::size_t k = set.size();
+  const double cap =
+      (std::floor(std::log2(static_cast<double>(k))) + 1.0) / 2.0;
+  return finalize(acc, k, cap, edge_boundary(bf.graph(), set));
+}
+
+CreditReport credit_node_bn(const topo::Butterfly& bf,
+                            std::span<const NodeId> set) {
+  const auto in_a = membership(bf, set);
+  const std::uint32_t d = bf.dims();
+  const TreeStepper st{d, /*wrap=*/false};
+  const std::uint32_t split = (d + 1) / 2;
+  Accumulator acc;
+  acc.node_credit.assign(bf.num_nodes(), 0.0);
+  for (const NodeId u : set) {
+    const std::uint32_t lvl = bf.level(u);
+    if (lvl < split) {
+      if (lvl < d) {
+        descend(bf, st, in_a, /*node_mode=*/true, +1, bf.column(u), lvl,
+                d - lvl, 1.0, acc);
+      }
+    } else {
+      if (lvl > 0) {
+        descend(bf, st, in_a, /*node_mode=*/true, -1, bf.column(u), lvl,
+                lvl, 1.0, acc);
+      }
+    }
+  }
+  const std::size_t k = set.size();
+  const double cap =
+      std::max(1.0, 2.0 * std::floor(std::log2(static_cast<double>(k))));
+  return finalize(acc, k, cap, node_boundary(bf.graph(), set));
+}
+
+}  // namespace bfly::expansion

@@ -1,0 +1,226 @@
+#include "expansion/expansion.hpp"
+
+#include <bit>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+
+namespace bfly::expansion {
+
+std::size_t edge_boundary(const Graph& g, std::span<const NodeId> set) {
+  std::vector<std::uint8_t> in(g.num_nodes(), 0);
+  for (const NodeId v : set) {
+    BFLY_CHECK(v < g.num_nodes(), "set node out of range");
+    in[v] = 1;
+  }
+  std::size_t c = 0;
+  for (const auto& [u, v] : g.edges()) {
+    if (in[u] != in[v]) ++c;
+  }
+  return c;
+}
+
+std::vector<NodeId> neighbor_set(const Graph& g,
+                                 std::span<const NodeId> set) {
+  std::vector<std::uint8_t> in(g.num_nodes(), 0);
+  for (const NodeId v : set) {
+    BFLY_CHECK(v < g.num_nodes(), "set node out of range");
+    in[v] = 1;
+  }
+  std::vector<std::uint8_t> seen(g.num_nodes(), 0);
+  std::vector<NodeId> out;
+  for (const NodeId v : set) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (!in[u] && !seen[u]) {
+        seen[u] = 1;
+        out.push_back(u);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t node_boundary(const Graph& g, std::span<const NodeId> set) {
+  return neighbor_set(g, set).size();
+}
+
+std::vector<ExpansionEntry> exact_expansion(
+    const Graph& g, const ExactExpansionOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(n >= 1 && n < 63, "graph too large for exhaustive expansion");
+  const std::uint64_t states = 1ull << n;
+  BFLY_CHECK(states <= opts.max_states,
+             "exhaustive expansion exceeds the configured state limit");
+  const std::size_t max_k =
+      opts.max_k == 0 ? n : std::min<std::size_t>(opts.max_k, n);
+
+  std::vector<ExpansionEntry> table(max_k + 1);
+  std::vector<std::size_t> best_ee(max_k + 1,
+                                   std::numeric_limits<std::size_t>::max());
+  std::vector<std::size_t> best_ne(max_k + 1,
+                                   std::numeric_limits<std::size_t>::max());
+
+  std::vector<std::uint8_t> in(n, 0);
+  std::vector<std::uint32_t> nbr_cnt(n, 0);  // edges from v into S
+  std::size_t size = 0, cap = 0, ne = 0;
+
+  const auto snapshot = [&] {
+    std::vector<NodeId> s;
+    s.reserve(size);
+    for (NodeId v = 0; v < n; ++v) {
+      if (in[v]) s.push_back(v);
+    }
+    return s;
+  };
+
+  const auto record = [&] {
+    if (size == 0 || size > max_k) return;
+    auto& entry = table[size];
+    if (cap < best_ee[size]) {
+      best_ee[size] = cap;
+      entry.ee = cap;
+      if (opts.keep_witnesses) entry.ee_witness = snapshot();
+    }
+    if (ne < best_ne[size]) {
+      best_ne[size] = ne;
+      entry.ne = ne;
+      if (opts.keep_witnesses) entry.ne_witness = snapshot();
+    }
+  };
+
+  record();
+  for (std::uint64_t i = 1; i < states; ++i) {
+    const NodeId v = static_cast<NodeId>(std::countr_zero(i));
+    if (!in[v]) {
+      // v enters S.
+      if (nbr_cnt[v] > 0) --ne;  // v no longer counts as a neighbor
+      std::size_t to_s = 0;
+      for (const NodeId u : g.neighbors(v)) {
+        if (in[u]) {
+          ++to_s;
+        } else {
+          if (nbr_cnt[u] == 0) ++ne;
+        }
+        ++nbr_cnt[u];
+      }
+      cap += g.degree(v) - 2 * to_s;
+      in[v] = 1;
+      ++size;
+    } else {
+      // v leaves S.
+      std::size_t to_s = 0;
+      for (const NodeId u : g.neighbors(v)) {
+        --nbr_cnt[u];
+        if (in[u]) {
+          ++to_s;
+        } else {
+          if (nbr_cnt[u] == 0) --ne;
+        }
+      }
+      cap -= g.degree(v) - 2 * to_s;
+      in[v] = 0;
+      --size;
+      if (nbr_cnt[v] > 0) ++ne;
+    }
+    record();
+  }
+  return table;
+}
+
+namespace {
+
+// Incremental k-subset enumerator: maintains membership, edge boundary,
+// and node boundary while extending the set one node at a time in
+// increasing id order.
+class SizeKSearcher {
+ public:
+  SizeKSearcher(const Graph& g, std::size_t k)
+      : g_(g), k_(k), in_(g.num_nodes(), 0), nbr_cnt_(g.num_nodes(), 0) {
+    entry_.ee = std::numeric_limits<std::size_t>::max();
+    entry_.ne = std::numeric_limits<std::size_t>::max();
+  }
+
+  ExpansionEntry run() {
+    dfs(0);
+    return std::move(entry_);
+  }
+
+ private:
+  void add(NodeId v) {
+    if (nbr_cnt_[v] > 0) --ne_;
+    std::size_t to_s = 0;
+    for (const NodeId u : g_.neighbors(v)) {
+      if (in_[u]) {
+        ++to_s;
+      } else if (nbr_cnt_[u] == 0) {
+        ++ne_;
+      }
+      ++nbr_cnt_[u];
+    }
+    cap_ += g_.degree(v) - 2 * to_s;
+    in_[v] = 1;
+    chosen_.push_back(v);
+  }
+
+  void remove(NodeId v) {
+    std::size_t to_s = 0;
+    for (const NodeId u : g_.neighbors(v)) {
+      --nbr_cnt_[u];
+      if (in_[u]) {
+        ++to_s;
+      } else if (nbr_cnt_[u] == 0) {
+        --ne_;
+      }
+    }
+    cap_ -= g_.degree(v) - 2 * to_s;
+    in_[v] = 0;
+    if (nbr_cnt_[v] > 0) ++ne_;
+    chosen_.pop_back();
+  }
+
+  void dfs(NodeId next) {
+    if (chosen_.size() == k_) {
+      if (cap_ < entry_.ee) {
+        entry_.ee = cap_;
+        entry_.ee_witness = chosen_;
+      }
+      if (ne_ < entry_.ne) {
+        entry_.ne = ne_;
+        entry_.ne_witness = chosen_;
+      }
+      return;
+    }
+    // Not enough nodes left to reach k: prune.
+    const std::size_t needed = k_ - chosen_.size();
+    if (g_.num_nodes() - next < needed) return;
+    for (NodeId v = next; v < g_.num_nodes(); ++v) {
+      add(v);
+      dfs(v + 1);
+      remove(v);
+      if (g_.num_nodes() - (v + 1) < needed) break;
+    }
+  }
+
+  const Graph& g_;
+  std::size_t k_;
+  std::vector<std::uint8_t> in_;
+  std::vector<std::uint32_t> nbr_cnt_;
+  std::vector<NodeId> chosen_;
+  std::size_t cap_ = 0, ne_ = 0;
+  ExpansionEntry entry_;
+};
+
+}  // namespace
+
+ExpansionEntry exact_expansion_of_size(const Graph& g, std::size_t k,
+                                       double max_subsets) {
+  BFLY_CHECK(k >= 1 && k <= g.num_nodes(), "set size out of range");
+  BFLY_CHECK(binomial_approx(g.num_nodes(), static_cast<unsigned>(k)) <=
+                 max_subsets,
+             "C(N, k) exceeds the configured subset limit");
+  SizeKSearcher searcher(g, k);
+  return searcher.run();
+}
+
+}  // namespace bfly::expansion

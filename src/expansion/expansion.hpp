@@ -1,0 +1,55 @@
+// Edge- and node-expansion (paper Section 1.3).
+//
+// EE(G, k) = min over |S| = k of C(S, S̄); NE(G, k) = min over |S| = k of
+// |N(S)|. Exact values come from one Gray-code sweep over all subsets
+// (practical to ~26 nodes), tracking both quantities incrementally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::expansion {
+
+/// Number of edges leaving the set (its edge expansion C(S, S̄)).
+[[nodiscard]] std::size_t edge_boundary(const Graph& g,
+                                        std::span<const NodeId> set);
+
+/// The neighbor set N(S) (nodes outside S adjacent to S).
+[[nodiscard]] std::vector<NodeId> neighbor_set(const Graph& g,
+                                               std::span<const NodeId> set);
+
+/// |N(S)| (the set's node expansion).
+[[nodiscard]] std::size_t node_boundary(const Graph& g,
+                                        std::span<const NodeId> set);
+
+struct ExpansionEntry {
+  std::size_t ee = 0;               ///< EE(G, k)
+  std::size_t ne = 0;               ///< NE(G, k)
+  std::vector<NodeId> ee_witness;   ///< a set attaining EE(G, k)
+  std::vector<NodeId> ne_witness;   ///< a set attaining NE(G, k)
+};
+
+struct ExactExpansionOptions {
+  std::uint64_t max_states = 1ull << 26;
+  /// Only tabulate k <= max_k (0 = all k up to N).
+  std::size_t max_k = 0;
+  bool keep_witnesses = true;
+};
+
+/// Exact EE(G, k) and NE(G, k) for every k in [1, max_k] by exhaustive
+/// sweep; entry index k (index 0 unused).
+[[nodiscard]] std::vector<ExpansionEntry> exact_expansion(
+    const Graph& g, const ExactExpansionOptions& opts = {});
+
+/// Exact EE(G, k) and NE(G, k) for ONE set size by depth-first
+/// enumeration of k-subsets with incremental boundary maintenance —
+/// feasible when C(N, k) is modest even if 2^N is not (e.g. B8 with
+/// k <= 8: C(32,8) ~ 10^7). `max_subsets` guards accidental blowups.
+[[nodiscard]] ExpansionEntry exact_expansion_of_size(
+    const Graph& g, std::size_t k, double max_subsets = 5e7);
+
+}  // namespace bfly::expansion

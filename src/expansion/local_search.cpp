@@ -1,0 +1,171 @@
+#include "expansion/local_search.hpp"
+
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace bfly::expansion {
+
+namespace {
+
+// Incrementally maintained set with both expansion objectives.
+class DynamicSet {
+ public:
+  explicit DynamicSet(const Graph& g)
+      : g_(&g), in_(g.num_nodes(), 0), nbr_cnt_(g.num_nodes(), 0) {}
+
+  [[nodiscard]] bool contains(NodeId v) const { return in_[v]; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t edge_boundary() const { return cap_; }
+  [[nodiscard]] std::size_t node_boundary() const { return ne_; }
+
+  void add(NodeId v) {
+    BFLY_ASSERT(!in_[v]);
+    if (nbr_cnt_[v] > 0) --ne_;
+    std::size_t to_s = 0;
+    for (const NodeId u : g_->neighbors(v)) {
+      if (in_[u]) {
+        ++to_s;
+      } else if (nbr_cnt_[u] == 0) {
+        ++ne_;
+      }
+      ++nbr_cnt_[u];
+    }
+    cap_ += g_->degree(v) - 2 * to_s;
+    in_[v] = 1;
+    ++size_;
+  }
+
+  void remove(NodeId v) {
+    BFLY_ASSERT(in_[v]);
+    std::size_t to_s = 0;
+    for (const NodeId u : g_->neighbors(v)) {
+      --nbr_cnt_[u];
+      if (in_[u]) {
+        ++to_s;
+      } else if (nbr_cnt_[u] == 0) {
+        --ne_;
+      }
+    }
+    cap_ -= g_->degree(v) - 2 * to_s;
+    in_[v] = 0;
+    --size_;
+    if (nbr_cnt_[v] > 0) ++ne_;
+  }
+
+  /// Edges from v into the set.
+  [[nodiscard]] std::uint32_t edges_into(NodeId v) const {
+    return nbr_cnt_[v];
+  }
+
+  [[nodiscard]] std::vector<NodeId> members() const {
+    std::vector<NodeId> out;
+    out.reserve(size_);
+    for (NodeId v = 0; v < in_.size(); ++v) {
+      if (in_[v]) out.push_back(v);
+    }
+    return out;
+  }
+
+ private:
+  const Graph* g_;
+  std::vector<std::uint8_t> in_;
+  std::vector<std::uint32_t> nbr_cnt_;
+  std::size_t size_ = 0, cap_ = 0, ne_ = 0;
+};
+
+template <bool kNodeObjective>
+SetResult search(const Graph& g, std::size_t k,
+                 const LocalSearchOptions& opts) {
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(k >= 1 && k <= n, "set size out of range");
+  Rng rng(opts.seed);
+
+  SetResult best;
+  best.objective = std::numeric_limits<std::size_t>::max();
+
+  const auto objective = [](const DynamicSet& s) {
+    return kNodeObjective ? s.node_boundary() : s.edge_boundary();
+  };
+
+  const std::uint32_t random_restarts = std::max(1u, opts.restarts);
+  const std::uint32_t total_runs =
+      random_restarts + static_cast<std::uint32_t>(opts.seed_sets.size());
+  for (std::uint32_t r = 0; r < total_runs; ++r) {
+    DynamicSet set(g);
+    if (r >= random_restarts) {
+      // Warm start from a caller-provided set.
+      const auto& warm = opts.seed_sets[r - random_restarts];
+      BFLY_CHECK(warm.size() == k, "seed set size must equal k");
+      for (const NodeId v : warm) set.add(v);
+    } else {
+      set.add(static_cast<NodeId>(rng.below(n)));
+      // Greedy growth: add the outside node that minimizes the objective.
+      while (set.size() < k) {
+        NodeId pick = kInvalidNode;
+        std::size_t pick_obj = std::numeric_limits<std::size_t>::max();
+        for (NodeId v = 0; v < n; ++v) {
+          if (set.contains(v)) continue;
+          set.add(v);
+          const std::size_t obj = objective(set);
+          set.remove(v);
+          if (obj < pick_obj) {
+            pick_obj = obj;
+            pick = v;
+          }
+        }
+        set.add(pick);
+      }
+    }
+
+    // Swap passes: first-improvement over (u in S, v outside) pairs.
+    for (std::uint32_t pass = 0; pass < opts.max_passes; ++pass) {
+      bool improved = false;
+      const auto mem = set.members();
+      for (const NodeId u : mem) {
+        const std::size_t before = objective(set);
+        set.remove(u);
+        NodeId pick = kInvalidNode;
+        std::size_t pick_obj = before;
+        for (NodeId v = 0; v < n; ++v) {
+          if (set.contains(v) || v == u) continue;
+          set.add(v);
+          const std::size_t obj = objective(set);
+          set.remove(v);
+          if (obj < pick_obj) {
+            pick_obj = obj;
+            pick = v;
+          }
+        }
+        if (pick != kInvalidNode) {
+          set.add(pick);
+          improved = true;
+        } else {
+          set.add(u);
+        }
+      }
+      if (!improved) break;
+    }
+
+    if (objective(set) < best.objective) {
+      best.objective = objective(set);
+      best.set = set.members();
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SetResult min_ee_set_local_search(const Graph& g, std::size_t k,
+                                  const LocalSearchOptions& opts) {
+  return search<false>(g, k, opts);
+}
+
+SetResult min_ne_set_local_search(const Graph& g, std::size_t k,
+                                  const LocalSearchOptions& opts) {
+  return search<true>(g, k, opts);
+}
+
+}  // namespace bfly::expansion

@@ -1,0 +1,39 @@
+// Heuristic minimum-expansion sets for sizes beyond exhaustive reach:
+// greedy growth from random seeds followed by swap-based local search,
+// for both the edge (EE) and node (NE) objectives. Results are upper
+// bounds on EE(G,k) / NE(G,k) and, on the structured butterfly instances,
+// routinely match the constructive sub-butterfly sets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::expansion {
+
+struct LocalSearchOptions {
+  std::uint32_t restarts = 8;
+  std::uint32_t max_passes = 32;  ///< swap passes per restart
+  std::uint64_t seed = 0x10ca1u;
+  /// Optional warm starts (each must have exactly k distinct nodes);
+  /// every seed set gets its own swap-refined run in addition to the
+  /// random restarts. Use the paper's constructive sets here.
+  std::vector<std::vector<NodeId>> seed_sets;
+};
+
+struct SetResult {
+  std::vector<NodeId> set;
+  std::size_t objective = 0;  ///< edge or node boundary of `set`
+};
+
+/// Heuristic min edge-boundary set of size k.
+[[nodiscard]] SetResult min_ee_set_local_search(
+    const Graph& g, std::size_t k, const LocalSearchOptions& opts = {});
+
+/// Heuristic min node-boundary set of size k.
+[[nodiscard]] SetResult min_ne_set_local_search(
+    const Graph& g, std::size_t k, const LocalSearchOptions& opts = {});
+
+}  // namespace bfly::expansion

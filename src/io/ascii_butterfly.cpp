@@ -1,0 +1,55 @@
+#include "io/ascii_butterfly.hpp"
+
+#include <sstream>
+
+namespace bfly::io {
+
+namespace {
+
+std::string column_bits(std::uint32_t w, std::uint32_t d) {
+  std::string s(d, '0');
+  for (std::uint32_t p = 0; p < d; ++p) {
+    if ((w >> (d - 1 - p)) & 1u) s[p] = '1';
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string render_butterfly_ascii(const topo::Butterfly& bf) {
+  const std::uint32_t n = bf.n();
+  const std::uint32_t d = bf.dims();
+  const std::uint32_t cell = d + 2;  // bit string + spacing
+  std::ostringstream os;
+
+  os << "column";
+  for (std::uint32_t w = 0; w < n; ++w) {
+    std::string bits = column_bits(w, d);
+    os << ' ' << bits;
+    for (std::uint32_t p = d; p + 1 < cell; ++p) os << ' ';
+  }
+  os << "\nlevel\n";
+
+  for (std::uint32_t lvl = 0; lvl <= d; ++lvl) {
+    os << "  " << lvl << "   ";
+    for (std::uint32_t w = 0; w < n; ++w) {
+      os << " o";
+      for (std::uint32_t p = 1; p + 1 < cell; ++p) os << ' ';
+    }
+    os << '\n';
+    if (lvl == d) break;
+    // Sketch the boundary: straight edges everywhere; cross edges pair
+    // columns differing in paper bit position lvl+1.
+    const std::uint32_t mask = bf.cross_mask(lvl);
+    os << "      ";
+    for (std::uint32_t w = 0; w < n; ++w) {
+      os << ((w & mask) ? " \\" : " |");
+      for (std::uint32_t p = 1; p + 1 < cell; ++p) os << ' ';
+    }
+    os << "   (cross edges flip bit " << (lvl + 1) << ", span "
+       << (mask) << " columns)\n";
+  }
+  return os.str();
+}
+
+}  // namespace bfly::io

@@ -1,0 +1,15 @@
+// ASCII rendering of a butterfly network in the style of the paper's
+// Figure 1: levels as rows, columns as bit strings, with straight and
+// cross edges sketched between adjacent levels.
+#pragma once
+
+#include <string>
+
+#include "topology/butterfly.hpp"
+
+namespace bfly::io {
+
+/// Multi-line drawing of Bn (readable up to n = 16 or so).
+[[nodiscard]] std::string render_butterfly_ascii(const topo::Butterfly& bf);
+
+}  // namespace bfly::io

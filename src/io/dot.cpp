@@ -1,0 +1,27 @@
+#include "io/dot.hpp"
+
+namespace bfly::io {
+
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& opts) {
+  os << "graph " << opts.graph_name << " {\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    os << "  n" << v;
+    os << " [";
+    if (opts.label) {
+      os << "label=\"" << opts.label(v) << "\"";
+    } else {
+      os << "label=\"" << v << "\"";
+    }
+    if (opts.node_attrs) {
+      const std::string extra = opts.node_attrs(v);
+      if (!extra.empty()) os << ", " << extra;
+    }
+    os << "];\n";
+  }
+  for (const auto& [u, v] : g.edges()) {
+    os << "  n" << u << " -- n" << v << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace bfly::io

@@ -1,0 +1,23 @@
+// Graphviz DOT export.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "core/graph.hpp"
+
+namespace bfly::io {
+
+struct DotOptions {
+  std::string graph_name = "G";
+  /// Optional node labeler; defaults to the numeric id.
+  std::function<std::string(NodeId)> label;
+  /// Optional per-node attribute string, e.g. "color=red".
+  std::function<std::string(NodeId)> node_attrs;
+};
+
+/// Writes the graph in undirected DOT format.
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& opts = {});
+
+}  // namespace bfly::io

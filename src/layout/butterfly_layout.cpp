@@ -1,0 +1,122 @@
+#include "layout/butterfly_layout.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace bfly::layout {
+
+namespace {
+
+// Greedy left-edge channel routing: assigns each interval the smallest
+// track whose previous interval ends strictly before this one begins.
+// Returns per-interval track ids (0-based).
+std::vector<std::uint32_t> left_edge_tracks(
+    std::vector<std::pair<std::int32_t, std::int32_t>> spans,
+    std::vector<std::uint32_t>* order_out) {
+  const std::size_t m = spans.size();
+  std::vector<std::uint32_t> order(m);
+  for (std::uint32_t i = 0; i < m; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return spans[a].first < spans[b].first;
+  });
+  std::vector<std::int32_t> track_end;  // rightmost x used per track
+  std::vector<std::uint32_t> track(m);
+  for (const std::uint32_t i : order) {
+    bool placed = false;
+    for (std::uint32_t t = 0; t < track_end.size(); ++t) {
+      if (track_end[t] < spans[i].first) {
+        track[i] = t;
+        track_end[t] = spans[i].second;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      track[i] = static_cast<std::uint32_t>(track_end.size());
+      track_end.push_back(spans[i].second);
+    }
+  }
+  if (order_out != nullptr) *order_out = std::move(order);
+  return track;
+}
+
+}  // namespace
+
+GridLayout layout_butterfly(const topo::Butterfly& bf) {
+  const std::uint32_t n = bf.n();
+  const std::uint32_t d = bf.dims();
+
+  // Lanes per column w: 4w = arrivals, 4w+1 = node + straight edges,
+  // 4w+2 = departures.
+  const auto arrival_lane = [](std::uint32_t w) {
+    return static_cast<std::int32_t>(4 * w);
+  };
+  const auto node_lane = [](std::uint32_t w) {
+    return static_cast<std::int32_t>(4 * w + 1);
+  };
+  const auto departure_lane = [](std::uint32_t w) {
+    return static_cast<std::int32_t>(4 * w + 2);
+  };
+
+  GridLayout out;
+  out.position.resize(bf.num_nodes());
+  out.wire.resize(bf.graph().num_edges());
+
+  // First pass: per-boundary channel track assignment for cross edges.
+  // Net for cross edge <w,l> -> <w^mask,l+1>: spans departure_lane(w) to
+  // arrival_lane(w^mask).
+  std::vector<std::vector<std::uint32_t>> tracks(d);  // per boundary, per w
+  std::vector<std::uint32_t> channel_height(d);
+  for (std::uint32_t b = 0; b < d; ++b) {
+    const std::uint32_t mask = bf.cross_mask(b);
+    std::vector<std::pair<std::int32_t, std::int32_t>> spans(n);
+    for (std::uint32_t w = 0; w < n; ++w) {
+      const std::int32_t from = departure_lane(w);
+      const std::int32_t to = arrival_lane(w ^ mask);
+      spans[w] = {std::min(from, to), std::max(from, to)};
+    }
+    tracks[b] = left_edge_tracks(std::move(spans), nullptr);
+    channel_height[b] =
+        *std::max_element(tracks[b].begin(), tracks[b].end()) + 1;
+  }
+
+  // Level rows.
+  std::vector<std::int32_t> row(d + 1);
+  row[0] = 0;
+  for (std::uint32_t b = 0; b < d; ++b) {
+    row[b + 1] = row[b] + static_cast<std::int32_t>(channel_height[b]) + 1;
+  }
+
+  for (std::uint32_t lvl = 0; lvl <= d; ++lvl) {
+    for (std::uint32_t w = 0; w < n; ++w) {
+      out.position[bf.node(w, lvl)] = {node_lane(w), row[lvl]};
+    }
+  }
+
+  // Wires. Straight edges run down the node lane; cross edges jog to the
+  // departure lane, descend to their track, run across, descend the
+  // arrival lane, and jog into the target node.
+  const Graph& g = bf.graph();
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    auto [u, v] = g.edge(e);
+    if (bf.level(u) > bf.level(v)) std::swap(u, v);
+    const std::uint32_t b = bf.level(u);
+    const std::uint32_t wu = bf.column(u), wv = bf.column(v);
+    if (wu == wv) {
+      out.wire[e] = {{node_lane(wu), row[b]}, {node_lane(wu), row[b + 1]}};
+      continue;
+    }
+    const std::int32_t yt =
+        row[b] + 1 + static_cast<std::int32_t>(tracks[b][wu]);
+    out.wire[e] = {
+        {node_lane(wu), row[b]},      {departure_lane(wu), row[b]},
+        {departure_lane(wu), yt},     {arrival_lane(wv), yt},
+        {arrival_lane(wv), row[b + 1]}, {node_lane(wv), row[b + 1]},
+    };
+  }
+  return out;
+}
+
+}  // namespace bfly::layout

@@ -1,0 +1,21 @@
+// A concrete O(n^2)-area rectilinear layout of Bn.
+//
+// Columns are laid out left to right (four lanes per column: arrival,
+// node/straight, departure, spare), levels top to bottom, and each
+// boundary's cross edges run through a routing channel whose tracks are
+// assigned by left-edge interval coloring. The construction realizes the
+// Theta(n^2) area the paper quotes (the optimal constant is 1 by Avior
+// et al. [3]; this simple channel layout achieves a small constant
+// factor) and provides the concrete object for Thompson's A >= BW^2
+// comparison.
+#pragma once
+
+#include "layout/grid_layout.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly::layout {
+
+/// Builds the channel layout of Bn; validate with validate_layout.
+[[nodiscard]] GridLayout layout_butterfly(const topo::Butterfly& bf);
+
+}  // namespace bfly::layout

@@ -1,0 +1,144 @@
+#include "layout/grid_layout.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace bfly::layout {
+
+namespace {
+
+struct Box {
+  std::int32_t min_x = std::numeric_limits<std::int32_t>::max();
+  std::int32_t max_x = std::numeric_limits<std::int32_t>::min();
+  std::int32_t min_y = std::numeric_limits<std::int32_t>::max();
+  std::int32_t max_y = std::numeric_limits<std::int32_t>::min();
+
+  void include(const Point& p) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+};
+
+Box bounding_box(const GridLayout& l) {
+  Box b;
+  for (const auto& p : l.position) b.include(p);
+  for (const auto& w : l.wire) {
+    for (const auto& p : w) b.include(p);
+  }
+  return b;
+}
+
+}  // namespace
+
+std::int64_t GridLayout::width() const {
+  const Box b = bounding_box(*this);
+  return b.max_x < b.min_x ? 0 : static_cast<std::int64_t>(b.max_x) -
+                                     b.min_x + 1;
+}
+
+std::int64_t GridLayout::height() const {
+  const Box b = bounding_box(*this);
+  return b.max_y < b.min_y ? 0 : static_cast<std::int64_t>(b.max_y) -
+                                     b.min_y + 1;
+}
+
+void validate_layout(const Graph& g, const GridLayout& layout) {
+  BFLY_CHECK(layout.position.size() == g.num_nodes(),
+             "layout must place every node");
+  BFLY_CHECK(layout.wire.size() == g.num_edges(),
+             "layout must route every edge");
+
+  // Distinct node positions.
+  {
+    std::unordered_set<std::uint64_t> seen;
+    for (const auto& p : layout.position) {
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x))
+           << 32) |
+          static_cast<std::uint32_t>(p.y);
+      BFLY_CHECK(seen.insert(key).second, "two nodes share a position");
+    }
+  }
+
+  // Wire endpoint and rectilinearity checks; collect segments.
+  struct Seg {
+    std::int32_t fixed;  // the shared coordinate
+    std::int32_t lo, hi;
+    EdgeId owner;
+  };
+  std::map<std::int32_t, std::vector<Seg>> horizontal, vertical;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto& w = layout.wire[e];
+    BFLY_CHECK(w.size() >= 2, "wire must have at least two points");
+    const auto [gu, gv] = g.edge(e);
+    const bool fwd = w.front() == layout.position[gu] &&
+                     w.back() == layout.position[gv];
+    const bool bwd = w.front() == layout.position[gv] &&
+                     w.back() == layout.position[gu];
+    BFLY_CHECK(fwd || bwd, "wire does not connect its edge's endpoints");
+    for (std::size_t i = 0; i + 1 < w.size(); ++i) {
+      const Point a = w[i], b = w[i + 1];
+      BFLY_CHECK(a.x == b.x || a.y == b.y, "wire segment not rectilinear");
+      BFLY_CHECK(!(a == b), "zero-length wire segment");
+      if (a.y == b.y) {
+        horizontal[a.y].push_back(
+            {a.y, std::min(a.x, b.x), std::max(a.x, b.x), e});
+      } else {
+        vertical[a.x].push_back(
+            {a.x, std::min(a.y, b.y), std::max(a.y, b.y), e});
+      }
+    }
+  }
+
+  // Same-direction overlap check (positive-length sharing forbidden;
+  // touching at one point allowed).
+  const auto check_overlaps = [](std::vector<Seg>& segs, const char* dir) {
+    std::sort(segs.begin(), segs.end(), [](const Seg& a, const Seg& b) {
+      return a.lo < b.lo;
+    });
+    for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+      // Only need neighbors in sorted order... but long segments can
+      // overlap non-adjacent ones: track running max.
+      for (std::size_t j = i + 1;
+           j < segs.size() && segs[j].lo < segs[i].hi; ++j) {
+        BFLY_CHECK(segs[i].owner == segs[j].owner,
+                   std::string("wires overlap along a ") + dir +
+                       " segment");
+      }
+    }
+  };
+  for (auto& [y, segs] : horizontal) check_overlaps(segs, "horizontal");
+  for (auto& [x, segs] : vertical) check_overlaps(segs, "vertical");
+
+  // No wire runs straight through a foreign node's position.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto [gu, gv] = g.edge(e);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == gu || v == gv) continue;
+      const Point p = layout.position[v];
+      for (std::size_t i = 0; i + 1 < layout.wire[e].size(); ++i) {
+        const Point a = layout.wire[e][i], b = layout.wire[e][i + 1];
+        if (a.y == b.y && p.y == a.y && p.x > std::min(a.x, b.x) &&
+            p.x < std::max(a.x, b.x)) {
+          BFLY_CHECK(false, "wire passes through a foreign node");
+        }
+        if (a.x == b.x && p.x == a.x && p.y > std::min(a.y, b.y) &&
+            p.y < std::max(a.y, b.y)) {
+          BFLY_CHECK(false, "wire passes through a foreign node");
+        }
+      }
+    }
+  }
+}
+
+std::int64_t thompson_area_lower_bound(std::size_t bw) {
+  return static_cast<std::int64_t>(bw) * static_cast<std::int64_t>(bw);
+}
+
+}  // namespace bfly::layout

@@ -1,0 +1,50 @@
+// Rectilinear (Thompson-model) VLSI layouts.
+//
+// The paper's Section 1.1/1.2 quotes layout-area facts — Bn fits in
+// (1 ± o(1)) n^2 area [3], Wn in Θ(n^2) — and Thompson's lower bound
+// A >= BW(G)^2, which turns the bisection-width theorem into a VLSI
+// statement. This module provides the layout model: unit-grid node
+// placements, axis-parallel wires, crossings allowed, same-direction
+// overlaps forbidden; area = bounding-box width x height.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::layout {
+
+struct Point {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// A wire is a rectilinear polyline (consecutive points differ in
+/// exactly one coordinate).
+using Wire = std::vector<Point>;
+
+struct GridLayout {
+  std::vector<Point> position;  ///< per node
+  std::vector<Wire> wire;       ///< per edge (same indexing as Graph)
+  [[nodiscard]] std::int64_t width() const;
+  [[nodiscard]] std::int64_t height() const;
+  [[nodiscard]] std::int64_t area() const { return width() * height(); }
+};
+
+/// Validates a layout for a graph:
+///  * every node has a position, every edge a wire,
+///  * each wire is rectilinear and connects its edge's endpoints,
+///  * no two wires overlap along a segment of positive length in the
+///    same direction (perpendicular crossings are allowed, as are
+///    endpoint touches at shared nodes),
+///  * no wire passes straight through another node's position.
+/// Throws PreconditionError on violations.
+void validate_layout(const Graph& g, const GridLayout& layout);
+
+/// Thompson's bound: any layout of G has area >= BW(G)^2.
+[[nodiscard]] std::int64_t thompson_area_lower_bound(std::size_t bw);
+
+}  // namespace bfly::layout

@@ -1,0 +1,56 @@
+#include "layout/svg.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bfly::layout {
+
+void write_svg(std::ostream& os, const GridLayout& layout,
+               const SvgOptions& opts) {
+  // Compute bounds with a one-cell margin.
+  std::int32_t min_x = std::numeric_limits<std::int32_t>::max();
+  std::int32_t min_y = min_x;
+  std::int32_t max_x = std::numeric_limits<std::int32_t>::min();
+  std::int32_t max_y = max_x;
+  const auto include = [&](const Point& p) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  };
+  for (const auto& p : layout.position) include(p);
+  for (const auto& w : layout.wire) {
+    for (const auto& p : w) include(p);
+  }
+  if (min_x > max_x) {
+    os << "<svg xmlns=\"http://www.w3.org/2000/svg\"/>\n";
+    return;
+  }
+
+  const int c = opts.cell;
+  const auto px = [&](std::int32_t x) { return (x - min_x + 1) * c; };
+  const auto py = [&](std::int32_t y) { return (y - min_y + 1) * c; };
+  const int width = (max_x - min_x + 2) * c;
+  const int height = (max_y - min_y + 2) * c;
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+     << "\" height=\"" << height << "\" viewBox=\"0 0 " << width << ' '
+     << height << "\">\n";
+  os << "  <rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const auto& wire : layout.wire) {
+    os << "  <polyline fill=\"none\" stroke=\"#3465a4\" "
+          "stroke-width=\"1\" points=\"";
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+      if (i != 0) os << ' ';
+      os << px(wire[i].x) << ',' << py(wire[i].y);
+    }
+    os << "\"/>\n";
+  }
+  for (const auto& p : layout.position) {
+    os << "  <circle cx=\"" << px(p.x) << "\" cy=\"" << py(p.y)
+       << "\" r=\"" << opts.node_radius << "\" fill=\"#cc0000\"/>\n";
+  }
+  os << "</svg>\n";
+}
+
+}  // namespace bfly::layout

@@ -1,0 +1,21 @@
+// SVG rendering of grid layouts — lets users actually look at the
+// Theta(n^2) butterfly layouts of Section 1.1.
+#pragma once
+
+#include <ostream>
+
+#include "layout/grid_layout.hpp"
+
+namespace bfly::layout {
+
+struct SvgOptions {
+  int cell = 12;        ///< pixels per grid unit
+  int node_radius = 3;  ///< node dot radius in pixels
+};
+
+/// Writes the layout as a standalone SVG document (nodes as dots, wires
+/// as polylines).
+void write_svg(std::ostream& os, const GridLayout& layout,
+               const SvgOptions& opts = {});
+
+}  // namespace bfly::layout

@@ -1,0 +1,228 @@
+#include "routing/benes_route.hpp"
+
+#include <array>
+#include <limits>
+#include <unordered_map>
+
+#include "core/error.hpp"
+
+namespace bfly::routing {
+
+namespace {
+
+// Recursive looping solver. cols[s][l] is signal s's column at level l.
+// At depth `l`, `signals` occupy distinct columns sharing their top l
+// bits, both at level l and at level 2d-l; the solver chooses bit
+// position l+1 (the subnetwork) for each signal, sets levels l+1 and
+// 2d-l-1, and recurses into the two half-size subnetworks.
+class Looper {
+ public:
+  Looper(std::uint32_t dims, std::vector<std::vector<std::uint32_t>>& cols)
+      : d_(dims), cols_(cols) {}
+
+  void solve(std::uint32_t l, std::vector<std::uint32_t> signals) {
+    if (l == d_) return;  // single column left; level d already fixed
+    const std::uint32_t mask = 1u << (d_ - (l + 1));  // paper position l+1
+
+    // Partners through the input-side and output-side pairings.
+    std::unordered_map<std::uint32_t, std::uint32_t> by_in, by_out;
+    by_in.reserve(signals.size());
+    by_out.reserve(signals.size());
+    for (const std::uint32_t s : signals) {
+      by_in[cols_[s][l]] = s;
+      by_out[cols_[s][2 * d_ - l]] = s;
+    }
+    const auto in_partner = [&](std::uint32_t s) {
+      return by_in.at(cols_[s][l] ^ mask);
+    };
+    const auto out_partner = [&](std::uint32_t s) {
+      return by_out.at(cols_[s][2 * d_ - l] ^ mask);
+    };
+
+    // 2-color the alternating in/out constraint cycles.
+    std::unordered_map<std::uint32_t, std::uint8_t> color;
+    color.reserve(signals.size());
+    for (const std::uint32_t s0 : signals) {
+      if (color.count(s0)) continue;
+      std::uint32_t s = s0;
+      std::uint8_t c = 0;
+      // Walk the cycle alternating in-partner / out-partner links.
+      while (true) {
+        color[s] = c;
+        const std::uint32_t t = in_partner(s);
+        BFLY_ASSERT(!color.count(t) || color[t] == (c ^ 1));
+        color[t] = c ^ 1;
+        const std::uint32_t u = out_partner(t);
+        if (u == s0) break;
+        s = u;
+        c = color[t] ^ 1;
+        if (color.count(s)) break;
+      }
+    }
+
+    // Apply the subnetwork choice and split.
+    std::vector<std::uint32_t> sub[2];
+    for (const std::uint32_t s : signals) {
+      const std::uint8_t b = color.at(s);
+      const std::uint32_t bit = b ? mask : 0u;
+      cols_[s][l + 1] = (cols_[s][l] & ~mask) | bit;
+      cols_[s][2 * d_ - l - 1] = (cols_[s][2 * d_ - l] & ~mask) | bit;
+      sub[b].push_back(s);
+    }
+    solve(l + 1, std::move(sub[0]));
+    solve(l + 1, std::move(sub[1]));
+  }
+
+ private:
+  std::uint32_t d_;
+  std::vector<std::vector<std::uint32_t>>& cols_;
+};
+
+// Two-port variant: every level-l node hosts exactly two signals; the
+// co-hosted pair must split between the two subnetworks (they leave on
+// the node's two distinct boundary edges), and likewise on the output
+// side. Same alternating-cycle 2-coloring, different pairing relation.
+class TwoPortLooper {
+ public:
+  TwoPortLooper(std::uint32_t dims,
+                std::vector<std::vector<std::uint32_t>>& cols)
+      : d_(dims), cols_(cols) {}
+
+  void solve(std::uint32_t l, std::vector<std::uint32_t> signals) {
+    if (l == d_) return;
+    const std::uint32_t mask = 1u << (d_ - (l + 1));
+
+    // Co-hosted pairs: two signals per column at level l / level 2d-l.
+    std::unordered_map<std::uint32_t, std::array<std::uint32_t, 2>> in_host,
+        out_host;
+    constexpr std::array<std::uint32_t, 2> kEmpty = {kNone, kNone};
+    for (const std::uint32_t s : signals) {
+      auto& ih = in_host.try_emplace(cols_[s][l], kEmpty).first->second;
+      (ih[0] == kNone ? ih[0] : ih[1]) = s;
+      auto& oh =
+          out_host.try_emplace(cols_[s][2 * d_ - l], kEmpty).first->second;
+      (oh[0] == kNone ? oh[0] : oh[1]) = s;
+    }
+    const auto in_partner = [&](std::uint32_t s) {
+      const auto& h = in_host.at(cols_[s][l]);
+      return h[0] == s ? h[1] : h[0];
+    };
+    const auto out_partner = [&](std::uint32_t s) {
+      const auto& h = out_host.at(cols_[s][2 * d_ - l]);
+      return h[0] == s ? h[1] : h[0];
+    };
+
+    std::unordered_map<std::uint32_t, std::uint8_t> color;
+    color.reserve(signals.size());
+    for (const std::uint32_t s0 : signals) {
+      if (color.count(s0)) continue;
+      std::uint32_t s = s0;
+      while (true) {
+        color[s] = 0;
+        const std::uint32_t t = in_partner(s);
+        color[t] = 1;
+        const std::uint32_t u = out_partner(t);
+        if (u == s0 || color.count(u)) break;
+        s = u;
+      }
+    }
+
+    std::vector<std::uint32_t> sub[2];
+    for (const std::uint32_t s : signals) {
+      const std::uint8_t b = color.at(s);
+      const std::uint32_t bit = b ? mask : 0u;
+      cols_[s][l + 1] = (cols_[s][l] & ~mask) | bit;
+      cols_[s][2 * d_ - l - 1] = (cols_[s][2 * d_ - l] & ~mask) | bit;
+      sub[b].push_back(s);
+    }
+    solve(l + 1, std::move(sub[0]));
+    solve(l + 1, std::move(sub[1]));
+  }
+
+ private:
+  static constexpr std::uint32_t kNone =
+      std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t d_;
+  std::vector<std::vector<std::uint32_t>>& cols_;
+};
+
+}  // namespace
+
+BenesRouting route_permutation(const topo::Benes& benes,
+                               std::span<const std::uint32_t> perm) {
+  const std::uint32_t n = benes.n();
+  const std::uint32_t d = benes.dims();
+  BFLY_CHECK(perm.size() == n, "permutation size must equal column count");
+  {
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const std::uint32_t p : perm) {
+      BFLY_CHECK(p < n && !seen[p], "perm must be a bijection on [0, n)");
+      seen[p] = 1;
+    }
+  }
+
+  std::vector<std::vector<std::uint32_t>> cols(
+      n, std::vector<std::uint32_t>(2 * d + 1, 0));
+  std::vector<std::uint32_t> signals(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    cols[s][0] = s;
+    cols[s][2 * d] = perm[s];
+    signals[s] = s;
+  }
+  Looper looper(d, cols);
+  looper.solve(0, std::move(signals));
+
+  BenesRouting out;
+  out.paths.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    std::vector<NodeId> path;
+    path.reserve(2 * d + 1);
+    for (std::uint32_t l = 0; l <= 2 * d; ++l) {
+      path.push_back(benes.node(cols[s][l], l));
+    }
+    out.paths.push_back(std::move(path));
+  }
+  return out;
+}
+
+BenesRouting route_two_port_permutation(
+    const topo::Benes& benes, std::span<const std::uint32_t> port_perm) {
+  const std::uint32_t n = benes.n();
+  const std::uint32_t d = benes.dims();
+  const std::uint32_t ports = 2 * n;
+  BFLY_CHECK(port_perm.size() == ports,
+             "port permutation must have size 2n");
+  {
+    std::vector<std::uint8_t> seen(ports, 0);
+    for (const std::uint32_t p : port_perm) {
+      BFLY_CHECK(p < ports && !seen[p],
+                 "port_perm must be a bijection on [0, 2n)");
+      seen[p] = 1;
+    }
+  }
+
+  std::vector<std::vector<std::uint32_t>> cols(
+      ports, std::vector<std::uint32_t>(2 * d + 1, 0));
+  std::vector<std::uint32_t> signals(ports);
+  for (std::uint32_t s = 0; s < ports; ++s) {
+    cols[s][0] = s / 2;                 // input node of port s
+    cols[s][2 * d] = port_perm[s] / 2;  // output node of its image port
+    signals[s] = s;
+  }
+  TwoPortLooper looper(d, cols);
+  looper.solve(0, std::move(signals));
+
+  BenesRouting out;
+  out.paths.reserve(ports);
+  for (std::uint32_t s = 0; s < ports; ++s) {
+    std::vector<NodeId> path;
+    path.reserve(2 * d + 1);
+    for (std::uint32_t l = 0; l <= 2 * d; ++l) {
+      path.push_back(benes.node(cols[s][l], l));
+    }
+    out.paths.push_back(std::move(path));
+  }
+  return out;
+}
+
+}  // namespace bfly::routing

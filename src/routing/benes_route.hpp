@@ -1,0 +1,36 @@
+// Waksman's looping algorithm: routes any permutation of the n columns
+// through the Beneš network with node-disjoint (hence edge-disjoint)
+// paths — the constructive content of the rearrangeability fact behind
+// the paper's Lemma 2.5 and the compactness argument of Lemma 2.8.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "topology/benes.hpp"
+
+namespace bfly::routing {
+
+struct BenesRouting {
+  /// paths[i] runs from input column i (level 0) to output column
+  /// perm[i] (level 2d), one node per level.
+  std::vector<std::vector<NodeId>> paths;
+};
+
+/// Routes the permutation (perm must be a bijection on [0, n)). The
+/// returned paths visit exactly one node per level and are pairwise
+/// node-disjoint on every level.
+[[nodiscard]] BenesRouting route_permutation(
+    const topo::Benes& benes, std::span<const std::uint32_t> perm);
+
+/// Full rearrangeability (the form Lemma 2.5 needs): every input node
+/// carries TWO ports (port p enters node p/2) and every output node two
+/// ports; `port_perm` is a bijection on [0, 2n). Returns 2n paths, one
+/// per input port, pairwise EDGE-disjoint, with every node carrying at
+/// most two paths (its two wire slots).
+[[nodiscard]] BenesRouting route_two_port_permutation(
+    const topo::Benes& benes, std::span<const std::uint32_t> port_perm);
+
+}  // namespace bfly::routing

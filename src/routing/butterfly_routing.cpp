@@ -1,0 +1,66 @@
+#include "routing/butterfly_routing.hpp"
+
+#include "core/error.hpp"
+
+namespace bfly::routing {
+
+std::vector<NodeId> route_bn(const topo::Butterfly& bf, NodeId src,
+                             NodeId dst) {
+  const std::uint32_t d = bf.dims();
+  const std::uint32_t ws = bf.column(src), ls = bf.level(src);
+  const std::uint32_t wd = bf.column(dst), ld = bf.level(dst);
+  std::vector<NodeId> path;
+  path.push_back(src);
+  if (src == dst) return path;
+
+  if (ws == wd) {
+    // Same column: straight walk.
+    std::uint32_t l = ls;
+    while (l != ld) {
+      l = ld > l ? l + 1 : l - 1;
+      path.push_back(bf.node(ws, l));
+    }
+    return path;
+  }
+  // Up to level 0.
+  for (std::uint32_t l = ls; l > 0; --l) path.push_back(bf.node(ws, l - 1));
+  // Monotonic bit-fixing descent to <wd, d>.
+  const auto mono = bf.monotonic_path(ws, wd);
+  path.insert(path.end(), mono.begin() + 1, mono.end());
+  // Up the destination column.
+  for (std::uint32_t l = d; l > ld; --l) path.push_back(bf.node(wd, l - 1));
+  return path;
+}
+
+std::vector<NodeId> route_wn(const topo::WrappedButterfly& wb, NodeId src,
+                             NodeId dst) {
+  const std::uint32_t d = wb.dims();
+  const std::uint32_t n = wb.n();
+  const std::uint32_t ws = wb.column(src), ls = wb.level(src);
+  const std::uint32_t wd = wb.column(dst), ld = wb.level(dst);
+  std::vector<NodeId> path;
+  path.push_back(src);
+  if (src == dst) return path;
+
+  // Segment 1: up the source column to level 0.
+  for (std::uint32_t l = ls; l > 0; --l) path.push_back(wb.node(ws, l - 1));
+  if (ws != wd) {
+    // Segment 2: one full wrap fixing bits toward wd.
+    for (std::uint32_t step = 1; step <= d; ++step) {
+      const std::uint32_t high_mask =
+          step == d ? n - 1 : (~((1u << (d - step)) - 1)) & (n - 1);
+      const std::uint32_t col = (wd & high_mask) | (ws & ~high_mask & (n - 1));
+      path.push_back(wb.node(col, step % d));
+    }
+  }
+  // Segment 3: down the destination column (decreasing levels) to ld.
+  if (ld != 0) {
+    for (std::uint32_t l = d - 1;; --l) {
+      path.push_back(wb.node(wd, l));
+      if (l == ld) break;
+    }
+  }
+  return path;
+}
+
+}  // namespace bfly::routing

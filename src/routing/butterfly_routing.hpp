@@ -1,0 +1,24 @@
+// Oblivious node-to-node routes on butterflies: the classic bit-fixing
+// scheme through level 0 / level log n, as used by the paper's Theorem
+// 4.3 embedding and by butterfly-based parallel machines.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::routing {
+
+/// Route in Bn: up the source column to level 0, monotonic bit-fixing
+/// descent to <dst column, log n>, then up the destination column.
+[[nodiscard]] std::vector<NodeId> route_bn(const topo::Butterfly& bf,
+                                           NodeId src, NodeId dst);
+
+/// Route in Wn: the Theorem 4.3 three-segment route (up to level 0,
+/// a full wrap of bit fixing, down to the destination level).
+[[nodiscard]] std::vector<NodeId> route_wn(const topo::WrappedButterfly& wb,
+                                           NodeId src, NodeId dst);
+
+}  // namespace bfly::routing

@@ -1,0 +1,80 @@
+#include "routing/dissemination.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace bfly::routing {
+
+DisseminationTrace disseminate(const Graph& g, std::span<const NodeId> seed) {
+  BFLY_CHECK(!seed.empty(), "seed must be nonempty");
+  std::vector<std::uint8_t> informed(g.num_nodes(), 0);
+  std::vector<NodeId> frontier;
+  std::size_t count = 0;
+  for (const NodeId v : seed) {
+    BFLY_CHECK(v < g.num_nodes(), "seed node out of range");
+    if (!informed[v]) {
+      informed[v] = 1;
+      frontier.push_back(v);
+      ++count;
+    }
+  }
+
+  DisseminationTrace trace;
+  trace.informed.push_back(count);
+  std::vector<NodeId> next;
+  while (count < g.num_nodes()) {
+    next.clear();
+    for (const NodeId u : frontier) {
+      for (const NodeId v : g.neighbors(u)) {
+        if (!informed[v]) {
+          informed[v] = 1;
+          next.push_back(v);
+        }
+      }
+    }
+    BFLY_CHECK(!next.empty(), "graph is disconnected");
+    count += next.size();
+    frontier.swap(next);
+    trace.informed.push_back(count);
+    ++trace.rounds;
+  }
+  return trace;
+}
+
+LoadBalanceTrace balance_tokens(const Graph& g,
+                                std::vector<std::uint64_t> load,
+                                const LoadBalanceOptions& opts) {
+  BFLY_CHECK(load.size() == g.num_nodes(), "load vector size mismatch");
+
+  const auto imbalance = [&] {
+    const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+    return *hi - *lo;
+  };
+
+  LoadBalanceTrace trace;
+  trace.imbalance.push_back(imbalance());
+  for (std::uint32_t round = 0; round < opts.max_rounds; ++round) {
+    bool any = false;
+    for (const auto& [u, v] : g.edges()) {
+      if (load[u] + 1 < load[v]) {
+        ++load[u];
+        --load[v];
+        any = true;
+      } else if (load[v] + 1 < load[u]) {
+        --load[u];
+        ++load[v];
+        any = true;
+      }
+    }
+    if (!any) {
+      trace.fixed_point = true;
+      break;
+    }
+    ++trace.rounds;
+    trace.imbalance.push_back(imbalance());
+  }
+  return trace;
+}
+
+}  // namespace bfly::routing

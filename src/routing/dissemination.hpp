@@ -1,0 +1,61 @@
+// Information dissemination and local load balancing (paper Section 1.3).
+//
+// The paper motivates expansion through two dynamics:
+//   * dissemination: a set of k informed nodes grows to k + NE(G, k)
+//     informed nodes per step, so the time to inform everyone is
+//     governed by the node-expansion function;
+//   * load balancing (Ghosh et al. [8]): tokens move along edges toward
+//     less-loaded neighbors; the convergence rate is governed by edge
+//     expansion.
+// This module simulates both exactly so benches can put measured curves
+// next to the Section 4 expansion functions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::routing {
+
+struct DisseminationTrace {
+  /// informed-set size after each step (entry 0 = |seed|).
+  std::vector<std::size_t> informed;
+  /// Steps until everyone is informed.
+  std::uint32_t rounds = 0;
+};
+
+/// One-step-neighborhood broadcast: every step, all neighbors of the
+/// informed set become informed (the idealized dynamic of Section 1.3,
+/// whose per-step growth is exactly the node expansion of the current
+/// set).
+[[nodiscard]] DisseminationTrace disseminate(const Graph& g,
+                                             std::span<const NodeId> seed);
+
+struct LoadBalanceOptions {
+  std::uint32_t max_rounds = 10000;
+};
+
+struct LoadBalanceTrace {
+  /// max-min load imbalance after each round (entry 0 = initial).
+  std::vector<std::uint64_t> imbalance;
+  std::uint32_t rounds = 0;
+  /// True iff a local fixed point was reached (every edge's endpoint
+  /// loads differ by at most 1). At a fixed point the global imbalance
+  /// is at most the graph diameter — the discrepancy local algorithms
+  /// are known to reach ([8] analyses sharper variants).
+  bool fixed_point = false;
+};
+
+/// The classic dimension-free local balancing step: in each round every
+/// edge (u, v) moves one token from the heavier endpoint to the lighter
+/// one when their loads differ by at least 2 (first-order diffusion with
+/// unit quanta; edges processed in id order within a round). Runs until
+/// a local fixed point or max_rounds.
+[[nodiscard]] LoadBalanceTrace balance_tokens(
+    const Graph& g, std::vector<std::uint64_t> load,
+    const LoadBalanceOptions& opts = {});
+
+}  // namespace bfly::routing

@@ -1,0 +1,36 @@
+// Network emulation via embeddings (paper Section 1.5).
+//
+// The paper surveys work-preserving emulations (Koch et al. [12],
+// Schwabe [26], Maggs–Schwabe [18]): a host network emulates each step
+// of a guest computation with slowdown governed by the embedding's
+// load, congestion, and dilation. We realize the standard model: one
+// guest step = one message across every guest edge (both directions);
+// the host routes all of them along the embedded paths under one-packet-
+// per-link-per-step switching. The measured per-step makespan is the
+// emulation slowdown, to be compared with the load+congestion+dilation
+// yardstick.
+#pragma once
+
+#include <cstdint>
+
+#include "embed/embedding.hpp"
+#include "embed/factory.hpp"
+
+namespace bfly::routing {
+
+struct EmulationReport {
+  /// Messages routed per emulated guest step (2 per guest edge).
+  std::size_t messages_per_step = 0;
+  /// Host steps needed to deliver one guest step's messages.
+  std::uint32_t step_makespan = 0;
+  /// load + congestion + dilation of the embedding (the classic
+  /// slowdown yardstick; the emulation should be within a small factor).
+  std::size_t lcd_reference = 0;
+  embed::EmbeddingMetrics metrics;
+};
+
+/// Simulates one full-exchange guest step through the embedding.
+[[nodiscard]] EmulationReport emulate_full_exchange(
+    const embed::EmbeddingCase& c);
+
+}  // namespace bfly::routing

@@ -1,0 +1,143 @@
+#include "routing/rearrange_certificate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/error.hpp"
+#include "core/partition.hpp"
+#include "embed/factory.hpp"
+#include "routing/benes_route.hpp"
+#include "topology/benes.hpp"
+
+namespace bfly::routing {
+
+namespace {
+
+// Stitches a guest (Beneš) path through the folded embedding into a
+// butterfly path.
+std::vector<NodeId> fold_path(const embed::EmbeddingCase& fold,
+                              const std::vector<NodeId>& gpath) {
+  std::vector<NodeId> hpath;
+  hpath.push_back(fold.emb.node_map[gpath.front()]);
+  for (std::size_t i = 0; i + 1 < gpath.size(); ++i) {
+    const NodeId a = gpath[i], b = gpath[i + 1];
+    EdgeId ge = kInvalidEdge;
+    const auto nbrs = fold.guest.neighbors(a);
+    const auto eids = fold.guest.incident_edges(a);
+    for (std::size_t x = 0; x < nbrs.size(); ++x) {
+      if (nbrs[x] == b) {
+        ge = eids[x];
+        break;
+      }
+    }
+    BFLY_CHECK(ge != kInvalidEdge, "guest path step is not a guest edge");
+    auto seg = fold.emb.paths[ge];
+    if (seg.front() != hpath.back()) std::reverse(seg.begin(), seg.end());
+    BFLY_CHECK(seg.front() == hpath.back(), "segment does not chain");
+    hpath.insert(hpath.end(), seg.begin() + 1, seg.end());
+  }
+  return hpath;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> lemma25_paths(
+    const topo::Butterfly& bf, std::span<const std::uint32_t> port_perm) {
+  const std::uint32_t n = bf.n();
+  BFLY_CHECK(n >= 4, "need n >= 4 for the folded Benes");
+  BFLY_CHECK(port_perm.size() == n, "port bijection must have size n");
+
+  const topo::Benes benes(n / 2);
+  const auto routing = route_two_port_permutation(benes, port_perm);
+  const auto fold = embed::benes_into_bn(bf);
+
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(n);
+  for (const auto& gpath : routing.paths) {
+    out.push_back(fold_path(fold, gpath));
+  }
+  return out;
+}
+
+Lemma28Certificate lemma28_certificate(
+    const topo::Butterfly& bf, const std::vector<std::uint8_t>& sides) {
+  const std::uint32_t n = bf.n();
+  BFLY_CHECK(sides.size() == bf.num_nodes(), "side vector size mismatch");
+  BFLY_CHECK(n >= 4, "need n >= 4");
+
+  // Determine the minority side of level 0 (the lemma's Ā).
+  std::size_t on1 = 0;
+  for (std::uint32_t w = 0; w < n; ++w) on1 += sides[bf.node(w, 0)];
+  const std::uint8_t minority_side = (on1 * 2 <= n) ? 1 : 0;
+
+  const auto side_of = [&](std::uint32_t column) {
+    return sides[bf.node(column, 0)];
+  };
+  // Beneš index c: I node = column 2c, O node = column 2c+1.
+  std::vector<std::uint32_t> i_minor, i_major, o_minor, o_major;
+  for (std::uint32_t c = 0; c < n / 2; ++c) {
+    (side_of(2 * c) == minority_side ? i_minor : i_major).push_back(c);
+    (side_of(2 * c + 1) == minority_side ? o_minor : o_major).push_back(c);
+  }
+  // Lemma 2.8's counting guarantees these inequalities when Ā is the
+  // level-0 minority.
+  BFLY_CHECK(i_minor.size() <= o_major.size(),
+             "Lemma 2.8 precondition violated (|Ā∩I| > |A∩O|)");
+  BFLY_CHECK(o_minor.size() <= i_major.size(),
+             "Lemma 2.8 precondition violated (|Ā∩O| > |A∩I|)");
+
+  // Node bijection pi: minority inputs -> majority outputs, minority
+  // outputs <- majority inputs, rest in order.
+  constexpr std::uint32_t kUnset = ~0u;
+  std::vector<std::uint32_t> pi(n / 2, kUnset);
+  std::vector<std::uint8_t> used_o(n / 2, 0);
+  std::size_t o_cursor = 0;
+  for (const std::uint32_t i : i_minor) {
+    pi[i] = o_major[o_cursor];
+    used_o[o_major[o_cursor++]] = 1;
+  }
+  std::size_t i_cursor = 0;
+  for (const std::uint32_t o : o_minor) {
+    while (pi[i_major[i_cursor]] != kUnset) ++i_cursor;
+    pi[i_major[i_cursor]] = o;
+    used_o[o] = 1;
+  }
+  std::size_t next_free_o = 0;
+  for (std::uint32_t i = 0; i < n / 2; ++i) {
+    if (pi[i] != kUnset) continue;
+    while (used_o[next_free_o]) ++next_free_o;
+    pi[i] = static_cast<std::uint32_t>(next_free_o);
+    used_o[next_free_o] = 1;
+  }
+
+  std::vector<std::uint32_t> port_perm(n);
+  for (std::uint32_t i = 0; i < n / 2; ++i) {
+    port_perm[2 * i] = 2 * pi[i];
+    port_perm[2 * i + 1] = 2 * pi[i] + 1;
+  }
+
+  const auto paths = lemma25_paths(bf, port_perm);
+
+  Lemma28Certificate cert;
+  cert.minority_level0 =
+      minority_side == 1 ? on1 : static_cast<std::size_t>(n) - on1;
+  cert.cut_capacity = cut_capacity(bf.graph(), sides);
+
+  std::set<std::pair<NodeId, NodeId>> used_edges;
+  cert.edge_disjoint = true;
+  for (const auto& p : paths) {
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      const auto key = std::minmax(p[i], p[i + 1]);
+      if (!used_edges.insert({key.first, key.second}).second) {
+        cert.edge_disjoint = false;
+      }
+    }
+    if (sides[p.front()] != sides[p.back()]) {
+      ++cert.crossing_paths;
+      cert.paths.push_back(p);
+    }
+  }
+  return cert;
+}
+
+}  // namespace bfly::routing

@@ -1,0 +1,51 @@
+// Constructive certificates for Lemmas 2.5 and 2.8.
+//
+// Lemma 2.5: partition level 0 of Bn into I (even columns) and O (odd
+// columns); give each I node two input ports and each O node two output
+// ports. For ANY bijection of input ports onto output ports there are n
+// pairwise edge-disjoint paths realizing it. We construct them by
+// routing the bijection through Beneš_{log n - 1} (Waksman two-port
+// looping) and folding the result through the congestion-1 embedding of
+// the Beneš into Bn.
+//
+// Lemma 2.8's capacity argument: for any cut (A, Ā) of Bn with
+// |Ā ∩ L0| <= |A ∩ L0|, a port bijection can be chosen so that
+// 2|Ā ∩ L0| of the paths have endpoints on opposite sides — each
+// crosses the cut at least once, and edge-disjointness then certifies
+// C(A, Ā) >= 2|Ā ∩ L0|.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly::routing {
+
+/// Edge-disjoint butterfly paths realizing a bijection of the n input
+/// ports (port 2c+slot belongs to I node <2c, 0>) onto the n output
+/// ports (port 2c+slot belongs to O node <2c+1, 0>). n = bf.n() must be
+/// >= 4. Every returned path starts at an even column of level 0 and
+/// ends at an odd column of level 0.
+[[nodiscard]] std::vector<std::vector<NodeId>> lemma25_paths(
+    const topo::Butterfly& bf, std::span<const std::uint32_t> port_perm);
+
+struct Lemma28Certificate {
+  std::size_t minority_level0 = 0;  ///< |Ā ∩ L0| (the smaller side)
+  std::size_t crossing_paths = 0;   ///< paths with endpoints on both sides
+  std::size_t cut_capacity = 0;     ///< C(A, Ā) of the given cut
+  bool edge_disjoint = false;    ///< certificate validity
+  /// The straddling paths themselves.
+  std::vector<std::vector<NodeId>> paths;
+};
+
+/// Builds the Lemma 2.8 lower-bound certificate for an arbitrary cut:
+/// chooses the port bijection of the lemma's proof, routes it, and
+/// returns the 2|Ā ∩ L0| edge-disjoint straddling paths (so that
+/// cut_capacity >= crossing_paths always holds).
+[[nodiscard]] Lemma28Certificate lemma28_certificate(
+    const topo::Butterfly& bf, const std::vector<std::uint8_t>& sides);
+
+}  // namespace bfly::routing

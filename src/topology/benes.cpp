@@ -1,0 +1,20 @@
+#include "topology/benes.hpp"
+
+#include "core/math_util.hpp"
+
+namespace bfly::topo {
+
+Benes::Benes(std::uint32_t n) : n_(n), dims_(log2_exact(n)) {
+  BFLY_CHECK(n >= 2, "Benes network needs at least 2 columns");
+  GraphBuilder gb(num_nodes());
+  for (std::uint32_t b = 0; b < 2 * dims_; ++b) {
+    const std::uint32_t mask = cross_mask(b);
+    for (std::uint32_t w = 0; w < n_; ++w) {
+      gb.add_edge(node(w, b), node(w, b + 1));
+      gb.add_edge(node(w, b), node(w ^ mask, b + 1));
+    }
+  }
+  graph_ = std::move(gb).build();
+}
+
+}  // namespace bfly::topo

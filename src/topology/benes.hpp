@@ -1,0 +1,73 @@
+// The d-dimensional Beneš network (Section 1.5).
+//
+// Two back-to-back d-dimensional butterflies sharing their level-d nodes:
+// 2d+1 levels of n = 2^d columns. The boundary between levels l and l+1
+// flips paper bit position l+1 for l < d, and position 2d-l for l >= d
+// (the mirrored second half). Level 0 nodes are the inputs, level 2d nodes
+// the outputs; each input/output node carries two logical ports, making
+// the network rearrangeable for any permutation of 2n ports (Lemma 2.5's
+// substrate, machine-verified by routing/benes_route).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+#include "topology/labels.hpp"
+
+namespace bfly::topo {
+
+class Benes {
+ public:
+  /// Builds the d-dimensional Beneš network with n = 2^d columns (n >= 2).
+  explicit Benes(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t dims() const noexcept { return dims_; }
+  [[nodiscard]] std::uint32_t num_levels() const noexcept {
+    return 2 * dims_ + 1;
+  }
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(n_) * num_levels();
+  }
+
+  [[nodiscard]] NodeId node(std::uint32_t column, std::uint32_t level) const {
+    BFLY_ASSERT(column < n_ && level <= 2 * dims_);
+    return static_cast<NodeId>(level) * n_ + column;
+  }
+
+  [[nodiscard]] std::uint32_t column(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return v % n_;
+  }
+
+  [[nodiscard]] std::uint32_t level(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return v / n_;
+  }
+
+  /// Machine mask flipped by cross edges between levels b and b+1.
+  [[nodiscard]] std::uint32_t cross_mask(std::uint32_t b) const {
+    BFLY_ASSERT(b < 2 * dims_);
+    const std::uint32_t pos = b < dims_ ? b + 1 : 2 * dims_ - b;
+    return bit_mask(dims_, pos);
+  }
+
+  [[nodiscard]] NodeId input(std::uint32_t column) const {
+    return node(column, 0);
+  }
+  [[nodiscard]] NodeId output(std::uint32_t column) const {
+    return node(column, 2 * dims_);
+  }
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t dims_;
+  Graph graph_;
+};
+
+}  // namespace bfly::topo

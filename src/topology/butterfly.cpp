@@ -1,0 +1,116 @@
+#include "topology/butterfly.hpp"
+
+#include "core/math_util.hpp"
+
+namespace bfly::topo {
+
+Butterfly::Butterfly(std::uint32_t n) : n_(n), dims_(log2_exact(n)) {
+  BFLY_CHECK(n >= 2, "butterfly needs at least 2 columns");
+  GraphBuilder gb(num_nodes());
+  for (std::uint32_t b = 0; b < dims_; ++b) {
+    const std::uint32_t mask = cross_mask(b);
+    for (std::uint32_t w = 0; w < n_; ++w) {
+      gb.add_edge(node(w, b), node(w, b + 1));         // straight
+      gb.add_edge(node(w, b), node(w ^ mask, b + 1));  // cross
+    }
+  }
+  graph_ = std::move(gb).build();
+}
+
+std::vector<NodeId> Butterfly::level_nodes(std::uint32_t lvl) const {
+  BFLY_CHECK(lvl <= dims_, "level out of range");
+  std::vector<NodeId> out;
+  out.reserve(n_);
+  for (std::uint32_t w = 0; w < n_; ++w) out.push_back(node(w, lvl));
+  return out;
+}
+
+std::vector<NodeId> Butterfly::monotonic_path(std::uint32_t in_col,
+                                              std::uint32_t out_col) const {
+  BFLY_CHECK(in_col < n_ && out_col < n_, "column out of range");
+  std::vector<NodeId> path;
+  path.reserve(dims_ + 1);
+  for (std::uint32_t lvl = 0; lvl <= dims_; ++lvl) {
+    // After crossing boundaries 0..lvl-1 the first lvl paper positions have
+    // been fixed to out_col's bits; the rest still carry in_col's bits.
+    const std::uint32_t high_mask =
+        lvl == 0 ? 0u : ~((1u << (dims_ - lvl)) - 1) & (n_ - 1);
+    const std::uint32_t col = (out_col & high_mask) | (in_col & ~high_mask);
+    path.push_back(node(col & (n_ - 1), lvl));
+  }
+  return path;
+}
+
+std::uint32_t Butterfly::component_id(std::uint32_t column, std::uint32_t lo,
+                                      std::uint32_t hi) const {
+  BFLY_CHECK(lo <= hi && hi <= dims_, "invalid level range");
+  const std::uint32_t top = lo == 0 ? 0u : column >> (dims_ - lo);
+  const std::uint32_t bottom_bits = dims_ - hi;
+  const std::uint32_t bottom =
+      bottom_bits == 0 ? 0u : column & ((1u << bottom_bits) - 1);
+  return (top << bottom_bits) | bottom;
+}
+
+std::vector<std::uint32_t> Butterfly::component_columns(
+    std::uint32_t comp, std::uint32_t lo, std::uint32_t hi) const {
+  BFLY_CHECK(lo <= hi && hi <= dims_, "invalid level range");
+  BFLY_CHECK(comp < num_components(lo, hi), "component index out of range");
+  const std::uint32_t bottom_bits = dims_ - hi;
+  const std::uint32_t free_bits = hi - lo;
+  const std::uint32_t top = comp >> bottom_bits;
+  const std::uint32_t bottom =
+      bottom_bits == 0 ? 0u : comp & ((1u << bottom_bits) - 1);
+  std::vector<std::uint32_t> cols;
+  cols.reserve(1u << free_bits);
+  for (std::uint32_t f = 0; f < (1u << free_bits); ++f) {
+    cols.push_back((top << (dims_ - lo)) | (f << bottom_bits) | bottom);
+  }
+  return cols;
+}
+
+std::vector<NodeId> Butterfly::component_nodes(std::uint32_t comp,
+                                               std::uint32_t lo,
+                                               std::uint32_t hi) const {
+  const auto cols = component_columns(comp, lo, hi);
+  std::vector<NodeId> nodes;
+  nodes.reserve(cols.size() * (hi - lo + 1));
+  for (std::uint32_t lvl = lo; lvl <= hi; ++lvl) {
+    for (const std::uint32_t c : cols) nodes.push_back(node(c, lvl));
+  }
+  return nodes;
+}
+
+NodeId ButterflyAutomorphism::apply(NodeId v) const {
+  const std::uint32_t lvl = bf_->level(v);
+  const std::uint32_t d = bf_->dims();
+  // Restrict flips to paper positions 1..lvl, i.e. the top lvl machine bits.
+  const std::uint32_t high_mask =
+      lvl == 0 ? 0u : (~((1u << (d - lvl)) - 1)) & (bf_->n() - 1);
+  const std::uint32_t c = c0_ ^ (flips_ & high_mask);
+  return bf_->node(bf_->column(v) ^ c, lvl);
+}
+
+ButterflyAutomorphism ButterflyAutomorphism::mapping_edge(const Butterfly& bf,
+                                                          NodeId v, NodeId u,
+                                                          NodeId v2,
+                                                          NodeId u2) {
+  BFLY_CHECK(bf.level(v) == bf.level(v2) && bf.level(u) == bf.level(u2),
+             "endpoints must be level-aligned");
+  BFLY_CHECK(bf.level(u) == bf.level(v) + 1, "expected a boundary edge");
+  const std::uint32_t b = bf.level(v);  // boundary index
+  const std::uint32_t mask = bf.cross_mask(b);
+  const std::uint32_t c0 = bf.column(v) ^ bf.column(v2);
+  // Edge {v,u} is "cross" iff the columns differ; same for {v2,u2}. If the
+  // two edges have different types we twist bit position b+1 at boundary b.
+  const bool cross1 = bf.column(u) != bf.column(v);
+  const bool cross2 = bf.column(u2) != bf.column(v2);
+  const std::uint32_t flips = (cross1 != cross2) ? mask : 0u;
+  return ButterflyAutomorphism(bf, c0, flips);
+}
+
+NodeId level_reversal(const Butterfly& bf, NodeId v) {
+  return bf.node(reverse_bits(bf.column(v), bf.dims()),
+                 bf.dims() - bf.level(v));
+}
+
+}  // namespace bfly::topo

@@ -1,0 +1,138 @@
+// The (log n)-dimensional butterfly network Bn (paper Section 1.1).
+//
+// Bn has N = n(log n + 1) nodes arranged in log n + 1 levels of n nodes
+// each. Node <w, i> (column w, level i) connects to <w', i+1> iff w' == w
+// ("straight" edge) or w and w' differ exactly in paper bit position i+1
+// ("cross" edge). Bit positions are numbered 1..log n, MSB = position 1.
+//
+// Node ids are level-major: id = level * n + column. This keeps each level
+// contiguous, which the cut machinery exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+#include "topology/labels.hpp"
+
+namespace bfly::topo {
+
+class Butterfly {
+ public:
+  /// Builds Bn; n (the number of inputs/columns) must be a power of two.
+  explicit Butterfly(std::uint32_t n);
+
+  /// Number of columns (= inputs = outputs).
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+
+  /// Dimension log n.
+  [[nodiscard]] std::uint32_t dims() const noexcept { return dims_; }
+
+  /// Number of levels (= dims + 1).
+  [[nodiscard]] std::uint32_t num_levels() const noexcept {
+    return dims_ + 1;
+  }
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(n_) * num_levels();
+  }
+
+  [[nodiscard]] NodeId node(std::uint32_t column, std::uint32_t level) const {
+    BFLY_ASSERT(column < n_ && level <= dims_);
+    return static_cast<NodeId>(level) * n_ + column;
+  }
+
+  [[nodiscard]] std::uint32_t column(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return v % n_;
+  }
+
+  [[nodiscard]] std::uint32_t level(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return v / n_;
+  }
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  /// All node ids on the given level, in column order.
+  [[nodiscard]] std::vector<NodeId> level_nodes(std::uint32_t level) const;
+
+  /// Machine mask of the column bit flipped by cross edges between level
+  /// `boundary` and `boundary + 1` (paper bit position boundary+1).
+  [[nodiscard]] std::uint32_t cross_mask(std::uint32_t boundary) const {
+    BFLY_ASSERT(boundary < dims_);
+    return bit_mask(dims_, boundary + 1);
+  }
+
+  /// The unique monotonic input-to-output path (Lemma 2.3) from
+  /// <in_col, 0> to <out_col, log n>, returned as dims()+1 node ids.
+  [[nodiscard]] std::vector<NodeId> monotonic_path(
+      std::uint32_t in_col, std::uint32_t out_col) const;
+
+  // --- Lemma 2.4 machinery: components of Bn[lo, hi] ------------------
+  //
+  // Bn[lo, hi] is the subgraph induced by levels lo..hi. It splits into
+  // n / 2^(hi-lo) connected components, each isomorphic to B_{2^(hi-lo)};
+  // a component is identified by the column bits OUTSIDE paper positions
+  // lo+1..hi (those positions are the only ones cross edges can change).
+
+  [[nodiscard]] std::uint32_t num_components(std::uint32_t lo,
+                                             std::uint32_t hi) const {
+    BFLY_ASSERT(lo <= hi && hi <= dims_);
+    return n_ >> (hi - lo);
+  }
+
+  /// Component index (in [0, num_components)) of `column` within
+  /// Bn[lo, hi]: the fixed bits packed together (top bits 1..lo followed
+  /// by bottom bits hi+1..dims).
+  [[nodiscard]] std::uint32_t component_id(std::uint32_t column,
+                                           std::uint32_t lo,
+                                           std::uint32_t hi) const;
+
+  /// The columns belonging to component `comp` of Bn[lo, hi], in
+  /// increasing order (2^(hi-lo) of them).
+  [[nodiscard]] std::vector<std::uint32_t> component_columns(
+      std::uint32_t comp, std::uint32_t lo, std::uint32_t hi) const;
+
+  /// All node ids of component `comp` of Bn[lo, hi] (levels lo..hi).
+  [[nodiscard]] std::vector<NodeId> component_nodes(std::uint32_t comp,
+                                                    std::uint32_t lo,
+                                                    std::uint32_t hi) const;
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t dims_;
+  Graph graph_;
+};
+
+/// A level-preserving automorphism of Bn (the family underlying
+/// Lemma 2.2): level i's columns are translated by
+///   c_i = c0 XOR (flips restricted to paper positions 1..i),
+/// i.e. crossing boundary i optionally "twists" bit position i+1. Every
+/// (c0, flips) pair yields an automorphism; c0 alone gives the plain
+/// column-XOR translations.
+class ButterflyAutomorphism {
+ public:
+  ButterflyAutomorphism(const Butterfly& bf, std::uint32_t c0,
+                        std::uint32_t flips)
+      : bf_(&bf), c0_(c0), flips_(flips) {}
+
+  [[nodiscard]] NodeId apply(NodeId v) const;
+
+  /// Constructs the automorphism mapping edge {v,u} onto edge {v2,u2}
+  /// (Lemma 2.2); v,v2 must share a level, u,u2 must share the next level.
+  static ButterflyAutomorphism mapping_edge(const Butterfly& bf, NodeId v,
+                                            NodeId u, NodeId v2, NodeId u2);
+
+ private:
+  const Butterfly* bf_;
+  std::uint32_t c0_;
+  std::uint32_t flips_;
+};
+
+/// The level-reversing automorphism of Lemma 2.1:
+/// <w, i> -> <reverse(w), log n - i>. Returns the image node id.
+[[nodiscard]] NodeId level_reversal(const Butterfly& bf, NodeId v);
+
+}  // namespace bfly::topo

@@ -1,0 +1,26 @@
+#include "topology/ccc.hpp"
+
+#include "core/math_util.hpp"
+
+namespace bfly::topo {
+
+CubeConnectedCycles::CubeConnectedCycles(std::uint32_t n)
+    : n_(n), dims_(log2_exact(n)) {
+  BFLY_CHECK(n >= 4, "cube-connected cycles needs log n >= 2");
+  GraphBuilder gb(num_nodes());
+  for (std::uint32_t w = 0; w < n_; ++w) {
+    // Cycle edges: one per consecutive position pair. For dims == 2 this
+    // naturally yields the doubled <w,0>-<w,1> edge of a 2-cycle.
+    for (std::uint32_t i = 0; i < dims_; ++i) {
+      gb.add_edge(node(w, i), node(w, (i + 1) % dims_));
+    }
+    // Cube edges (each once: only from the 0-bit side).
+    for (std::uint32_t i = 0; i < dims_; ++i) {
+      const std::uint32_t mask = cube_mask(i);
+      if ((w & mask) == 0) gb.add_edge(node(w, i), node(w ^ mask, i));
+    }
+  }
+  graph_ = std::move(gb).build();
+}
+
+}  // namespace bfly::topo

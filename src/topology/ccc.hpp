@@ -1,0 +1,61 @@
+// The (log n)-dimensional cube-connected cycles network CCCn (Section 1.1).
+//
+// CCCn consists of n = 2^d cycles of d = log n nodes each. Node <w, i>
+// (cycle w, position i, 0-indexed here; the paper uses 1..log n) has cycle
+// edges to <w, i±1 mod d> and one cube edge to <w', i> where w' differs
+// from w exactly in paper bit position i+1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+#include "topology/labels.hpp"
+
+namespace bfly::topo {
+
+class CubeConnectedCycles {
+ public:
+  /// Builds CCCn; n must be a power of two with log n >= 2. (For
+  /// log n == 2 the two-node "cycles" become parallel edges, represented
+  /// faithfully.)
+  explicit CubeConnectedCycles(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t dims() const noexcept { return dims_; }
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(n_) * dims_;
+  }
+
+  [[nodiscard]] NodeId node(std::uint32_t cycle, std::uint32_t pos) const {
+    BFLY_ASSERT(cycle < n_ && pos < dims_);
+    return static_cast<NodeId>(pos) * n_ + cycle;
+  }
+
+  [[nodiscard]] std::uint32_t cycle(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return v % n_;
+  }
+
+  [[nodiscard]] std::uint32_t position(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return v / n_;
+  }
+
+  /// Machine mask of the cube dimension used at position `pos`.
+  [[nodiscard]] std::uint32_t cube_mask(std::uint32_t pos) const {
+    BFLY_ASSERT(pos < dims_);
+    return bit_mask(dims_, pos + 1);
+  }
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t dims_;
+  Graph graph_;
+};
+
+}  // namespace bfly::topo

@@ -1,0 +1,26 @@
+#include "topology/complete.hpp"
+
+#include "core/error.hpp"
+
+namespace bfly::topo {
+
+Graph complete_graph(NodeId num_nodes, std::uint32_t multiplicity) {
+  BFLY_CHECK(multiplicity >= 1, "multiplicity must be positive");
+  GraphBuilder gb(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = u + 1; v < num_nodes; ++v) {
+      for (std::uint32_t m = 0; m < multiplicity; ++m) gb.add_edge(u, v);
+    }
+  }
+  return std::move(gb).build();
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  GraphBuilder gb(a + b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) gb.add_edge(u, a + v);
+  }
+  return std::move(gb).build();
+}
+
+}  // namespace bfly::topo

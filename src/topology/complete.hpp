@@ -1,0 +1,22 @@
+// Complete and complete bipartite graphs.
+//
+// K_N (optionally with uniform edge multiplicity, e.g. 2K_N as used in the
+// Section 1.4 embedding lower bounds) and K_{a,b} (used to prove
+// Lemma 3.1 via the K_{n,n} -> Bn embedding).
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::topo {
+
+/// K_N with every pair joined by `multiplicity` parallel edges.
+[[nodiscard]] Graph complete_graph(NodeId num_nodes,
+                                   std::uint32_t multiplicity = 1);
+
+/// K_{a,b}: left side nodes are ids [0, a), right side [a, a+b).
+[[nodiscard]] Graph complete_bipartite(NodeId a, NodeId b);
+
+}  // namespace bfly::topo

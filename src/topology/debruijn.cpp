@@ -1,0 +1,29 @@
+#include "topology/debruijn.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "core/error.hpp"
+
+namespace bfly::topo {
+
+DeBruijn::DeBruijn(std::uint32_t dims) : dims_(dims) {
+  BFLY_CHECK(dims >= 2 && dims < 31, "de Bruijn dimension out of range");
+  const std::uint32_t n = num_nodes();
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  GraphBuilder gb(n);
+  for (std::uint32_t w = 0; w < n; ++w) {
+    for (std::uint32_t bit = 0; bit <= 1; ++bit) {
+      const std::uint32_t v = ((w << 1) | bit) & (n - 1);
+      if (v == w) continue;  // self loop at 00..0 / 11..1
+      const auto key = std::minmax(w, v);
+      if (seen.insert({key.first, key.second}).second) {
+        gb.add_edge(w, v);
+      }
+    }
+  }
+  graph_ = std::move(gb).build();
+}
+
+}  // namespace bfly::topo

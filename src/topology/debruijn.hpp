@@ -1,0 +1,27 @@
+// The d-dimensional de Bruijn network (Section 1.5).
+//
+// Nodes are d-bit strings; w is adjacent to 2w mod 2^d and 2w+1 mod 2^d
+// (undirected, self loops omitted, coincident pairs deduplicated).
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::topo {
+
+class DeBruijn {
+ public:
+  explicit DeBruijn(std::uint32_t dims);
+
+  [[nodiscard]] std::uint32_t dims() const noexcept { return dims_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return 1u << dims_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+ private:
+  std::uint32_t dims_;
+  Graph graph_;
+};
+
+}  // namespace bfly::topo

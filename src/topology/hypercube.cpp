@@ -1,0 +1,18 @@
+#include "topology/hypercube.hpp"
+
+#include "core/error.hpp"
+
+namespace bfly::topo {
+
+Hypercube::Hypercube(std::uint32_t dims) : dims_(dims) {
+  BFLY_CHECK(dims >= 1 && dims < 31, "hypercube dimension out of range");
+  GraphBuilder gb(num_nodes());
+  for (std::uint32_t w = 0; w < num_nodes(); ++w) {
+    for (std::uint32_t b = 0; b < dims_; ++b) {
+      if ((w & (1u << b)) == 0) gb.add_edge(w, w | (1u << b));
+    }
+  }
+  graph_ = std::move(gb).build();
+}
+
+}  // namespace bfly::topo

@@ -1,0 +1,24 @@
+// The d-dimensional hypercube Qd (Section 1.5 related networks).
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::topo {
+
+class Hypercube {
+ public:
+  explicit Hypercube(std::uint32_t dims);
+
+  [[nodiscard]] std::uint32_t dims() const noexcept { return dims_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return 1u << dims_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+ private:
+  std::uint32_t dims_;
+  Graph graph_;
+};
+
+}  // namespace bfly::topo

@@ -1,0 +1,50 @@
+// Bit-string column-label helpers shared by the butterfly-family networks.
+//
+// The paper numbers bit positions 1..d with the MOST significant bit being
+// position 1 (Section 1.1). All helpers here follow that convention: a
+// column is a d-bit unsigned value, and position p corresponds to the
+// machine bit (d - p).
+#pragma once
+
+#include <cstdint>
+
+#include "core/error.hpp"
+
+namespace bfly::topo {
+
+/// Machine mask of paper bit position p (1-based, MSB first) in a d-bit word.
+[[nodiscard]] constexpr std::uint32_t bit_mask(std::uint32_t d,
+                                               std::uint32_t p) noexcept {
+  return 1u << (d - p);
+}
+
+/// Value of paper bit position p of column w.
+[[nodiscard]] constexpr std::uint32_t bit_at(std::uint32_t w, std::uint32_t d,
+                                             std::uint32_t p) noexcept {
+  return (w >> (d - p)) & 1u;
+}
+
+/// Reverses the d-bit string w (position p <-> position d+1-p).
+[[nodiscard]] inline std::uint32_t reverse_bits(std::uint32_t w,
+                                                std::uint32_t d) {
+  std::uint32_t r = 0;
+  for (std::uint32_t i = 0; i < d; ++i) {
+    r = (r << 1) | ((w >> i) & 1u);
+  }
+  return r;
+}
+
+/// Rotates the d-bit string so that paper position p moves to position
+/// p + s (mod d). In machine terms this is a rotate-right by s of the low
+/// d bits.
+[[nodiscard]] inline std::uint32_t rotate_positions(std::uint32_t w,
+                                                    std::uint32_t d,
+                                                    std::uint32_t s) {
+  BFLY_ASSERT(d > 0 && d < 32);
+  s %= d;
+  if (s == 0) return w;
+  const std::uint32_t mask = (1u << d) - 1;
+  return ((w >> s) | (w << (d - s))) & mask;
+}
+
+}  // namespace bfly::topo

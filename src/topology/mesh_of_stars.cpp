@@ -1,0 +1,42 @@
+#include "topology/mesh_of_stars.hpp"
+
+#include "core/error.hpp"
+
+namespace bfly::topo {
+
+MeshOfStars::MeshOfStars(std::uint32_t j, std::uint32_t k) : j_(j), k_(k) {
+  BFLY_CHECK(j >= 1 && k >= 1, "mesh of stars needs j, k >= 1");
+  GraphBuilder gb(num_nodes());
+  for (std::uint32_t a = 0; a < j_; ++a) {
+    for (std::uint32_t b = 0; b < k_; ++b) {
+      gb.add_edge(m1_node(a), m2_node(a, b));
+      gb.add_edge(m2_node(a, b), m3_node(b));
+    }
+  }
+  graph_ = std::move(gb).build();
+}
+
+std::vector<NodeId> MeshOfStars::m1_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(j_);
+  for (std::uint32_t a = 0; a < j_; ++a) out.push_back(m1_node(a));
+  return out;
+}
+
+std::vector<NodeId> MeshOfStars::m2_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(j_) * k_);
+  for (std::uint32_t a = 0; a < j_; ++a) {
+    for (std::uint32_t b = 0; b < k_; ++b) out.push_back(m2_node(a, b));
+  }
+  return out;
+}
+
+std::vector<NodeId> MeshOfStars::m3_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(k_);
+  for (std::uint32_t b = 0; b < k_; ++b) out.push_back(m3_node(b));
+  return out;
+}
+
+}  // namespace bfly::topo

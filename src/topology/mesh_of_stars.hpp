@@ -1,0 +1,64 @@
+// The j x k mesh of stars MOS_{j,k} (Section 2.1).
+//
+// Obtained from the complete bipartite graph K_{j,k} by replacing every
+// edge with a path of length two. Three "levels": M1 (j nodes), M2 (j*k
+// middle nodes, one per K_{j,k} edge), M3 (k nodes). This is the highly
+// symmetric network the butterfly is reduced to when proving
+// BW(Bn) = 2(sqrt 2 - 1) n + o(n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::topo {
+
+class MeshOfStars {
+ public:
+  MeshOfStars(std::uint32_t j, std::uint32_t k);
+
+  [[nodiscard]] std::uint32_t j() const noexcept { return j_; }
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return j_ + static_cast<NodeId>(j_) * k_ + k_;
+  }
+
+  [[nodiscard]] NodeId m1_node(std::uint32_t a) const {
+    BFLY_ASSERT(a < j_);
+    return a;
+  }
+
+  [[nodiscard]] NodeId m2_node(std::uint32_t a, std::uint32_t b) const {
+    BFLY_ASSERT(a < j_ && b < k_);
+    return j_ + static_cast<NodeId>(a) * k_ + b;
+  }
+
+  [[nodiscard]] NodeId m3_node(std::uint32_t b) const {
+    BFLY_ASSERT(b < k_);
+    return j_ + static_cast<NodeId>(j_) * k_ + b;
+  }
+
+  /// 1, 2, or 3 depending on which level v belongs to.
+  [[nodiscard]] int level_of(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    if (v < j_) return 1;
+    if (v < j_ + static_cast<NodeId>(j_) * k_) return 2;
+    return 3;
+  }
+
+  [[nodiscard]] std::vector<NodeId> m1_nodes() const;
+  [[nodiscard]] std::vector<NodeId> m2_nodes() const;
+  [[nodiscard]] std::vector<NodeId> m3_nodes() const;
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+ private:
+  std::uint32_t j_;
+  std::uint32_t k_;
+  Graph graph_;
+};
+
+}  // namespace bfly::topo

@@ -1,0 +1,24 @@
+#include "topology/shuffle_exchange.hpp"
+
+#include "core/error.hpp"
+
+namespace bfly::topo {
+
+ShuffleExchange::ShuffleExchange(std::uint32_t dims) : dims_(dims) {
+  BFLY_CHECK(dims >= 2 && dims < 31, "shuffle-exchange dimension out of range");
+  GraphBuilder gb(num_nodes());
+  for (std::uint32_t w = 0; w < num_nodes(); ++w) {
+    // Exchange edge, once per pair.
+    if ((w & 1u) == 0) gb.add_edge(w, w ^ 1u);
+    // Shuffle edge {w, shuffle(w)}: each necklace-cycle edge is generated
+    // exactly once from its source, except on 2-cycles where both endpoints
+    // generate the same undirected pair — keep only the smaller endpoint's.
+    const std::uint32_t s = shuffle(w);
+    if (s == w) continue;  // self loop (all zeros / all ones)
+    if (shuffle(s) == w && w > s) continue;
+    gb.add_edge(w, s);
+  }
+  graph_ = std::move(gb).build();
+}
+
+}  // namespace bfly::topo

@@ -1,0 +1,35 @@
+// The d-dimensional shuffle-exchange network (Section 1.5).
+//
+// Nodes are d-bit strings. Exchange edges join w and w^1 (last bit
+// flipped); shuffle edges join w and its left rotation. Self loops
+// (the all-zero and all-one strings shuffle to themselves) are omitted,
+// matching the standard simple-graph convention.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::topo {
+
+class ShuffleExchange {
+ public:
+  explicit ShuffleExchange(std::uint32_t dims);
+
+  [[nodiscard]] std::uint32_t dims() const noexcept { return dims_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return 1u << dims_; }
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  /// Left rotation of the d-bit string w (the "shuffle" permutation).
+  [[nodiscard]] std::uint32_t shuffle(std::uint32_t w) const {
+    const std::uint32_t top = (w >> (dims_ - 1)) & 1u;
+    return ((w << 1) | top) & (num_nodes() - 1);
+  }
+
+ private:
+  std::uint32_t dims_;
+  Graph graph_;
+};
+
+}  // namespace bfly::topo

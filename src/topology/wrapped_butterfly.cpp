@@ -1,0 +1,35 @@
+#include "topology/wrapped_butterfly.hpp"
+
+#include "core/math_util.hpp"
+
+namespace bfly::topo {
+
+WrappedButterfly::WrappedButterfly(std::uint32_t n)
+    : n_(n), dims_(log2_exact(n)) {
+  BFLY_CHECK(n >= 4, "wrapped butterfly needs log n >= 2");
+  GraphBuilder gb(num_nodes());
+  for (std::uint32_t b = 0; b < dims_; ++b) {
+    const std::uint32_t nxt = (b + 1) % dims_;
+    const std::uint32_t mask = cross_mask(b);
+    for (std::uint32_t w = 0; w < n_; ++w) {
+      gb.add_edge(node(w, b), node(w, nxt));         // straight
+      gb.add_edge(node(w, b), node(w ^ mask, nxt));  // cross
+    }
+  }
+  graph_ = std::move(gb).build();
+}
+
+std::vector<NodeId> WrappedButterfly::level_nodes(std::uint32_t lvl) const {
+  BFLY_CHECK(lvl < dims_, "level out of range");
+  std::vector<NodeId> out;
+  out.reserve(n_);
+  for (std::uint32_t w = 0; w < n_; ++w) out.push_back(node(w, lvl));
+  return out;
+}
+
+NodeId WrappedButterfly::level_shift(NodeId v, std::uint32_t s) const {
+  const std::uint32_t lvl = (level(v) + s) % dims_;
+  return node(rotate_positions(column(v), dims_, s), lvl);
+}
+
+}  // namespace bfly::topo

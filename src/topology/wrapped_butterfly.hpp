@@ -1,0 +1,75 @@
+// The (log n)-dimensional butterfly with wraparound, Wn (Section 1.1).
+//
+// Wn is Bn with the level-0 and level-(log n) node of each column
+// identified, leaving n log n nodes on log n levels. Cross edges between
+// level i and level (i+1 mod log n) flip paper bit position i+1.
+//
+// For log n == 2 the identification produces parallel straight edges
+// (exactly as the paper's definition implies); the Graph class represents
+// them faithfully and every cut counts them individually.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+#include "topology/labels.hpp"
+
+namespace bfly::topo {
+
+class WrappedButterfly {
+ public:
+  /// Builds Wn; n must be a power of two, n >= 4 (so log n >= 2).
+  explicit WrappedButterfly(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t dims() const noexcept { return dims_; }
+  [[nodiscard]] std::uint32_t num_levels() const noexcept { return dims_; }
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(n_) * dims_;
+  }
+
+  [[nodiscard]] NodeId node(std::uint32_t column, std::uint32_t level) const {
+    BFLY_ASSERT(column < n_ && level < dims_);
+    return static_cast<NodeId>(level) * n_ + column;
+  }
+
+  [[nodiscard]] std::uint32_t column(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return v % n_;
+  }
+
+  [[nodiscard]] std::uint32_t level(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return v / n_;
+  }
+
+  [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  [[nodiscard]] std::vector<NodeId> level_nodes(std::uint32_t level) const;
+
+  /// Machine mask flipped by cross edges between level `boundary` and
+  /// level (boundary+1) mod dims (paper bit position boundary+1).
+  [[nodiscard]] std::uint32_t cross_mask(std::uint32_t boundary) const {
+    BFLY_ASSERT(boundary < dims_);
+    return bit_mask(dims_, boundary + 1);
+  }
+
+  /// The level-shift automorphism <w, i> -> <rot(w), i+s mod log n>,
+  /// where rot moves paper position p to position p+s (mod log n).
+  [[nodiscard]] NodeId level_shift(NodeId v, std::uint32_t s) const;
+
+  /// The column-XOR automorphism <w, i> -> <w ^ c, i>.
+  [[nodiscard]] NodeId column_xor(NodeId v, std::uint32_t c) const {
+    return node(column(v) ^ (c & (n_ - 1)), level(v));
+  }
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t dims_;
+  Graph graph_;
+};
+
+}  // namespace bfly::topo

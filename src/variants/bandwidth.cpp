@@ -1,0 +1,94 @@
+#include "variants/bandwidth.hpp"
+
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "algo/maxflow.hpp"
+#include "core/error.hpp"
+
+namespace bfly::variants {
+
+namespace {
+
+// Directed capacity of a side assignment: edges (u at level i, v at
+// level i+1) with u in S (side 0) and v in S̄ (side 1).
+std::size_t directed_capacity(const topo::Butterfly& bf,
+                              const std::vector<std::uint8_t>& sides) {
+  std::size_t c = 0;
+  for (const auto& [a, b] : bf.graph().edges()) {
+    // Edge endpoints are normalized by id; the lower id is the lower
+    // level in our level-major layout.
+    const NodeId lo = a, hi = b;
+    if (sides[lo] == 0 && sides[hi] == 1) ++c;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::size_t directed_msb_cut(const topo::Butterfly& bf) {
+  const std::uint32_t msb = bf.n() / 2;
+  std::vector<std::uint8_t> sides(bf.num_nodes());
+  for (NodeId v = 0; v < bf.num_nodes(); ++v) {
+    sides[v] = (bf.column(v) & msb) ? 1 : 0;
+  }
+  return directed_capacity(bf, sides);
+}
+
+std::size_t directed_io_bisection_exhaustive(const topo::Butterfly& bf) {
+  const NodeId n = bf.num_nodes();
+  BFLY_CHECK(n < 26, "graph too large for exhaustive enumeration");
+  const std::uint32_t cols = bf.n();
+  const std::uint32_t d = bf.dims();
+
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  std::vector<std::uint8_t> sides(n);
+  for (std::uint64_t bits = 0; bits < (1ull << n); ++bits) {
+    std::uint32_t inputs_in_s = 0, outputs_in_sbar = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      sides[v] = static_cast<std::uint8_t>((bits >> v) & 1u);
+    }
+    for (std::uint32_t w = 0; w < cols; ++w) {
+      inputs_in_s += sides[bf.node(w, 0)] == 0;
+      outputs_in_sbar += sides[bf.node(w, d)] == 1;
+    }
+    if (inputs_in_s < cols / 2 || outputs_in_sbar < cols / 2) continue;
+    best = std::min(best, directed_capacity(bf, sides));
+  }
+  return best;
+}
+
+std::size_t directed_io_bisection_flow_bound(const topo::Butterfly& bf) {
+  const std::uint32_t cols = bf.n();
+  BFLY_CHECK(cols <= 8, "flow bound sweep limited to n <= 8");
+  const std::uint32_t d = bf.dims();
+  const NodeId n = bf.num_nodes();
+
+  // Enumerate column subsets of size n/2 for I' and O'.
+  std::vector<std::uint32_t> halves;
+  for (std::uint32_t m = 0; m < (1u << cols); ++m) {
+    if (std::popcount(m) == static_cast<int>(cols / 2)) halves.push_back(m);
+  }
+
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (const std::uint32_t im : halves) {
+    for (const std::uint32_t om : halves) {
+      algo::FlowNetwork net(n + 2);
+      const NodeId s = n, t = n + 1;
+      for (const auto& [a, b] : bf.graph().edges()) {
+        net.add_arc(a, b, 1);  // directed: lower level -> higher level
+      }
+      for (std::uint32_t w = 0; w < cols; ++w) {
+        if (im & (1u << w)) net.add_arc(s, bf.node(w, 0), 1ll << 30);
+        if (om & (1u << w)) net.add_arc(bf.node(w, d), t, 1ll << 30);
+      }
+      best = std::min(best,
+                      static_cast<std::size_t>(net.max_flow(s, t)));
+      if (best == 0) return 0;
+    }
+  }
+  return best;
+}
+
+}  // namespace bfly::variants

@@ -1,0 +1,34 @@
+// The directed input/output bisection of Kruskal–Snir [13], quoted in
+// the paper's Section 1.2.
+//
+// In [13] every edge of Bn is directed from level i to level i+1, and
+// the "bisection width" is the minimum over cuts (S, S̄) with at least
+// n/2 inputs in S and at least n/2 outputs in S̄ of the number of
+// directed edges from S to S̄. The paper notes the value is n/2,
+// achieved by the MSB column cut, and relates it to the exact bandwidth
+// 2n via bandwidth <= 4 * bisection.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/butterfly.hpp"
+
+namespace bfly::variants {
+
+/// Directed capacity (# level-increasing edges from S to S̄) of the MSB
+/// column cut, with S = columns whose number begins with 0. Equals n/2.
+[[nodiscard]] std::size_t directed_msb_cut(const topo::Butterfly& bf);
+
+/// Exact directed IO-bisection by exhaustive enumeration (N < 26).
+[[nodiscard]] std::size_t directed_io_bisection_exhaustive(
+    const topo::Butterfly& bf);
+
+/// Flow-based lower bound: min over all choices of n/2 inputs I' and n/2
+/// outputs O' of the max directed flow I' -> O' (unit edge capacities).
+/// Any feasible [13]-cut separates some such pair, so this bounds the
+/// directed IO-bisection from below. Cost: C(n, n/2)^2 max-flows — keep
+/// n <= 8.
+[[nodiscard]] std::size_t directed_io_bisection_flow_bound(
+    const topo::Butterfly& bf);
+
+}  // namespace bfly::variants

@@ -1,0 +1,30 @@
+#include "variants/fft.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace bfly::variants {
+
+algo::VertexCut min_dominator(const topo::Butterfly& bf,
+                              std::span<const NodeId> set) {
+  BFLY_CHECK(!set.empty(), "set must be nonempty");
+  const auto inputs = bf.level_nodes(0);
+  return algo::min_vertex_cut(bf.graph(), inputs, set);
+}
+
+HongKungCheck hong_kung_check(const topo::Butterfly& bf,
+                              std::span<const NodeId> set) {
+  HongKungCheck chk;
+  chk.k = set.size();
+  const auto cut = min_dominator(bf, set);
+  chk.dominator_size = static_cast<std::size_t>(cut.size);
+  chk.bound = 2.0 * static_cast<double>(chk.dominator_size) *
+              (chk.dominator_size > 0
+                   ? std::log2(static_cast<double>(chk.dominator_size))
+                   : 0.0);
+  chk.holds = static_cast<double>(chk.k) <= chk.bound + 1e-9;
+  return chk;
+}
+
+}  // namespace bfly::variants

@@ -1,0 +1,40 @@
+// The Hong–Kung FFT_n variant (paper Section 1.6).
+//
+// FFT_n is Bn with one input port per input node and one output port per
+// output node. Hong and Kung proved: if D is a set of nodes such that
+// every path from an input port to a set S of k nodes passes through a
+// node of D, then k <= 2 |D| log |D|. The minimum such D is exactly a
+// minimum vertex cut (all nodes cuttable, including members of S and the
+// input nodes themselves), which we compute by max-flow. The paper notes
+// this bound "roughly corresponds" to NE(Bn,k) >= (1/2 - o(1)) k/log k.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "algo/maxflow.hpp"
+#include "core/types.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly::variants {
+
+/// Minimum dominator: the smallest node set D intercepting every path
+/// from the input ports (level 0 of Bn) to S.
+[[nodiscard]] algo::VertexCut min_dominator(const topo::Butterfly& bf,
+                                            std::span<const NodeId> set);
+
+struct HongKungCheck {
+  std::size_t k = 0;
+  std::size_t dominator_size = 0;
+  /// 2 |D| log2 |D| (the bound's right-hand side).
+  double bound = 0.0;
+  /// k <= bound? Only meaningful for |D| >= 2 (the |D| = 1 case makes
+  /// the RHS zero; Hong–Kung's statement concerns growing D).
+  bool holds = false;
+};
+
+/// Evaluates the Hong–Kung inequality for the given set.
+[[nodiscard]] HongKungCheck hong_kung_check(const topo::Butterfly& bf,
+                                            std::span<const NodeId> set);
+
+}  // namespace bfly::variants

@@ -1,0 +1,93 @@
+#include "variants/omega.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/math_util.hpp"
+
+namespace bfly::variants {
+
+namespace {
+
+std::uint32_t checked_half(std::uint32_t n) {
+  BFLY_CHECK(is_pow2(n) && n >= 4, "n must be a power of two >= 4");
+  return n / 2;
+}
+
+}  // namespace
+
+OmegaNetwork::OmegaNetwork(std::uint32_t n)
+    : n_(n), base_(checked_half(n)) {}
+
+std::size_t OmegaNetwork::port_edge_expansion(
+    std::span<const NodeId> set) const {
+  const Graph& g = base_.graph();
+  std::vector<std::uint8_t> in(g.num_nodes(), 0);
+  for (const NodeId v : set) {
+    BFLY_CHECK(v < g.num_nodes(), "set node out of range");
+    in[v] = 1;
+  }
+  std::size_t c = 0;
+  for (const auto& [u, v] : g.edges()) {
+    if (in[u] != in[v]) ++c;
+  }
+  for (const NodeId v : set) {
+    const std::uint32_t lvl = base_.level(v);
+    if (lvl == 0) c += 2;                 // two input ports
+    if (lvl == base_.dims()) c += 2;      // two output ports
+  }
+  return c;
+}
+
+OmegaNetwork::SnirCheck OmegaNetwork::snir_inequality(
+    std::span<const NodeId> set) const {
+  SnirCheck chk;
+  chk.c = port_edge_expansion(set);
+  const double lhs =
+      static_cast<double>(chk.c) *
+      (chk.c > 0 ? std::log2(static_cast<double>(chk.c)) : 0.0);
+  chk.holds = lhs >= 4.0 * static_cast<double>(set.size()) - 1e-9;
+  return chk;
+}
+
+std::vector<std::size_t> exact_port_expansion(const OmegaNetwork& omega,
+                                              std::uint64_t max_states) {
+  const Graph& g = omega.base().graph();
+  const NodeId n = g.num_nodes();
+  BFLY_CHECK(n < 63, "base butterfly too large for exhaustive sweep");
+  const std::uint64_t states = 1ull << n;
+  BFLY_CHECK(states <= max_states, "state space exceeds limit");
+
+  std::vector<std::size_t> best(n + 1,
+                                std::numeric_limits<std::size_t>::max());
+  best[0] = 0;
+
+  std::vector<std::uint8_t> in(n, 0);
+  std::size_t cap = 0, ports = 0, size = 0;
+  const std::uint32_t d = omega.base().dims();
+  for (std::uint64_t i = 1; i < states; ++i) {
+    const NodeId v = static_cast<NodeId>(std::countr_zero(i));
+    std::size_t to_s = 0;
+    for (const NodeId u : g.neighbors(v)) to_s += in[u];
+    const std::uint32_t lvl = omega.base().level(v);
+    const std::size_t vports =
+        (lvl == 0 ? 2u : 0u) + (lvl == d ? 2u : 0u);
+    if (!in[v]) {
+      cap += g.degree(v) - 2 * to_s;
+      ports += vports;
+      in[v] = 1;
+      ++size;
+    } else {
+      cap -= g.degree(v) - 2 * to_s;
+      ports -= vports;
+      in[v] = 0;
+      --size;
+    }
+    best[size] = std::min(best[size], cap + ports);
+  }
+  return best;
+}
+
+}  // namespace bfly::variants

@@ -1,0 +1,55 @@
+// Snir's butterfly variant Ω_n (paper Section 1.6).
+//
+// Ω_n is derived from B_{n/2} by giving every input node two input ports
+// and every output node two output ports. Ports are not edges, but the
+// edge-expansion functional counts them:
+//   EE(Ω_n, S) = C(S, S̄) + 2 |L_0 ∩ S| + 2 |L_last ∩ S|.
+// Snir proved C log C >= 4k for every set S of k nodes, the precursor of
+// the paper's EE(Wn, k) >= (4 - o(1)) k / log k (the paper compares the
+// two after Lemma 4.2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly::variants {
+
+class OmegaNetwork {
+ public:
+  /// Builds Ω_n from the base butterfly B_{n/2}; n must be a power of
+  /// two, n >= 4.
+  explicit OmegaNetwork(std::uint32_t n);
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] const topo::Butterfly& base() const noexcept {
+    return base_;
+  }
+
+  /// The port-counting edge-expansion functional of the set.
+  [[nodiscard]] std::size_t port_edge_expansion(
+      std::span<const NodeId> set) const;
+
+  /// Snir's inequality C log2(C) >= 4k for this set; returns the pair
+  /// (C, holds).
+  struct SnirCheck {
+    std::size_t c = 0;
+    bool holds = false;
+  };
+  [[nodiscard]] SnirCheck snir_inequality(std::span<const NodeId> set) const;
+
+ private:
+  std::uint32_t n_;
+  topo::Butterfly base_;
+};
+
+/// Exact min of the port functional over all sets of each size k
+/// (exhaustive sweep; base butterfly must have < 26 nodes). Entry k of
+/// the result; entry 0 is 0.
+[[nodiscard]] std::vector<std::size_t> exact_port_expansion(
+    const OmegaNetwork& omega, std::uint64_t max_states = 1ull << 26);
+
+}  // namespace bfly::variants

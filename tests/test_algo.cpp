@@ -1,0 +1,195 @@
+// Tests for the algorithms library: BFS, components, exact diameters
+// (the Section 1.1 facts), subgraphs, spectral machinery, isomorphism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/bfs.hpp"
+#include "algo/components.hpp"
+#include "algo/diameter.hpp"
+#include "algo/isomorphism.hpp"
+#include "algo/spectral.hpp"
+#include "algo/subgraph.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::algo {
+namespace {
+
+Graph path_graph(NodeId n) {
+  GraphBuilder gb(n);
+  for (NodeId v = 0; v + 1 < n; ++v) gb.add_edge(v, v + 1);
+  return std::move(gb).build();
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path_graph(5);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(d[v], v);
+  EXPECT_EQ(eccentricity(g, 0), 4u);
+  EXPECT_EQ(eccentricity(g, 2), 2u);
+}
+
+TEST(Bfs, MultiSource) {
+  const Graph g = path_graph(7);
+  const NodeId sources[] = {0, 6};
+  const auto d = bfs_distances(g, sources);
+  EXPECT_EQ(d[3], 3u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[5], 1u);
+}
+
+TEST(Bfs, UnreachableAndShortestPath) {
+  GraphBuilder gb(4);
+  gb.add_edge(0, 1);
+  gb.add_edge(2, 3);
+  const Graph g = std::move(gb).build();
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_TRUE(shortest_path(g, 0, 3).empty());
+  const auto p = shortest_path(g, 0, 1);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.front(), 0u);
+  EXPECT_EQ(p.back(), 1u);
+}
+
+TEST(Bfs, ShortestPathOnButterfly) {
+  const topo::Butterfly bf(8);
+  for (NodeId v = 0; v < bf.num_nodes(); v += 3) {
+    const auto p = shortest_path(bf.graph(), 0, v);
+    ASSERT_FALSE(p.empty());
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      EXPECT_TRUE(bf.graph().has_edge(p[i], p[i + 1]));
+    }
+    EXPECT_EQ(p.size() - 1, bfs_distances(bf.graph(), 0)[v]);
+  }
+}
+
+TEST(Components, CountsAndMembers) {
+  const topo::Butterfly bf(16);
+  // Lemma 2.4: Bn[lo, hi] splits into n/2^(hi-lo) components.
+  for (std::uint32_t lo = 0; lo <= 4; ++lo) {
+    for (std::uint32_t hi = lo; hi <= 4; ++hi) {
+      std::vector<NodeId> nodes;
+      for (std::uint32_t lvl = lo; lvl <= hi; ++lvl) {
+        for (std::uint32_t w = 0; w < 16; ++w) {
+          nodes.push_back(bf.node(w, lvl));
+        }
+      }
+      const auto sub = induced_subgraph(bf.graph(), nodes);
+      const auto comp = connected_components(sub.graph);
+      EXPECT_EQ(comp.count, 16u >> (hi - lo))
+          << "lo=" << lo << " hi=" << hi;
+      for (const auto s : comp.sizes()) {
+        EXPECT_EQ(s, static_cast<std::size_t>(hi - lo + 1) << (hi - lo));
+      }
+    }
+  }
+}
+
+TEST(Diameter, PaperSection11Facts) {
+  // diameter(Bn) = 2 log n.
+  for (const std::uint32_t n : {4u, 8u, 16u, 32u}) {
+    const topo::Butterfly bf(n);
+    EXPECT_EQ(diameter(bf.graph()), 2 * bf.dims()) << "Bn n=" << n;
+  }
+  // diameter(Wn) = floor(3 log n / 2).
+  for (const std::uint32_t n : {8u, 16u, 32u, 64u}) {
+    const topo::WrappedButterfly wb(n);
+    EXPECT_EQ(diameter(wb.graph()), 3 * wb.dims() / 2) << "Wn n=" << n;
+  }
+  // Hypercube: d.
+  EXPECT_EQ(diameter(topo::Hypercube(5).graph()), 5u);
+}
+
+TEST(Diameter, DisconnectedReportsUnreachable) {
+  GraphBuilder gb(4);
+  gb.add_edge(0, 1);
+  const Graph g = std::move(gb).build();
+  EXPECT_EQ(diameter(g), kUnreachable);
+}
+
+TEST(Subgraph, PreservesEdgesAndMaps) {
+  const topo::Butterfly bf(8);
+  const std::vector<NodeId> nodes = {bf.node(0, 0), bf.node(0, 1),
+                                     bf.node(4, 1), bf.node(2, 2)};
+  const auto sub = induced_subgraph(bf.graph(), nodes);
+  EXPECT_EQ(sub.graph.num_nodes(), 4u);
+  // Edges among included nodes: (0,0)-(0,1), (0,0)-(4,1), (0,1)-(2,2).
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_EQ(sub.to_original[sub.to_sub[bf.node(0, 0)]], bf.node(0, 0));
+}
+
+TEST(Spectral, FiedlerOfPathSplitsMiddle) {
+  const Graph g = path_graph(8);
+  const auto f = fiedler_vector(g);
+  // Fiedler vector of a path is monotone: one sign change at the middle.
+  int sign_changes = 0;
+  for (NodeId v = 0; v + 1 < 8; ++v) {
+    if ((f.vector[v] < 0) != (f.vector[v + 1] < 0)) ++sign_changes;
+  }
+  EXPECT_EQ(sign_changes, 1);
+  // lambda_2 of P8 = 2(1 - cos(pi/8)).
+  EXPECT_NEAR(f.eigenvalue, 2.0 * (1.0 - std::cos(M_PI / 8)), 1e-4);
+}
+
+TEST(Spectral, LaplacianQuadratic) {
+  const Graph g = path_graph(3);
+  EXPECT_DOUBLE_EQ(laplacian_quadratic(g, {0.0, 1.0, 3.0}), 1.0 + 4.0);
+}
+
+TEST(Isomorphism, ButterflyComponentsMatchSmallerButterfly) {
+  // Lemma 2.4's isomorphism claim, machine-checked: every component of
+  // B16[1,3] is isomorphic to B4.
+  const topo::Butterfly b16(16);
+  const topo::Butterfly b4(4);
+  for (std::uint32_t c = 0; c < b16.num_components(1, 3); ++c) {
+    const auto nodes = b16.component_nodes(c, 1, 3);
+    const auto sub = induced_subgraph(b16.graph(), nodes);
+    EXPECT_TRUE(are_isomorphic(sub.graph, b4.graph())) << "component " << c;
+  }
+}
+
+TEST(Isomorphism, DistinguishesNonIsomorphic) {
+  const Graph p4 = path_graph(4);
+  GraphBuilder gb(4);
+  gb.add_edge(0, 1);
+  gb.add_edge(1, 2);
+  gb.add_edge(1, 3);
+  const Graph star = std::move(gb).build();
+  EXPECT_FALSE(are_isomorphic(p4, star));
+  EXPECT_NE(wl_certificate(p4), wl_certificate(star));
+}
+
+TEST(Isomorphism, RelabeledButterfliesMatch) {
+  // Apply a random-looking relabeling to B8 and confirm isomorphism.
+  const topo::Butterfly bf(8);
+  const NodeId n = bf.num_nodes();
+  std::vector<NodeId> perm(n);
+  for (NodeId v = 0; v < n; ++v) perm[v] = (v * 13 + 5) % n;
+  GraphBuilder gb(n);
+  for (const auto& [u, v] : bf.graph().edges()) gb.add_edge(perm[u], perm[v]);
+  const Graph relabeled = std::move(gb).build();
+  EXPECT_TRUE(are_isomorphic(bf.graph(), relabeled));
+}
+
+TEST(Isomorphism, CertificateStableAcrossConstruction) {
+  EXPECT_EQ(wl_certificate(topo::Butterfly(8).graph()),
+            wl_certificate(topo::Butterfly(8).graph()));
+}
+
+TEST(Isomorphism, MultigraphMultiplicityMatters) {
+  GraphBuilder a(2);
+  a.add_edge(0, 1);
+  a.add_edge(0, 1);
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  const Graph ga = std::move(a).build();
+  const Graph gb2 = std::move(b).build();
+  EXPECT_FALSE(are_isomorphic(ga, gb2));
+}
+
+}  // namespace
+}  // namespace bfly::algo

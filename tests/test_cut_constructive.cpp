@@ -1,0 +1,218 @@
+// Constructive cuts and the compactness/amenability machinery of
+// Section 2 (Lemmas 2.8, 2.9, 2.15, 2.16).
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "core/rng.hpp"
+#include "cut/branch_bound.hpp"
+#include "cut/brute_force.hpp"
+#include "cut/compactness.hpp"
+#include "cut/constructive.hpp"
+#include "cut/fiduccia_mattheyses.hpp"
+#include "cut/level_balance.hpp"
+#include "cut/mos_theory.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::cut {
+namespace {
+
+std::vector<std::uint8_t> random_sides(NodeId n, Rng& rng) {
+  std::vector<std::uint8_t> s(n);
+  for (auto& v : s) v = static_cast<std::uint8_t>(rng.below(2));
+  return s;
+}
+
+TEST(Constructive, ColumnSplitOnBnHasCapacityN) {
+  for (const std::uint32_t n : {4u, 8u, 16u, 64u}) {
+    const topo::Butterfly bf(n);
+    const auto r = column_split_bisection(bf);
+    EXPECT_EQ(r.capacity, n);
+    EXPECT_TRUE(is_bisection(r.sides));
+    EXPECT_NO_THROW(validate_cut(bf.graph(), r));
+  }
+}
+
+TEST(Constructive, ColumnSplitOnWnHasCapacityN) {
+  for (const std::uint32_t n : {8u, 16u, 64u}) {
+    const topo::WrappedButterfly wb(n);
+    const auto r = column_split_bisection(wb);
+    EXPECT_EQ(r.capacity, n);
+    EXPECT_TRUE(is_bisection(r.sides));
+  }
+}
+
+TEST(Constructive, DimensionCutOnCCCHasCapacityHalfN) {
+  for (const std::uint32_t n : {8u, 16u, 32u}) {
+    const topo::CubeConnectedCycles cc(n);
+    const auto r = dimension_cut_bisection(cc);
+    EXPECT_EQ(r.capacity, n / 2);
+    EXPECT_TRUE(is_bisection(r.sides));
+  }
+}
+
+TEST(Compactness, Lemma28PushTailLevelsNeverIncreasesCapacity) {
+  // The Lemma 2.8 transformation (move levels 1..log n to the L0-majority
+  // side) must never increase capacity — checked on random cuts.
+  for (const std::uint32_t n : {4u, 8u, 16u}) {
+    const topo::Butterfly bf(n);
+    Rng rng(n * 7919);
+    for (int trial = 0; trial < 200; ++trial) {
+      const auto sides = random_sides(bf.num_nodes(), rng);
+      const auto before = cut_capacity(bf.graph(), sides);
+      const auto pushed = push_tail_levels(bf, sides);
+      EXPECT_LE(cut_capacity(bf.graph(), pushed), before);
+    }
+  }
+}
+
+TEST(Compactness, Lemma28ExhaustiveOnB4) {
+  // Exhaustively over ALL cuts of B4 (2^11): U = levels 1..2 is compact.
+  const topo::Butterfly bf(4);
+  std::vector<NodeId> tail;
+  for (std::uint32_t lvl = 1; lvl <= bf.dims(); ++lvl) {
+    for (const NodeId v : bf.level_nodes(lvl)) tail.push_back(v);
+  }
+  EXPECT_TRUE(is_compact_exhaustive(bf.graph(), tail));
+}
+
+TEST(Compactness, Lemma29ComponentsCompactInB4) {
+  // Each connected component of B4[1, 2] is compact in B4, exhaustively.
+  const topo::Butterfly bf(4);
+  for (std::uint32_t c = 0; c < bf.num_components(1, 2); ++c) {
+    const auto nodes = bf.component_nodes(c, 1, 2);
+    EXPECT_TRUE(is_compact_exhaustive(bf.graph(), nodes)) << "comp " << c;
+  }
+}
+
+TEST(Compactness, NonCompactSetDetected) {
+  // A single middle node of a path is NOT compact: cutting around it can
+  // be cheaper than absorbing it into one side... actually a middle node
+  // IS compact in a path. Use a set that genuinely fails: the two
+  // endpoints of a 4-path (moving both to one side can add capacity).
+  GraphBuilder gb(4);
+  gb.add_edge(0, 1);
+  gb.add_edge(1, 2);
+  gb.add_edge(2, 3);
+  const Graph g = std::move(gb).build();
+  const std::vector<NodeId> ends = {0, 3};
+  EXPECT_FALSE(is_compact_exhaustive(g, ends));
+}
+
+TEST(Amenability, Lemma215ComponentsAmenableUnderPrecondition) {
+  // B8: U = a component of B8[1,2]; cut with L0-neighbors of U on side 0
+  // and L3-neighbors on side 1. Exhaustive amenability check over 2^|U|.
+  const topo::Butterfly bf(8);
+  const auto comp_nodes = bf.component_nodes(0, 1, 2);
+  ASSERT_EQ(comp_nodes.size(), 4u);
+
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sides = random_sides(bf.num_nodes(), rng);
+    // Enforce the Lemma 2.15 precondition on N(U).
+    std::vector<std::uint8_t> in_comp(bf.num_nodes(), 0);
+    for (const NodeId v : comp_nodes) in_comp[v] = 1;
+    for (const NodeId v : comp_nodes) {
+      for (const NodeId u : bf.graph().neighbors(v)) {
+        if (in_comp[u]) continue;
+        sides[u] = bf.level(u) == 0 ? 0 : 1;
+      }
+    }
+    EXPECT_TRUE(is_amenable_exhaustive(bf.graph(), comp_nodes, sides));
+  }
+}
+
+std::vector<std::uint8_t> random_bisection(NodeId n, Rng& rng) {
+  std::vector<NodeId> perm(n);
+  for (NodeId v = 0; v < n; ++v) perm[v] = v;
+  shuffle(perm, rng);
+  std::vector<std::uint8_t> sides(n, 0);
+  for (NodeId i = n / 2; i < n; ++i) sides[perm[i]] = 1;
+  return sides;
+}
+
+TEST(Lemma212, BalanceSomeLevelNeverIncreasesCapacity) {
+  // The constructive 4-cycle transformation: from any bisection, a cut
+  // of no larger capacity bisecting some level.
+  for (const std::uint32_t n : {4u, 8u, 16u, 32u}) {
+    const topo::Butterfly bf(n);
+    Rng rng(n * 101);
+    for (int trial = 0; trial < 40; ++trial) {
+      const auto sides = random_bisection(bf.num_nodes(), rng);
+      const auto before = cut_capacity(bf.graph(), sides);
+      const auto res = balance_some_level(bf, sides);
+      ASSERT_LE(res.capacity, before);
+      ASSERT_EQ(cut_capacity(bf.graph(), res.sides), res.capacity);
+      // The claimed level is indeed bisected.
+      std::uint32_t cnt = 0;
+      for (std::uint32_t w = 0; w < n; ++w) {
+        cnt += res.sides[bf.node(w, res.bisected_level)] == 0;
+      }
+      ASSERT_EQ(cnt, n / 2);
+    }
+  }
+}
+
+TEST(Lemma212, OptimalBisectionYieldsLevelBisectionAtMostBW) {
+  // End-to-end Lemma 2.12(1): BW(Bn, L_i) <= BW(Bn) for some i,
+  // realized constructively from a minimum bisection found by FM.
+  const topo::Butterfly bf(8);
+  const auto fm = min_bisection_fiduccia_mattheyses(bf.graph());
+  const auto res = balance_some_level(bf, fm.sides);
+  EXPECT_LE(res.capacity, fm.capacity);
+  // Cross-check against the exact U-bisection optimum for that level
+  // (branch and bound; B8 is too big for the exhaustive sweep).
+  const auto level = bf.level_nodes(res.bisected_level);
+  BranchBoundOptions opts;
+  opts.bisect_subset = level;
+  opts.initial_bound = res.capacity;
+  const auto exact = min_bisection_branch_bound(bf.graph(), opts);
+  EXPECT_LE(exact.capacity, res.capacity);
+}
+
+TEST(Lemma212, AlreadyBalancedLevelIsZeroMoves) {
+  const topo::Butterfly bf(8);
+  const auto cs = column_split_bisection(bf);  // bisects every level
+  const auto res = balance_some_level(bf, cs.sides);
+  EXPECT_EQ(res.moves, 0u);
+  EXPECT_EQ(res.capacity, cs.capacity);
+}
+
+TEST(Lemma216, ProducesValidBisections) {
+  for (const std::uint32_t n : {16u, 64u}) {
+    const topo::Butterfly bf(n);
+    const auto res = lemma216_bisection(bf, 2);
+    EXPECT_TRUE(is_bisection(res.cut.sides));
+    EXPECT_NO_THROW(validate_cut(bf.graph(), res.cut));
+    EXPECT_FALSE(res.size_requirement_met);  // needs log n >= 11 for j=2
+  }
+}
+
+TEST(Lemma216, CapacityWithinPromiseOnAdmissibleShapes) {
+  // Even far below the lemma's size requirement the lifted cut capacity
+  // before cleanup should be 2n/j^2 * C(MOS cut tweaked); we check the
+  // weaker end-to-end guarantee that the final cut is a genuine
+  // bisection whose capacity is at most the promised bound plus the
+  // greedy-cleanup damage (each move costs at most max degree = 4).
+  const topo::Butterfly bf(64);
+  const auto res = lemma216_bisection(bf, 2);
+  EXPECT_LE(static_cast<double>(res.cut.capacity),
+            res.promised_capacity + 4.0 * res.cleanup_moves + 1e-9);
+}
+
+TEST(Lemma216, LargerJOnLargerN) {
+  const topo::Butterfly bf(256);
+  const auto res = lemma216_bisection(bf, 4);
+  EXPECT_TRUE(is_bisection(res.cut.sides));
+  EXPECT_EQ(res.mos_capacity, mos_m2_bisection_value(4).capacity);
+}
+
+TEST(Lemma216, RejectsInfeasibleParameters) {
+  const topo::Butterfly bf(16);
+  EXPECT_THROW(lemma216_bisection(bf, 3), PreconditionError);   // odd j
+  EXPECT_THROW(lemma216_bisection(bf, 8), PreconditionError);   // j^2 > n
+}
+
+}  // namespace
+}  // namespace bfly::cut

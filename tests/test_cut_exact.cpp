@@ -1,0 +1,221 @@
+// Exact bisection solvers: Gray-code exhaustive vs branch-and-bound, and
+// the paper's exact bisection-width results on materializable sizes
+// (Lemma 3.2: BW(Wn) = n; Lemma 3.3: BW(CCCn) = n/2; Section 2's
+// machinery on Bn).
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "core/rng.hpp"
+#include "cut/bisection.hpp"
+#include "cut/branch_bound.hpp"
+#include "cut/brute_force.hpp"
+#include "cut/constructive.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/mesh_of_stars.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::cut {
+namespace {
+
+Graph random_graph(NodeId n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder gb(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) gb.add_edge(u, v);
+    }
+  }
+  return std::move(gb).build();
+}
+
+TEST(Bisection, Helpers) {
+  EXPECT_TRUE(is_bisection({0, 1}));
+  EXPECT_TRUE(is_bisection({0, 1, 0}));
+  EXPECT_FALSE(is_bisection({0, 0, 0, 1}));
+  const std::vector<NodeId> subset = {0, 2};
+  EXPECT_TRUE(bisects_subset({0, 0, 1, 1}, subset));
+  EXPECT_FALSE(bisects_subset({0, 0, 0, 1}, subset));
+}
+
+TEST(Bisection, ValidateCutDetectsMismatch) {
+  const topo::Butterfly bf(4);
+  CutResult r = column_split_bisection(bf);
+  EXPECT_NO_THROW(validate_cut(bf.graph(), r));
+  r.capacity += 1;
+  EXPECT_THROW(validate_cut(bf.graph(), r), PreconditionError);
+}
+
+TEST(Exhaustive, FourCycleBisection) {
+  // B2 is a 4-cycle; its bisection width is 2.
+  const topo::Butterfly b2(2);
+  const auto r = min_bisection_exhaustive(b2.graph());
+  EXPECT_EQ(r.capacity, 2u);
+  EXPECT_TRUE(is_bisection(r.sides));
+  EXPECT_EQ(cut_capacity(b2.graph(), r.sides), 2u);
+}
+
+TEST(Exhaustive, MatchesBranchAndBoundOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Graph g = random_graph(12, 0.3, seed);
+    const auto ex = min_bisection_exhaustive(g);
+    const auto bb = min_bisection_branch_bound(g);
+    EXPECT_EQ(ex.capacity, bb.capacity) << "seed " << seed;
+    EXPECT_TRUE(is_bisection(bb.sides));
+    EXPECT_EQ(cut_capacity(g, bb.sides), bb.capacity);
+  }
+}
+
+TEST(Exhaustive, OddNodeCountBisection) {
+  const Graph g = random_graph(9, 0.4, 99);
+  const auto ex = min_bisection_exhaustive(g);
+  const auto bb = min_bisection_branch_bound(g);
+  EXPECT_EQ(ex.capacity, bb.capacity);
+  EXPECT_TRUE(is_bisection(ex.sides));
+}
+
+TEST(Exhaustive, SubsetBisectionMatchesBranchAndBound) {
+  const topo::MeshOfStars mos(2, 2);
+  const auto m2 = mos.m2_nodes();
+  const auto ex = min_cut_bisecting_exhaustive(mos.graph(), m2);
+  BranchBoundOptions opts;
+  opts.bisect_subset = m2;
+  const auto bb = min_bisection_branch_bound(mos.graph(), opts);
+  EXPECT_EQ(ex.capacity, bb.capacity);
+  EXPECT_EQ(ex.capacity, 2u);  // BW(MOS_{2,2}, M2) = f-grid optimum = 2
+  EXPECT_TRUE(bisects_subset(bb.sides, m2));
+}
+
+TEST(Exhaustive, AllSizesSweepConsistent) {
+  const Graph g = random_graph(10, 0.4, 5);
+  const auto all = min_cuts_all_sizes(g);
+  for (const std::size_t k : {1u, 3u, 5u}) {
+    const auto single = min_cut_of_size_exhaustive(g, k);
+    EXPECT_EQ(all[k].capacity, single.capacity) << "k=" << k;
+    std::size_t ones = 0;
+    for (const auto s : all[k].sides) ones += s;
+    EXPECT_EQ(ones, k);
+  }
+}
+
+TEST(Exhaustive, RefusesOversizedGraphs) {
+  const Graph g = random_graph(30, 0.2, 1);
+  BruteForceOptions opts;
+  opts.max_states = 1u << 20;
+  EXPECT_THROW(min_bisection_exhaustive(g, opts), PreconditionError);
+}
+
+TEST(BranchBound, BW_B4_MatchesExhaustive) {
+  const topo::Butterfly bf(4);
+  const auto ex = min_bisection_exhaustive(bf.graph());
+  const auto bb = min_bisection_branch_bound(bf.graph());
+  EXPECT_EQ(ex.capacity, bb.capacity);
+  // Folklore is an upper bound.
+  EXPECT_LE(bb.capacity, column_split_bisection(bf).capacity);
+}
+
+TEST(BranchBound, BW_B8_EqualsFolkloreAtThisSize) {
+  // At n = 8 the asymptotic 2(sqrt2-1)n construction is far out of
+  // reach; the exact optimum equals the folklore n (machine-checked).
+  const topo::Butterfly bf(8);
+  BranchBoundOptions opts;
+  opts.initial_bound = column_split_bisection(bf).capacity;
+  const auto bb = min_bisection_branch_bound(bf.graph(), opts);
+  EXPECT_EQ(bb.capacity, 8u);
+  EXPECT_EQ(bb.exactness, Exactness::kExact);
+}
+
+TEST(BranchBound, Lemma32_BW_W8_Equals_n) {
+  const topo::WrappedButterfly wb(8);
+  BranchBoundOptions opts;
+  opts.initial_bound = column_split_bisection(wb).capacity;
+  const auto bb = min_bisection_branch_bound(wb.graph(), opts);
+  EXPECT_EQ(bb.capacity, 8u);
+  EXPECT_EQ(bb.exactness, Exactness::kExact);
+}
+
+TEST(BranchBound, Lemma32_BW_W16_Equals_n) {
+  // 64 nodes — far beyond exhaustive reach; the branch-and-bound proves
+  // BW(W16) = 16 in well under a second thanks to the assigned-neighbor
+  // lower bound.
+  const topo::WrappedButterfly wb(16);
+  BranchBoundOptions opts;
+  opts.initial_bound = column_split_bisection(wb).capacity;
+  const auto bb = min_bisection_branch_bound(wb.graph(), opts);
+  EXPECT_EQ(bb.capacity, 16u);
+  EXPECT_EQ(bb.exactness, Exactness::kExact);
+}
+
+TEST(BranchBound, Lemma32_BW_W4_Equals_n) {
+  const topo::WrappedButterfly wb(4);
+  const auto ex = min_bisection_exhaustive(wb.graph());
+  EXPECT_EQ(ex.capacity, 4u);
+}
+
+TEST(BranchBound, Lemma33_BW_CCC8_Equals_HalfN) {
+  const topo::CubeConnectedCycles cc(8);
+  BranchBoundOptions opts;
+  opts.initial_bound = dimension_cut_bisection(cc).capacity;
+  const auto bb = min_bisection_branch_bound(cc.graph(), opts);
+  EXPECT_EQ(bb.capacity, 4u);
+  EXPECT_EQ(bb.exactness, Exactness::kExact);
+}
+
+TEST(BranchBound, Lemma33_BW_CCC16_Equals_HalfN) {
+  const topo::CubeConnectedCycles cc(16);  // 64 nodes, exact in ~30 ms
+  BranchBoundOptions opts;
+  opts.initial_bound = dimension_cut_bisection(cc).capacity;
+  const auto bb = min_bisection_branch_bound(cc.graph(), opts);
+  EXPECT_EQ(bb.capacity, 8u);
+  EXPECT_EQ(bb.exactness, Exactness::kExact);
+}
+
+TEST(BranchBound, InitialBoundBelowOptimumReportsNoSolution) {
+  const topo::Butterfly b2(2);  // BW = 2
+  BranchBoundOptions opts;
+  opts.initial_bound = 1;
+  const auto bb = min_bisection_branch_bound(b2.graph(), opts);
+  EXPECT_EQ(bb.capacity, static_cast<std::size_t>(-1));
+  EXPECT_EQ(bb.exactness, Exactness::kExact);
+}
+
+TEST(BranchBound, NodeLimitDegradesExactness) {
+  const Graph g = random_graph(16, 0.5, 3);
+  BranchBoundOptions opts;
+  opts.node_limit = 10;
+  const auto bb = min_bisection_branch_bound(g, opts);
+  EXPECT_EQ(bb.exactness, Exactness::kHeuristic);
+}
+
+TEST(Lemma212, SomeLevelBisectionIsNoHarderThanBisection) {
+  // Lemma 2.12(1): there is a level i with BW(Bn, L_i) <= BW(Bn).
+  const topo::Butterfly bf(4);
+  const auto bw = min_bisection_exhaustive(bf.graph()).capacity;
+  std::size_t best_level_bw = static_cast<std::size_t>(-1);
+  for (std::uint32_t lvl = 0; lvl <= bf.dims(); ++lvl) {
+    const auto level = bf.level_nodes(lvl);
+    const auto r = min_cut_bisecting_exhaustive(bf.graph(), level);
+    best_level_bw = std::min(best_level_bw, r.capacity);
+  }
+  EXPECT_LE(best_level_bw, bw);
+}
+
+TEST(Lemma31, CutsBisectingInputsHaveCapacityAtLeastN) {
+  // Lemma 3.1 on B4: any cut bisecting the inputs has capacity >= n = 4.
+  const topo::Butterfly bf(4);
+  const auto inputs = bf.level_nodes(0);
+  const auto r = min_cut_bisecting_exhaustive(bf.graph(), inputs);
+  EXPECT_GE(r.capacity, 4u);
+  // And the outputs, by the Lemma 2.1 symmetry.
+  const auto outputs = bf.level_nodes(bf.dims());
+  const auto r2 = min_cut_bisecting_exhaustive(bf.graph(), outputs);
+  EXPECT_GE(r2.capacity, 4u);
+  // Inputs and outputs pooled.
+  std::vector<NodeId> io(inputs);
+  io.insert(io.end(), outputs.begin(), outputs.end());
+  const auto r3 = min_cut_bisecting_exhaustive(bf.graph(), io);
+  EXPECT_GE(r3.capacity, 4u);
+}
+
+}  // namespace
+}  // namespace bfly::cut

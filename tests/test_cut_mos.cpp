@@ -1,0 +1,150 @@
+// The mesh-of-stars theory (Section 2.2): Lemma 2.17's closed form
+// against structure-free brute force, Lemma 2.18's minimum of f, and the
+// Lemma 2.19 convergence of BW(MOS_{j,j}, M2)/j^2 to sqrt(2)-1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cut/bisection.hpp"
+#include "cut/brute_force.hpp"
+#include "cut/mos_theory.hpp"
+#include "topology/mesh_of_stars.hpp"
+
+namespace bfly::cut {
+namespace {
+
+constexpr double kSqrt2Minus1 = 0.41421356237309515;
+
+TEST(MosF, Lemma218MinimumAtSqrtHalf) {
+  const double x = std::sqrt(0.5);
+  EXPECT_NEAR(mos_f(x, x), kSqrt2Minus1, 1e-12);
+  // Scan the domain D on a fine grid: nothing beats it.
+  for (int i = 0; i <= 200; ++i) {
+    for (int j = 0; j <= 200; ++j) {
+      const double a = i / 200.0, b = j / 200.0;
+      if (a + b < 1.0) continue;
+      EXPECT_GE(mos_f(a, b), kSqrt2Minus1 - 1e-12);
+    }
+  }
+}
+
+TEST(MosClosedForm, MatchesBruteForceJ2) {
+  // MOS_{2,2} has 8 nodes: full enumeration of cuts bisecting M2.
+  const topo::MeshOfStars mos(2, 2);
+  const auto brute = min_cut_bisecting_exhaustive(mos.graph(),
+                                                  mos.m2_nodes());
+  const auto analytic = mos_m2_bisection_value(2);
+  EXPECT_EQ(brute.capacity, analytic.capacity);
+  EXPECT_EQ(analytic.capacity, 2u);
+}
+
+TEST(MosClosedForm, MatchesBruteForceJ4) {
+  // MOS_{4,4} has 24 nodes; the Gray-code sweep covers all 2^23 cuts.
+  const topo::MeshOfStars mos(4, 4);
+  const auto brute = min_cut_bisecting_exhaustive(mos.graph(),
+                                                  mos.m2_nodes());
+  const auto analytic = mos_m2_bisection_value(4);
+  EXPECT_EQ(brute.capacity, analytic.capacity);
+}
+
+TEST(MosClosedForm, CapacityFormulaSpotChecks) {
+  // j = 4, a = b = 3: p_aa = 9 > half = 8, p_bb = 1, p_mix = 6:
+  // capacity = 6 + 2*(9-8) = 8.
+  EXPECT_EQ(mos_m2_cut_capacity(4, 3, 3), 8u);
+  // a = b = 4: p_aa = 16, mix 0, cost 2*(16-8) = 16.
+  EXPECT_EQ(mos_m2_cut_capacity(4, 4, 4), 16u);
+  // a = 4, b = 0: all mixed -> 16.
+  EXPECT_EQ(mos_m2_cut_capacity(4, 4, 0), 16u);
+  // a = b = 0: p_bb = 16 > half -> 2*(16-8) = 16.
+  EXPECT_EQ(mos_m2_cut_capacity(4, 0, 0), 16u);
+}
+
+TEST(MosClosedForm, ComplementSymmetric) {
+  for (std::uint32_t a = 0; a <= 6; ++a) {
+    for (std::uint32_t b = 0; b <= 6; ++b) {
+      EXPECT_EQ(mos_m2_cut_capacity(6, a, b),
+                mos_m2_cut_capacity(6, 6 - a, 6 - b));
+    }
+  }
+}
+
+TEST(MosOptimum, WindowScanMatchesFullGridScan) {
+  // The O(j) breakpoint scan must agree with the O(j^2) full scan.
+  for (std::uint32_t j = 2; j <= 128; j += 2) {
+    const auto fast = mos_m2_bisection_value(j);
+    std::uint64_t slow = ~0ull;
+    for (std::uint32_t a = 0; a <= j; ++a) {
+      for (std::uint32_t b = 0; b <= j; ++b) {
+        slow = std::min(slow, mos_m2_cut_capacity(j, a, b));
+      }
+    }
+    EXPECT_EQ(fast.capacity, slow) << "j=" << j;
+  }
+}
+
+TEST(MosOptimum, Lemma219ConvergenceToSqrt2Minus1) {
+  // Strictly above sqrt2-1 for every j, converging from above.
+  double prev = 1.0;
+  for (std::uint32_t j = 4; j <= (1u << 14); j *= 2) {
+    const auto v = mos_m2_bisection_value(j);
+    EXPECT_GT(v.normalized, kSqrt2Minus1) << "j=" << j;
+    EXPECT_LE(v.normalized, prev + 1e-12) << "j=" << j;
+    prev = v.normalized;
+  }
+  // By j = 2^14 the value is within 2e-4 of the limit.
+  EXPECT_NEAR(mos_m2_bisection_value(1u << 14).normalized, kSqrt2Minus1,
+              2e-4);
+}
+
+TEST(MosOptimum, OptimalSplitNearSqrtHalf) {
+  const std::uint32_t j = 1024;
+  const auto v = mos_m2_bisection_value(j);
+  const double ratio_a = static_cast<double>(v.a) / j;
+  const double ratio_b = static_cast<double>(v.b) / j;
+  // a/j and b/j approach 1/sqrt2 ~ 0.7071 (Lemma 2.19), possibly as the
+  // complementary pair (Lemma 2.17's WLOG).
+  const double target = std::sqrt(0.5);
+  const bool direct = std::abs(ratio_a - target) < 0.02 &&
+                      std::abs(ratio_b - target) < 0.02;
+  const bool complement = std::abs(1.0 - ratio_a - target) < 0.02 &&
+                          std::abs(1.0 - ratio_b - target) < 0.02;
+  EXPECT_TRUE(direct || complement)
+      << "a/j=" << ratio_a << " b/j=" << ratio_b;
+}
+
+TEST(MosCut, ConstructionAchievesOptimum) {
+  for (const std::uint32_t j : {2u, 4u, 6u, 8u, 16u}) {
+    const topo::MeshOfStars mos(j, j);
+    const auto cutres = mos_m2_bisection_cut(mos);
+    // validate_cut re-derives the capacity from the side vector.
+    EXPECT_NO_THROW(validate_cut(mos.graph(), cutres));
+    EXPECT_EQ(cutres.capacity, mos_m2_bisection_value(j).capacity);
+    EXPECT_TRUE(bisects_subset(cutres.sides, mos.m2_nodes()));
+  }
+}
+
+TEST(Lemma216, BoundCoefficientCrossesFolkloreAtJ32) {
+  // The paper's upper-bound coefficient 2 BW(MOS)/j^2 + 4/j first drops
+  // below the folklore coefficient 1 at j = 32 — which Lemma 2.16
+  // admits only once log n >= 32^3 + 63 = 32831.
+  EXPECT_GT(lemma216_upper_bound_coefficient(16), 1.0);
+  EXPECT_LT(lemma216_upper_bound_coefficient(32), 1.0);
+  EXPECT_EQ(lemma216_min_log_n(32), 32831u);
+}
+
+TEST(Lemma216, BoundCoefficientConvergesTo2Sqrt2Minus2) {
+  // As j grows the coefficient tends to 2(sqrt2 - 1) ~ 0.8284
+  // (Theorem 2.20's constant).
+  EXPECT_NEAR(lemma216_upper_bound_coefficient(1u << 14),
+              2.0 * kSqrt2Minus1, 1e-3);
+}
+
+TEST(MosTheory, RejectsOddJ) {
+  EXPECT_THROW(static_cast<void>(mos_m2_bisection_value(3)),
+               PreconditionError);
+  EXPECT_THROW(static_cast<void>(mos_m2_cut_capacity(5, 1, 1)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace bfly::cut

@@ -1,0 +1,99 @@
+// Differential fuzzing: every solver against the exhaustive optimum on
+// random multigraphs, plus cross-checks between independent
+// implementations of the same quantity.
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "core/rng.hpp"
+#include "cut/branch_bound.hpp"
+#include "cut/brute_force.hpp"
+#include "cut/fiduccia_mattheyses.hpp"
+#include "cut/kernighan_lin.hpp"
+#include "cut/multilevel.hpp"
+#include "cut/simulated_annealing.hpp"
+#include "expansion/expansion.hpp"
+#include "expansion/local_search.hpp"
+
+namespace bfly {
+namespace {
+
+Graph random_multigraph(NodeId n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder gb(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) gb.add_edge(u, v);
+      if (rng.bernoulli(p / 4)) gb.add_edge(u, v);  // occasional parallel
+    }
+  }
+  // Keep the graph connected-ish: chain fallback.
+  for (NodeId v = 0; v + 1 < n; ++v) {
+    if (!gb.num_edges()) gb.add_edge(v, v + 1);
+  }
+  return std::move(gb).build();
+}
+
+class SolverFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverFuzz, HeuristicsNeverBeatExhaustiveAndBnBMatchesIt) {
+  const Graph g = random_multigraph(11, 0.35, GetParam());
+  const auto exact = cut::min_bisection_exhaustive(g);
+  const auto bb = cut::min_bisection_branch_bound(g);
+  ASSERT_EQ(bb.capacity, exact.capacity);
+
+  for (const auto& r : {cut::min_bisection_kernighan_lin(g),
+                        cut::min_bisection_fiduccia_mattheyses(g),
+                        cut::min_bisection_simulated_annealing(g),
+                        cut::min_bisection_multilevel(g)}) {
+    ASSERT_GE(r.capacity, exact.capacity) << r.method;
+    ASSERT_TRUE(cut::is_bisection(r.sides)) << r.method;
+    ASSERT_EQ(cut_capacity(g, r.sides), r.capacity) << r.method;
+  }
+}
+
+TEST_P(SolverFuzz, ExpansionSweepMatchesSizeEnumeration) {
+  const Graph g = random_multigraph(10, 0.3, GetParam() * 31 + 7);
+  const auto table = expansion::exact_expansion(g);
+  for (const std::size_t k : {1u, 3u, 5u, 8u}) {
+    const auto single = expansion::exact_expansion_of_size(g, k);
+    ASSERT_EQ(single.ee, table[k].ee) << "k=" << k;
+    ASSERT_EQ(single.ne, table[k].ne) << "k=" << k;
+  }
+}
+
+TEST_P(SolverFuzz, LocalSearchNeverBeatsExact) {
+  const Graph g = random_multigraph(10, 0.35, GetParam() * 97 + 13);
+  const auto table = expansion::exact_expansion(g);
+  for (const std::size_t k : {2u, 4u, 6u}) {
+    const auto ee = expansion::min_ee_set_local_search(g, k);
+    ASSERT_GE(ee.objective, table[k].ee);
+    const auto ne = expansion::min_ne_set_local_search(g, k);
+    ASSERT_GE(ne.objective, table[k].ne);
+  }
+}
+
+TEST_P(SolverFuzz, SubsetBisectionAgreesAcrossEngines) {
+  const Graph g = random_multigraph(10, 0.4, GetParam() * 5 + 3);
+  Rng rng(GetParam());
+  // Random subset of 4 nodes.
+  std::vector<NodeId> subset;
+  std::vector<std::uint8_t> used(g.num_nodes(), 0);
+  while (subset.size() < 4) {
+    const NodeId v = static_cast<NodeId>(rng.below(g.num_nodes()));
+    if (!used[v]) {
+      used[v] = 1;
+      subset.push_back(v);
+    }
+  }
+  const auto ex = cut::min_cut_bisecting_exhaustive(g, subset);
+  cut::BranchBoundOptions opts;
+  opts.bisect_subset = subset;
+  const auto bb = cut::min_bisection_branch_bound(g, opts);
+  ASSERT_EQ(ex.capacity, bb.capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace bfly

@@ -1,0 +1,85 @@
+// Section 1.3 dynamics: dissemination growth tracks the node-expansion
+// function; local token balancing converges.
+#include <gtest/gtest.h>
+
+#include "expansion/expansion.hpp"
+#include "routing/dissemination.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::routing {
+namespace {
+
+TEST(Dissemination, SingleSeedCoversInEccentricitySteps) {
+  const topo::Butterfly bf(8);
+  const std::vector<NodeId> seed = {bf.node(0, 0)};
+  const auto trace = disseminate(bf.graph(), seed);
+  EXPECT_EQ(trace.informed.front(), 1u);
+  EXPECT_EQ(trace.informed.back(), bf.num_nodes());
+  // Coverage time = eccentricity of the seed = 2 log n from an input.
+  EXPECT_EQ(trace.rounds, 2 * bf.dims());
+  // Monotone growth.
+  for (std::size_t i = 0; i + 1 < trace.informed.size(); ++i) {
+    EXPECT_LT(trace.informed[i], trace.informed[i + 1]);
+  }
+}
+
+TEST(Dissemination, StepGrowthEqualsNodeExpansionOfCurrentSet) {
+  // The Section 1.3 statement: k informed nodes become k + |N(S)|.
+  const topo::WrappedButterfly wb(8);
+  std::vector<NodeId> seed = {wb.node(0, 0), wb.node(1, 0)};
+  auto informed = seed;
+  const auto trace = disseminate(wb.graph(), seed);
+  for (std::uint32_t step = 0; step < trace.rounds; ++step) {
+    const auto nbrs = expansion::neighbor_set(wb.graph(), informed);
+    EXPECT_EQ(trace.informed[step + 1],
+              trace.informed[step] + nbrs.size());
+    informed.insert(informed.end(), nbrs.begin(), nbrs.end());
+  }
+}
+
+TEST(Dissemination, RejectsDisconnected) {
+  GraphBuilder gb(3);
+  gb.add_edge(0, 1);
+  const Graph g = std::move(gb).build();
+  const std::vector<NodeId> seed = {0};
+  EXPECT_THROW(disseminate(g, seed), PreconditionError);
+}
+
+TEST(LoadBalance, ReachesFixedPointWithDiameterDiscrepancy) {
+  // At a local fixed point every edge gradient is <= 1, so the global
+  // imbalance is at most the diameter — the discrepancy regime of the
+  // local algorithms the paper cites.
+  const topo::WrappedButterfly wb(16);
+  std::vector<std::uint64_t> load(wb.num_nodes(), 0);
+  load[0] = 640;  // all tokens on one node
+  const auto trace = balance_tokens(wb.graph(), load);
+  EXPECT_TRUE(trace.fixed_point);
+  EXPECT_LE(trace.imbalance.back(), 3u * wb.dims() / 2);  // diameter(W16)
+  // Imbalance is nonincreasing.
+  for (std::size_t i = 0; i + 1 < trace.imbalance.size(); ++i) {
+    EXPECT_GE(trace.imbalance[i], trace.imbalance[i + 1]);
+  }
+}
+
+TEST(LoadBalance, AlreadyBalancedIsImmediateFixedPoint) {
+  const topo::Butterfly bf(4);
+  std::vector<std::uint64_t> load(bf.num_nodes(), 7);
+  const auto trace = balance_tokens(bf.graph(), load);
+  EXPECT_TRUE(trace.fixed_point);
+  EXPECT_EQ(trace.rounds, 0u);
+  EXPECT_EQ(trace.imbalance.back(), 0u);
+}
+
+TEST(LoadBalance, FixedPointOnButterflyFromTwoHotspots) {
+  const topo::Butterfly bf(8);
+  std::vector<std::uint64_t> load(bf.num_nodes(), 0);
+  load[3] = 100;
+  load[17] = 50;
+  const auto trace = balance_tokens(bf.graph(), load);
+  EXPECT_TRUE(trace.fixed_point);
+  EXPECT_LE(trace.imbalance.back(), 2u * bf.dims());  // diameter(B8)
+}
+
+}  // namespace
+}  // namespace bfly::routing

@@ -1,0 +1,117 @@
+// Boundary conditions across the library: smallest networks, degenerate
+// parameters, and API misuse that must fail loudly.
+#include <gtest/gtest.h>
+
+#include "algo/diameter.hpp"
+#include "core/graph.hpp"
+#include "core/partition.hpp"
+#include "cut/brute_force.hpp"
+#include "cut/constructive.hpp"
+#include "cut/mos_theory.hpp"
+#include "expansion/expansion.hpp"
+#include "routing/benes_route.hpp"
+#include "routing/butterfly_routing.hpp"
+#include "topology/benes.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/mesh_of_stars.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(EdgeCases, SmallestButterfly) {
+  const topo::Butterfly b2(2);
+  EXPECT_EQ(b2.num_nodes(), 4u);
+  EXPECT_EQ(b2.graph().num_edges(), 4u);  // the 4-cycle
+  EXPECT_EQ(algo::diameter(b2.graph()), 2u);
+  EXPECT_EQ(cut::column_split_bisection(b2).capacity, 2u);
+}
+
+TEST(EdgeCases, SmallestBenesRoutesBothPermutations) {
+  const topo::Benes b(2);
+  const std::vector<std::uint32_t> id = {0, 1};
+  const std::vector<std::uint32_t> swap = {1, 0};
+  EXPECT_NO_THROW(routing::route_permutation(b, id));
+  EXPECT_NO_THROW(routing::route_permutation(b, swap));
+}
+
+TEST(EdgeCases, MeshOfStarsOneByOne) {
+  const topo::MeshOfStars mos(1, 1);
+  EXPECT_EQ(mos.num_nodes(), 3u);  // a path of length 2
+  EXPECT_EQ(mos.graph().num_edges(), 2u);
+  EXPECT_EQ(mos.level_of(mos.m1_node(0)), 1);
+  EXPECT_EQ(mos.level_of(mos.m2_node(0, 0)), 2);
+  EXPECT_EQ(mos.level_of(mos.m3_node(0)), 3);
+}
+
+TEST(EdgeCases, RouteToSelfIsTrivial) {
+  const topo::Butterfly bf(8);
+  for (NodeId v = 0; v < bf.num_nodes(); v += 5) {
+    const auto p = routing::route_bn(bf, v, v);
+    EXPECT_EQ(p, std::vector<NodeId>{v});
+  }
+}
+
+TEST(EdgeCases, EmptyGraphQueries) {
+  GraphBuilder gb(3);
+  const Graph g = std::move(gb).build();
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  // Expansion of any set in an edgeless graph is 0.
+  const std::vector<NodeId> set = {0, 2};
+  EXPECT_EQ(expansion::edge_boundary(g, set), 0u);
+  EXPECT_EQ(expansion::node_boundary(g, set), 0u);
+}
+
+TEST(EdgeCases, SingleNodeDiameter) {
+  GraphBuilder gb(1);
+  const Graph g = std::move(gb).build();
+  EXPECT_EQ(algo::diameter(g), 0u);
+}
+
+TEST(EdgeCases, MosTheorySmallestEvenJ) {
+  const auto v = cut::mos_m2_bisection_value(2);
+  EXPECT_EQ(v.capacity, 2u);
+  EXPECT_DOUBLE_EQ(v.normalized, 0.5);
+}
+
+TEST(EdgeCases, ExhaustiveOnTinyGraphs) {
+  GraphBuilder gb(2);
+  gb.add_edge(0, 1);
+  const Graph g = std::move(gb).build();
+  const auto r = cut::min_bisection_exhaustive(g);
+  EXPECT_EQ(r.capacity, 1u);
+}
+
+TEST(EdgeCases, PartitionOnEdgelessGraph) {
+  GraphBuilder gb(4);
+  const Graph g = std::move(gb).build();
+  Partition p(g);
+  p.move(0);
+  p.move(1);
+  EXPECT_EQ(p.cut_capacity(), 0u);
+  EXPECT_TRUE(p.is_bisection());
+}
+
+TEST(EdgeCases, MonotonicPathSameColumn) {
+  const topo::Butterfly bf(8);
+  const auto p = bf.monotonic_path(5, 5);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(bf.column(p[i]), 5u);
+    EXPECT_EQ(bf.level(p[i]), i);
+  }
+}
+
+TEST(EdgeCases, ExpansionWitnessesAtExtremes) {
+  const topo::Butterfly bf(4);
+  const auto table = expansion::exact_expansion(bf.graph());
+  EXPECT_EQ(table[1].ee, 2u);   // an input node has degree 2
+  EXPECT_EQ(table[1].ne, 2u);
+  const NodeId n = bf.num_nodes();
+  EXPECT_EQ(table[n].ee, 0u);
+  EXPECT_EQ(table[n].ne, 0u);
+}
+
+}  // namespace
+}  // namespace bfly

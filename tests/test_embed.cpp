@@ -1,0 +1,211 @@
+// Embedding framework and the paper's embeddings: measured load,
+// congestion, and dilation must match the values each lemma claims.
+#include <gtest/gtest.h>
+
+#include "embed/embedding.hpp"
+#include "embed/factory.hpp"
+#include "embed/lower_bounds.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/mesh_of_stars.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::embed {
+namespace {
+
+TEST(Measure, DetectsBrokenPaths) {
+  GraphBuilder guest_b(2);
+  guest_b.add_edge(0, 1);
+  const Graph guest = std::move(guest_b).build();
+  GraphBuilder host_b(3);
+  host_b.add_edge(0, 1);
+  host_b.add_edge(1, 2);
+  const Graph host = std::move(host_b).build();
+
+  Embedding ok;
+  ok.node_map = {0, 2};
+  ok.paths = {{0, 1, 2}};
+  const auto m = measure_embedding(guest, host, ok);
+  EXPECT_EQ(m.load, 1u);
+  EXPECT_EQ(m.congestion, 1u);
+  EXPECT_EQ(m.dilation, 2u);
+
+  Embedding bad = ok;
+  bad.paths = {{0, 2}};  // not a host edge
+  EXPECT_THROW(measure_embedding(guest, host, bad), PreconditionError);
+
+  Embedding wrong_ends = ok;
+  wrong_ends.paths = {{0, 1}};
+  EXPECT_THROW(measure_embedding(guest, host, wrong_ends),
+               PreconditionError);
+}
+
+TEST(Lemma31, KnnIntoBn) {
+  for (const std::uint32_t n : {4u, 8u, 16u}) {
+    const topo::Butterfly bf(n);
+    const auto c = knn_into_bn(bf);
+    const auto m = measure_embedding(c.guest, c.host, c.emb);
+    EXPECT_EQ(m.load, 1u);
+    EXPECT_EQ(m.congestion, n / 2) << "n=" << n;  // paper: congestion n/2
+    EXPECT_EQ(m.dilation, bf.dims());             // paper: dilation log n
+  }
+}
+
+TEST(Theorem43, KnIntoWn) {
+  const topo::WrappedButterfly wb(8);
+  const auto c = kn_into_wn(wb);
+  const auto m = measure_embedding(c.guest, c.host, c.emb);
+  EXPECT_EQ(m.load, 1u);
+  // Congestion is O(N log n): the proof's bound is 2 N log n + N log n/2
+  // per edge class; just assert the asymptotic sanity c <= 3 N log n.
+  const std::size_t N = wb.num_nodes();
+  EXPECT_LE(m.congestion, 3u * N * wb.dims());
+  EXPECT_GT(m.congestion, 0u);
+  // Dilation <= 3 log n - 2 per the paper.
+  EXPECT_LE(m.dilation, 3u * wb.dims() - 2u);
+}
+
+TEST(Section42, KnIntoBn) {
+  const topo::Butterfly bf(8);
+  const auto c = kn_into_bn(bf);
+  const auto m = measure_embedding(c.guest, c.host, c.emb);
+  EXPECT_EQ(m.load, 1u);
+  EXPECT_LE(m.dilation, 3u * bf.dims());
+}
+
+TEST(Section14, DoubledCompleteGraphIntoBn) {
+  const topo::Butterfly bf(8);
+  const auto c = k2n_into_bn(bf);
+  const auto m = measure_embedding(c.guest, c.host, c.emb);
+  EXPECT_EQ(m.load, 1u);
+  EXPECT_LE(m.dilation, 3u * bf.dims());
+  // The derived bound 2 BW(K_N)/c must not exceed the true BW(B8) = 8.
+  const double bound =
+      bw_lower_bound_from_kn(bf.num_nodes(), m.congestion, 2);
+  EXPECT_LE(bound, 8.0 + 1e-9);
+  EXPECT_GT(bound, 0.0);
+}
+
+TEST(Lemma25, BenesIntoBn) {
+  // The folded Beneš: load 1, congestion 1, dilation 3 — this is the
+  // substrate of the rearrangeability partition (I, O) of level 0.
+  for (const std::uint32_t n : {4u, 8u, 16u, 32u}) {
+    const topo::Butterfly bf(n);
+    const auto c = benes_into_bn(bf);
+    const auto m = measure_embedding(c.guest, c.host, c.emb);
+    EXPECT_EQ(m.load, 1u) << "n=" << n;
+    EXPECT_EQ(m.congestion, 1u) << "n=" << n;
+    EXPECT_EQ(m.dilation, 3u) << "n=" << n;
+  }
+}
+
+TEST(Lemma210, BkIntoBnProperties) {
+  // Properties (1)-(5) of Lemma 2.10 on a sweep of (i, j).
+  const topo::Butterfly bf(8);  // d = 3
+  for (std::uint32_t i = 0; i <= 3; ++i) {
+    for (std::uint32_t j = 0; j <= 2; ++j) {
+      const auto c = bk_into_bn(bf, i, j);
+      const auto m = measure_embedding(c.guest, c.host, c.emb);
+      // (1) dilation 1.
+      EXPECT_LE(m.dilation, 1u);
+      // (2) congestion exactly 2^j on every used edge.
+      EXPECT_EQ(m.congestion, 1u << j) << "i=" << i << " j=" << j;
+      for (const auto u : m.edge_use) {
+        EXPECT_EQ(u, static_cast<std::size_t>(1) << j);
+      }
+      // (3)-(5) load profile: level i of Bn carries (j+1) 2^j guest
+      // nodes; all other levels carry 2^j.
+      std::vector<std::size_t> load(c.host.num_nodes(), 0);
+      for (const NodeId h : c.emb.node_map) ++load[h];
+      for (NodeId h = 0; h < c.host.num_nodes(); ++h) {
+        const std::uint32_t lvl = bf.level(h);
+        const std::size_t expect = lvl == i
+                                       ? static_cast<std::size_t>(j + 1)
+                                             << j
+                                       : static_cast<std::size_t>(1) << j;
+        EXPECT_EQ(load[h], expect) << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(Lemma211, BnIntoMosProperties) {
+  const topo::Butterfly bf(16);  // d = 4
+  struct Case {
+    std::uint32_t j, k;
+  };
+  for (const Case cs : {Case{2, 2}, Case{2, 4}, Case{4, 2}, Case{4, 4}}) {
+    const auto c = bn_into_mos(bf, cs.j, cs.k);
+    const auto m = measure_embedding(c.guest, c.host, c.emb);
+    // (1) dilation 1.
+    EXPECT_LE(m.dilation, 1u);
+    // (2) congestion exactly 2n/jk on every MOS edge.
+    const std::size_t expect_cong = 2u * 16u / (cs.j * cs.k);
+    EXPECT_EQ(m.congestion, expect_cong) << cs.j << "x" << cs.k;
+    for (const auto u : m.edge_use) EXPECT_EQ(u, expect_cong);
+    // (3)-(5) uniform loads per level class.
+    const topo::MeshOfStars mos(cs.j, cs.k);
+    std::vector<std::size_t> load(c.host.num_nodes(), 0);
+    for (const NodeId h : c.emb.node_map) ++load[h];
+    const std::uint32_t tj = cs.j == 2 ? 1 : 2, tk = cs.k == 2 ? 1 : 2;
+    const std::size_t m1_load = (16u / cs.j) * tk;
+    const std::size_t m3_load = (16u / cs.k) * tj;
+    const std::size_t m2_load =
+        (16u / (cs.j * cs.k)) * (4u - tj - tk + 1u);
+    for (std::uint32_t a = 0; a < cs.j; ++a) {
+      EXPECT_EQ(load[mos.m1_node(a)], m1_load);
+    }
+    for (std::uint32_t b = 0; b < cs.k; ++b) {
+      EXPECT_EQ(load[mos.m3_node(b)], m3_load);
+    }
+    for (std::uint32_t a = 0; a < cs.j; ++a) {
+      for (std::uint32_t b = 0; b < cs.k; ++b) {
+        EXPECT_EQ(load[mos.m2_node(a, b)], m2_load);
+      }
+    }
+  }
+}
+
+TEST(Lemma33, WnIntoCCC) {
+  for (const std::uint32_t n : {8u, 16u}) {
+    const topo::CubeConnectedCycles cc(n);
+    const auto c = wn_into_ccc(cc);
+    const auto m = measure_embedding(c.guest, c.host, c.emb);
+    EXPECT_EQ(m.load, 1u);
+    EXPECT_EQ(m.congestion, 2u) << "n=" << n;  // paper: congestion 2
+    EXPECT_LE(m.dilation, 2u);
+  }
+}
+
+TEST(Section15, BnIntoHypercube) {
+  const topo::Butterfly bf(8);
+  const auto c = bn_into_hypercube(bf);
+  const auto m = measure_embedding(c.guest, c.host, c.emb);
+  EXPECT_EQ(m.load, 1u);
+  EXPECT_LE(m.congestion, 2u);
+  EXPECT_LE(m.dilation, 2u);
+}
+
+TEST(LowerBounds, Section14Arithmetic) {
+  EXPECT_EQ(bw_complete(8), 16u);
+  EXPECT_EQ(bw_complete(7), 12u);
+  EXPECT_EQ(ee_complete(10, 3), 21u);
+  // BW(K_N)/c with c from the measured K_{n,n} embedding on B8:
+  // capacity >= n^2/2 / (n/2) = n.
+  EXPECT_DOUBLE_EQ(input_bisection_lower_bound_from_knn(8, 4), 8.0);
+  EXPECT_DOUBLE_EQ(bw_lower_bound_from_kn(8, 4, 2), 8.0);
+  EXPECT_DOUBLE_EQ(ee_lower_bound_from_kn(8, 2, 3), 4.0);
+}
+
+TEST(LowerBounds, Lemma31ViaMeasuredEmbedding) {
+  // End-to-end: measure the K_{n,n}->Bn embedding and derive the n lower
+  // bound on input-bisecting cuts.
+  const topo::Butterfly bf(8);
+  const auto c = knn_into_bn(bf);
+  const auto m = measure_embedding(c.guest, c.host, c.emb);
+  EXPECT_DOUBLE_EQ(input_bisection_lower_bound_from_knn(8, m.congestion),
+                   8.0);
+}
+
+}  // namespace
+}  // namespace bfly::embed

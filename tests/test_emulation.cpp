@@ -1,0 +1,83 @@
+// Emulation framework (Section 1.5): slowdown tracks the embedding's
+// load+congestion+dilation, and SVG export of layouts is well-formed.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "layout/butterfly_layout.hpp"
+#include "layout/svg.hpp"
+#include "routing/emulation.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(Emulation, CccEmulatesWnWithConstantSlowdown) {
+  const topo::CubeConnectedCycles cc(16);
+  const auto rep = routing::emulate_full_exchange(embed::wn_into_ccc(cc));
+  // 2 messages per guest edge.
+  EXPECT_EQ(rep.messages_per_step, 2 * 2u * 16u * 4u);
+  EXPECT_GT(rep.step_makespan, 0u);
+  // Constant-slowdown claim: within a small factor of l + c + d = 5.
+  EXPECT_LE(rep.step_makespan, 4 * rep.lcd_reference);
+}
+
+TEST(Emulation, ButterflyEmulatesBenesAlmostLosslessly) {
+  const topo::Butterfly bf(16);
+  const auto rep =
+      routing::emulate_full_exchange(embed::benes_into_bn(bf));
+  // Congestion 1 embedding: the only contention is the two directions of
+  // each guest edge sharing its 3-hop fold; makespan stays tiny.
+  EXPECT_LE(rep.step_makespan, 8u);
+}
+
+TEST(Emulation, HypercubeEmulatesButterfly) {
+  const topo::Butterfly bf(8);
+  const auto rep =
+      routing::emulate_full_exchange(embed::bn_into_hypercube(bf));
+  EXPECT_LE(rep.step_makespan, 4 * rep.lcd_reference);
+}
+
+TEST(Emulation, CollapsedEmbeddingDeliversFreeMessages) {
+  // Lemma 2.10 with j >= 1 collapses band edges to single host nodes:
+  // those messages deliver at time 0 and the rest route normally.
+  const topo::Butterfly bf(8);
+  const auto rep =
+      routing::emulate_full_exchange(embed::bk_into_bn(bf, 1, 1));
+  EXPECT_GT(rep.messages_per_step, 0u);
+  EXPECT_GT(rep.step_makespan, 0u);
+}
+
+TEST(Svg, WellFormedOutput) {
+  const topo::Butterfly bf(4);
+  const auto l = layout::layout_butterfly(bf);
+  std::ostringstream os;
+  layout::write_svg(os, l);
+  const std::string svg = os.str();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One circle per node, one polyline per edge.
+  std::size_t circles = 0, polylines = 0, pos = 0;
+  while ((pos = svg.find("<circle", pos)) != std::string::npos) {
+    ++circles;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+    ++polylines;
+    ++pos;
+  }
+  EXPECT_EQ(circles, bf.num_nodes());
+  EXPECT_EQ(polylines, bf.graph().num_edges());
+}
+
+TEST(Svg, EmptyLayout) {
+  layout::GridLayout empty;
+  std::ostringstream os;
+  layout::write_svg(os, empty);
+  EXPECT_NE(os.str().find("<svg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bfly

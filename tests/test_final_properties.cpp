@@ -1,0 +1,103 @@
+// Final property suites: automorphism composition, Beneš mirror
+// symmetry, RNG uniformity sanity, and builder stress.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "core/graph.hpp"
+#include "core/rng.hpp"
+#include "topology/benes.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(Automorphisms, ComposeAndInvert) {
+  // The (c0, flips) family is closed under composition with matching
+  // flips, and applying (c0, flips) twice is the identity (XOR masks are
+  // involutions).
+  const topo::Butterfly bf(16);
+  for (std::uint32_t c0 = 0; c0 < 16; c0 += 5) {
+    for (std::uint32_t flips = 0; flips < 16; flips += 3) {
+      const topo::ButterflyAutomorphism a(bf, c0, flips);
+      for (NodeId v = 0; v < bf.num_nodes(); ++v) {
+        EXPECT_EQ(a.apply(a.apply(v)), v);
+      }
+    }
+  }
+}
+
+TEST(Automorphisms, LevelReversalIsInvolution) {
+  const topo::Butterfly bf(16);
+  for (NodeId v = 0; v < bf.num_nodes(); ++v) {
+    EXPECT_EQ(level_reversal(bf, level_reversal(bf, v)), v);
+  }
+}
+
+class BenesMirror : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BenesMirror, CrossMasksAreMirrorSymmetric) {
+  const topo::Benes benes(GetParam());
+  const std::uint32_t d = benes.dims();
+  for (std::uint32_t b = 0; b < 2 * d; ++b) {
+    EXPECT_EQ(benes.cross_mask(b), benes.cross_mask(2 * d - 1 - b));
+  }
+}
+
+TEST_P(BenesMirror, LevelReflectionIsAnAutomorphism) {
+  // <w, l> -> <w, 2d - l> preserves adjacency (the back-to-back mirror).
+  const topo::Benes benes(GetParam());
+  const std::uint32_t d = benes.dims();
+  const auto mirror = [&](NodeId v) {
+    return benes.node(benes.column(v), 2 * d - benes.level(v));
+  };
+  for (const auto& [u, v] : benes.graph().edges()) {
+    EXPECT_TRUE(benes.graph().has_edge(mirror(u), mirror(v)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BenesMirror,
+                         ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(Rng, RoughUniformityOfBelow) {
+  // Chi-square-lite: 16 buckets, 16k draws; every bucket within 20% of
+  // the mean (overwhelmingly likely for a sound generator).
+  Rng rng(20260707);
+  std::array<int, 16> buckets{};
+  for (int i = 0; i < 16384; ++i) ++buckets[rng.below(16)];
+  for (const int b : buckets) {
+    EXPECT_GT(b, 1024 * 0.8);
+    EXPECT_LT(b, 1024 * 1.2);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(GraphBuilder, StressManyParallelEdges) {
+  GraphBuilder gb(3);
+  for (int i = 0; i < 1000; ++i) gb.add_edge(0, 1);
+  for (int i = 0; i < 500; ++i) gb.add_edge(1, 2);
+  const Graph g = std::move(gb).build();
+  EXPECT_EQ(g.num_edges(), 1500u);
+  EXPECT_EQ(g.edge_multiplicity(0, 1), 1000u);
+  EXPECT_EQ(g.edge_multiplicity(1, 2), 500u);
+  EXPECT_EQ(g.degree(1), 1500u);
+  EXPECT_EQ(g.max_degree(), 1500u);
+}
+
+TEST(GraphBuilder, LargeButterflyBuildsQuickly) {
+  // B4096: 53248 nodes, 98304 edges — the CSR build must handle it.
+  const topo::Butterfly bf(4096);
+  EXPECT_EQ(bf.num_nodes(), 4096u * 13u);
+  EXPECT_EQ(bf.graph().num_edges(), 2u * 4096u * 12u);
+  EXPECT_EQ(bf.graph().degree(bf.node(0, 5)), 4u);
+}
+
+}  // namespace
+}  // namespace bfly

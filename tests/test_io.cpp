@@ -1,0 +1,88 @@
+// I/O helpers: table/CSV formatting, DOT export, ASCII butterfly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/ascii_butterfly.hpp"
+#include "io/dot.hpp"
+#include "io/table.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly::io {
+namespace {
+
+TEST(Table, AlignedOutput) {
+  Table t({"a", "long header"});
+  t.add("xx", 7);
+  t.add(1.5, "y");
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| long header |"), std::string::npos);
+  EXPECT_NE(s.find("xx"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add(1, 2);
+  t.add("a", "b");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\na,b\n");
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  Table t({"one", "two"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(1.0, 2), "1.00");
+  EXPECT_EQ(fmt(0.41421356, 4), "0.4142");
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+  const topo::Butterfly bf(2);
+  std::ostringstream os;
+  DotOptions opts;
+  opts.graph_name = "B2";
+  opts.label = [&](NodeId v) {
+    return std::to_string(bf.column(v)) + "." + std::to_string(bf.level(v));
+  };
+  opts.node_attrs = [](NodeId v) {
+    return v == 0 ? std::string("color=red") : std::string();
+  };
+  write_dot(os, bf.graph(), opts);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("graph B2 {"), std::string::npos);
+  EXPECT_NE(s.find("n0 [label=\"0.0\", color=red]"), std::string::npos);
+  EXPECT_NE(s.find(" -- "), std::string::npos);
+  // 4 edges of B2.
+  std::size_t edges = 0, pos = 0;
+  while ((pos = s.find(" -- ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, 4u);
+}
+
+TEST(Ascii, RendersAllLevels) {
+  const topo::Butterfly bf(8);
+  const std::string art = render_butterfly_ascii(bf);
+  EXPECT_NE(art.find("column"), std::string::npos);
+  EXPECT_NE(art.find("000"), std::string::npos);
+  EXPECT_NE(art.find("111"), std::string::npos);
+  // One row of 'o' markers per level.
+  std::size_t rows = 0, pos = 0;
+  while ((pos = art.find(" o", pos)) != std::string::npos) {
+    ++rows;
+    pos += 2;
+  }
+  EXPECT_EQ(rows, 8u * 4u);  // 8 columns x 4 levels
+}
+
+}  // namespace
+}  // namespace bfly::io

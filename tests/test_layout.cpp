@@ -1,0 +1,104 @@
+// VLSI layout model (paper Sections 1.1/1.2): validity of the butterfly
+// channel layout, area scaling, and Thompson's A >= BW^2.
+#include <gtest/gtest.h>
+
+#include "layout/butterfly_layout.hpp"
+#include "layout/grid_layout.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly::layout {
+namespace {
+
+TEST(GridLayout, ValidatesASimplePath) {
+  GraphBuilder gb(2);
+  gb.add_edge(0, 1);
+  const Graph g = std::move(gb).build();
+  GridLayout l;
+  l.position = {{0, 0}, {2, 0}};
+  l.wire = {{{0, 0}, {2, 0}}};
+  EXPECT_NO_THROW(validate_layout(g, l));
+  EXPECT_EQ(l.width(), 3);
+  EXPECT_EQ(l.height(), 1);
+  EXPECT_EQ(l.area(), 3);
+}
+
+TEST(GridLayout, RejectsOverlappingWires) {
+  GraphBuilder gb(3);
+  gb.add_edge(0, 1);
+  gb.add_edge(0, 2);
+  const Graph g = std::move(gb).build();
+  GridLayout l;
+  l.position = {{0, 0}, {3, 0}, {2, 0}};
+  l.wire = {{{0, 0}, {3, 0}}, {{0, 0}, {2, 0}}};  // collinear overlap
+  EXPECT_THROW(validate_layout(g, l), PreconditionError);
+}
+
+TEST(GridLayout, AllowsPerpendicularCrossing) {
+  GraphBuilder gb(4);
+  gb.add_edge(0, 1);
+  gb.add_edge(2, 3);
+  const Graph g = std::move(gb).build();
+  GridLayout l;
+  l.position = {{-1, 0}, {1, 0}, {0, -1}, {0, 1}};
+  l.wire = {{{-1, 0}, {1, 0}}, {{0, -1}, {0, 1}}};
+  EXPECT_NO_THROW(validate_layout(g, l));
+}
+
+TEST(GridLayout, RejectsWireThroughForeignNode) {
+  GraphBuilder gb(3);
+  gb.add_edge(0, 1);
+  const Graph g = std::move(gb).build();
+  GridLayout l;
+  l.position = {{0, 0}, {4, 0}, {2, 0}};  // node 2 sits on the wire
+  l.wire = {{{0, 0}, {4, 0}}};
+  EXPECT_THROW(validate_layout(g, l), PreconditionError);
+}
+
+TEST(GridLayout, RejectsDetachedWire) {
+  GraphBuilder gb(2);
+  gb.add_edge(0, 1);
+  const Graph g = std::move(gb).build();
+  GridLayout l;
+  l.position = {{0, 0}, {2, 0}};
+  l.wire = {{{0, 0}, {1, 0}}};
+  EXPECT_THROW(validate_layout(g, l), PreconditionError);
+}
+
+TEST(ButterflyLayout, ValidAcrossSizes) {
+  for (const std::uint32_t n : {2u, 4u, 8u, 16u, 32u}) {
+    const topo::Butterfly bf(n);
+    const auto l = layout_butterfly(bf);
+    EXPECT_NO_THROW(validate_layout(bf.graph(), l)) << "n=" << n;
+  }
+}
+
+TEST(ButterflyLayout, AreaScalesQuadratically) {
+  // Width is ~4n and height ~2n + log n: the quadratic scaling of the
+  // Section 1.1 fact, with an explicit constant.
+  double prev_ratio = 0.0;
+  for (const std::uint32_t n : {8u, 16u, 32u, 64u}) {
+    const topo::Butterfly bf(n);
+    const auto l = layout_butterfly(bf);
+    const double ratio =
+        static_cast<double>(l.area()) / (static_cast<double>(n) * n);
+    EXPECT_LT(ratio, 10.0) << "n=" << n;   // small constant
+    EXPECT_GT(ratio, 1.0) << "n=" << n;    // cannot beat the optimal n^2
+    if (prev_ratio != 0.0) {
+      EXPECT_NEAR(ratio, prev_ratio, 2.0);  // stabilizing constant
+    }
+    prev_ratio = ratio;
+  }
+}
+
+TEST(ButterflyLayout, SatisfiesThompsonBound) {
+  // A >= BW(Bn)^2, with BW = n at these sizes (folklore value, exact for
+  // n <= 8).
+  for (const std::uint32_t n : {4u, 8u, 16u}) {
+    const topo::Butterfly bf(n);
+    const auto l = layout_butterfly(bf);
+    EXPECT_GE(l.area(), thompson_area_lower_bound(n)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace bfly::layout

@@ -1,0 +1,98 @@
+// Max-flow substrate: Dinic on hand-built networks, Menger path counts,
+// and minimum vertex cuts on butterflies.
+#include <gtest/gtest.h>
+
+#include "algo/maxflow.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/complete.hpp"
+#include "topology/hypercube.hpp"
+
+namespace bfly::algo {
+namespace {
+
+TEST(MaxFlow, TextbookNetwork) {
+  // Classic 4-node diamond: s=0, t=3; 0->1 (3), 0->2 (2), 1->2 (5),
+  // 1->3 (2), 2->3 (3). Max flow = 5.
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 3);
+  net.add_arc(0, 2, 2);
+  net.add_arc(1, 2, 5);
+  net.add_arc(1, 3, 2);
+  net.add_arc(2, 3, 3);
+  EXPECT_EQ(net.max_flow(0, 3), 5);
+  EXPECT_TRUE(net.on_source_side(0));
+  EXPECT_FALSE(net.on_source_side(3));
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 7);
+  EXPECT_EQ(net.max_flow(0, 2), 0);
+}
+
+TEST(MaxFlow, FlowOnArcs) {
+  FlowNetwork net(3);
+  const auto a = net.add_arc(0, 1, 4);
+  const auto b = net.add_arc(1, 2, 2);
+  EXPECT_EQ(net.max_flow(0, 2), 2);
+  EXPECT_EQ(net.flow_on(a), 2);
+  EXPECT_EQ(net.flow_on(b), 2);
+}
+
+TEST(MaxFlow, EdgeDisjointPathsOnButterfly) {
+  // Between the inputs and outputs of Bn there are exactly 2n edge-
+  // disjoint paths (each input has degree 2; flow saturates all edges
+  // out of level 0).
+  const topo::Butterfly bf(8);
+  const auto inputs = bf.level_nodes(0);
+  const auto outputs = bf.level_nodes(bf.dims());
+  EXPECT_EQ(max_edge_disjoint_paths(bf.graph(), inputs, outputs), 16);
+}
+
+TEST(MaxFlow, VertexDisjointPathsOnButterfly) {
+  // Fully vertex-disjoint input-output paths: at most n (each level has
+  // n nodes) and exactly n (the identity monotonic paths).
+  const topo::Butterfly bf(8);
+  const auto inputs = bf.level_nodes(0);
+  const auto outputs = bf.level_nodes(bf.dims());
+  EXPECT_EQ(max_vertex_disjoint_paths(bf.graph(), inputs, outputs), 8);
+}
+
+TEST(MaxFlow, MinVertexCutSingleTarget) {
+  // Separating one internal node from the inputs requires cutting it or
+  // its 2 upward neighbors; minimum is 1 (the node itself).
+  const topo::Butterfly bf(8);
+  const auto inputs = bf.level_nodes(0);
+  const std::vector<NodeId> target = {bf.node(3, 2)};
+  const auto cut = min_vertex_cut(bf.graph(), inputs, target);
+  EXPECT_EQ(cut.size, 1);
+  ASSERT_EQ(cut.nodes.size(), 1u);
+}
+
+TEST(MaxFlow, MinVertexCutWholeLevel) {
+  // Separating all outputs from all inputs requires n nodes.
+  const topo::Butterfly bf(8);
+  const auto inputs = bf.level_nodes(0);
+  const auto outputs = bf.level_nodes(bf.dims());
+  const auto cut = min_vertex_cut(bf.graph(), inputs, outputs);
+  EXPECT_EQ(cut.size, 8);
+  EXPECT_EQ(cut.nodes.size(), 8u);
+}
+
+TEST(MaxFlow, MingCutMatchesMengerOnHypercube) {
+  const topo::Hypercube q(4);
+  const std::vector<NodeId> a = {0};
+  const std::vector<NodeId> b = {15};
+  // kappa(Q4) between antipodes = 4 = degree.
+  EXPECT_EQ(max_edge_disjoint_paths(q.graph(), a, b), 4);
+}
+
+TEST(MaxFlow, CompleteGraphCut) {
+  const Graph k6 = topo::complete_graph(6);
+  const std::vector<NodeId> a = {0};
+  const std::vector<NodeId> b = {5};
+  EXPECT_EQ(max_edge_disjoint_paths(k6, a, b), 5);
+}
+
+}  // namespace
+}  // namespace bfly::algo

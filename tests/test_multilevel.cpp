@@ -1,0 +1,102 @@
+// Multilevel partitioner: validity, quality against exact optima and
+// constructive cuts, and scaling to large instances.
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "core/rng.hpp"
+#include "cut/brute_force.hpp"
+#include "cut/constructive.hpp"
+#include "cut/multilevel.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::cut {
+namespace {
+
+void expect_valid(const Graph& g, const CutResult& r) {
+  ASSERT_EQ(r.sides.size(), g.num_nodes());
+  EXPECT_TRUE(is_bisection(r.sides)) << r.method;
+  EXPECT_EQ(cut_capacity(g, r.sides), r.capacity);
+}
+
+TEST(Multilevel, MatchesExactOnSmallInstances) {
+  const topo::Butterfly bf(4);
+  const auto exact = min_bisection_exhaustive(bf.graph());
+  const auto ml = min_bisection_multilevel(bf.graph());
+  expect_valid(bf.graph(), ml);
+  EXPECT_EQ(ml.capacity, exact.capacity);
+}
+
+TEST(Multilevel, RecoversFolkloreOptimaOnFamilies) {
+  {
+    const topo::Butterfly bf(64);
+    const auto ml = min_bisection_multilevel(bf.graph());
+    expect_valid(bf.graph(), ml);
+    EXPECT_LE(ml.capacity, 64u);
+  }
+  {
+    const topo::WrappedButterfly wb(64);
+    const auto ml = min_bisection_multilevel(wb.graph());
+    expect_valid(wb.graph(), ml);
+    EXPECT_EQ(ml.capacity, 64u);  // BW(W64) = 64 (Lemma 3.2)
+  }
+  {
+    const topo::CubeConnectedCycles cc(64);
+    const auto ml = min_bisection_multilevel(cc.graph());
+    expect_valid(cc.graph(), ml);
+    EXPECT_EQ(ml.capacity, 32u);  // BW(CCC64) = 32 (Lemma 3.3)
+  }
+}
+
+TEST(Multilevel, HypercubeDimensionCut) {
+  const topo::Hypercube q5(5);
+  const auto ml = min_bisection_multilevel(q5.graph());
+  expect_valid(q5.graph(), ml);
+  EXPECT_EQ(ml.capacity, 16u);  // 2^(d-1)
+}
+
+TEST(Multilevel, LargeButterflyAtMostFolklore) {
+  const topo::Butterfly bf(512);  // 5120 nodes
+  const auto ml = min_bisection_multilevel(bf.graph());
+  expect_valid(bf.graph(), ml);
+  EXPECT_LE(ml.capacity, 512u);
+}
+
+TEST(Multilevel, DeterministicUnderSeed) {
+  const topo::Butterfly bf(32);
+  MultilevelOptions a, b;
+  a.seed = b.seed = 9;
+  const auto ra = min_bisection_multilevel(bf.graph(), a);
+  const auto rb = min_bisection_multilevel(bf.graph(), b);
+  EXPECT_EQ(ra.capacity, rb.capacity);
+  EXPECT_EQ(ra.sides, rb.sides);
+}
+
+TEST(Multilevel, WorksOnRandomGraphs) {
+  Rng rng(5);
+  for (int trial = 0; trial < 4; ++trial) {
+    GraphBuilder gb(40);
+    for (NodeId u = 0; u < 40; ++u) {
+      for (NodeId v = u + 1; v < 40; ++v) {
+        if (rng.bernoulli(0.15)) gb.add_edge(u, v);
+      }
+    }
+    const Graph g = std::move(gb).build();
+    const auto ml = min_bisection_multilevel(g);
+    expect_valid(g, ml);
+  }
+}
+
+TEST(Multilevel, OddNodeCount) {
+  GraphBuilder gb(9);
+  for (NodeId v = 0; v + 1 < 9; ++v) gb.add_edge(v, v + 1);
+  const Graph g = std::move(gb).build();
+  const auto ml = min_bisection_multilevel(g);
+  expect_valid(g, ml);
+  EXPECT_EQ(ml.capacity, 1u);  // a path's bisection width is 1
+}
+
+}  // namespace
+}  // namespace bfly::cut

@@ -1,0 +1,104 @@
+// Remaining fine-grained structural claims from the paper's Section 2
+// setup, checked across sizes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/isomorphism.hpp"
+#include "algo/subgraph.hpp"
+#include "embed/factory.hpp"
+#include "topology/benes.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(Lemma24, ComponentLevelIndexing) {
+  // "the kth level of each component is a subset of the nodes on the
+  // (i+k)th level of Bn" — component_nodes returns levels lo..hi, and
+  // the nodes returned at offset k must all be on level lo+k.
+  const topo::Butterfly bf(16);
+  for (std::uint32_t lo = 0; lo <= 3; ++lo) {
+    for (std::uint32_t hi = lo; hi <= 4; ++hi) {
+      const std::uint32_t comps = bf.num_components(lo, hi);
+      for (std::uint32_t c = 0; c < comps; ++c) {
+        const auto nodes = bf.component_nodes(c, lo, hi);
+        const std::size_t per_level = nodes.size() / (hi - lo + 1);
+        for (std::size_t idx = 0; idx < nodes.size(); ++idx) {
+          EXPECT_EQ(bf.level(nodes[idx]), lo + idx / per_level);
+        }
+      }
+    }
+  }
+}
+
+TEST(Lemma24, ComponentsAreIsomorphicToEachOther) {
+  // All components of Bn[lo, hi] are isomorphic (to B_{2^(hi-lo)}).
+  const topo::Butterfly bf(16);
+  const auto first = algo::induced_subgraph(bf.graph(),
+                                            bf.component_nodes(0, 1, 3));
+  for (std::uint32_t c = 1; c < bf.num_components(1, 3); ++c) {
+    const auto other = algo::induced_subgraph(
+        bf.graph(), bf.component_nodes(c, 1, 3));
+    EXPECT_TRUE(algo::are_isomorphic(first.graph, other.graph));
+  }
+}
+
+TEST(Lemma25, PortPartitionHalvesLevelZero) {
+  // The fold's I/O partition of L0 (even/odd columns) is an exact
+  // bisection of level 0 with |I| = |O| = n/2.
+  const topo::Butterfly bf(16);
+  const auto fold = embed::benes_into_bn(bf);
+  const topo::Benes benes(8);
+  std::set<NodeId> inputs, outputs;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    inputs.insert(fold.emb.node_map[benes.input(c)]);
+    outputs.insert(fold.emb.node_map[benes.output(c)]);
+  }
+  EXPECT_EQ(inputs.size(), 8u);
+  EXPECT_EQ(outputs.size(), 8u);
+  for (const NodeId v : inputs) {
+    EXPECT_EQ(bf.level(v), 0u);
+    EXPECT_EQ(bf.column(v) % 2, 0u);
+    EXPECT_EQ(outputs.count(v), 0u);
+  }
+  for (const NodeId v : outputs) {
+    EXPECT_EQ(bf.level(v), 0u);
+    EXPECT_EQ(bf.column(v) % 2, 1u);
+  }
+}
+
+TEST(Benes, IsTwoBackToBackButterflies) {
+  // Levels 0..d of the Beneš induce a graph isomorphic to Bn, as do
+  // levels d..2d.
+  const topo::Benes benes(8);
+  const topo::Butterfly b8(8);
+  std::vector<NodeId> first_half, second_half;
+  for (std::uint32_t l = 0; l <= 3; ++l) {
+    for (std::uint32_t w = 0; w < 8; ++w) {
+      first_half.push_back(benes.node(w, l));
+      second_half.push_back(benes.node(w, l + 3));
+    }
+  }
+  const auto g1 = algo::induced_subgraph(benes.graph(), first_half);
+  const auto g2 = algo::induced_subgraph(benes.graph(), second_half);
+  EXPECT_TRUE(algo::are_isomorphic(g1.graph, b8.graph()));
+  EXPECT_TRUE(algo::are_isomorphic(g2.graph, b8.graph()));
+}
+
+TEST(Butterfly, SubrangeInducedGraphMatchesComponentAlgebra) {
+  // The induced subgraph on levels [lo, hi] has exactly the edges the
+  // component algebra predicts: 2 * span * (hi - lo) per component.
+  const topo::Butterfly bf(16);
+  for (std::uint32_t lo = 0; lo <= 3; ++lo) {
+    for (std::uint32_t hi = lo + 1; hi <= 4; ++hi) {
+      const auto nodes = bf.component_nodes(0, lo, hi);
+      const auto sub = algo::induced_subgraph(bf.graph(), nodes);
+      const std::size_t span = 1u << (hi - lo);
+      EXPECT_EQ(sub.graph.num_edges(), 2 * span * (hi - lo));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bfly

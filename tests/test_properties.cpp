@@ -1,0 +1,205 @@
+// Property-based sweeps (parameterized gtest): structural invariants of
+// the network families across sizes, incremental-bookkeeping invariants
+// of the cut machinery under random operation sequences, and the
+// for-all-cuts lemmas on every size where they are exhaustively
+// checkable.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/components.hpp"
+#include "algo/diameter.hpp"
+#include "core/partition.hpp"
+#include "core/rng.hpp"
+#include "cut/compactness.hpp"
+#include "cut/constructive.hpp"
+#include "expansion/expansion.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly {
+namespace {
+
+// ---------------------------------------------------------------- Bn --
+
+class ButterflySizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ButterflySizes, NodeEdgeCountsFollowFormulas) {
+  const std::uint32_t n = GetParam();
+  const topo::Butterfly bf(n);
+  const std::uint32_t d = bf.dims();
+  EXPECT_EQ(bf.num_nodes(), n * (d + 1));
+  EXPECT_EQ(bf.graph().num_edges(), static_cast<std::size_t>(2) * n * d);
+  EXPECT_TRUE(algo::is_connected(bf.graph()));
+}
+
+TEST_P(ButterflySizes, EveryNodeDegreeMatchesLevelRule) {
+  const topo::Butterfly bf(GetParam());
+  for (NodeId v = 0; v < bf.num_nodes(); ++v) {
+    const std::uint32_t lvl = bf.level(v);
+    const std::size_t expect =
+        (lvl == 0 || lvl == bf.dims()) ? 2u : 4u;
+    EXPECT_EQ(bf.graph().degree(v), expect);
+  }
+}
+
+TEST_P(ButterflySizes, DiameterIsTwiceLogN) {
+  const topo::Butterfly bf(GetParam());
+  EXPECT_EQ(algo::diameter(bf.graph()), 2 * bf.dims());
+}
+
+TEST_P(ButterflySizes, ColumnSplitCapacityIsN) {
+  const topo::Butterfly bf(GetParam());
+  EXPECT_EQ(cut::column_split_bisection(bf).capacity, GetParam());
+}
+
+TEST_P(ButterflySizes, MonotonicPathsValidForSampledPairs) {
+  const topo::Butterfly bf(GetParam());
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 32; ++trial) {
+    const auto in = static_cast<std::uint32_t>(rng.below(bf.n()));
+    const auto out = static_cast<std::uint32_t>(rng.below(bf.n()));
+    const auto p = bf.monotonic_path(in, out);
+    EXPECT_EQ(p.front(), bf.node(in, 0));
+    EXPECT_EQ(p.back(), bf.node(out, bf.dims()));
+    for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+      EXPECT_TRUE(bf.graph().has_edge(p[i], p[i + 1]));
+    }
+  }
+}
+
+TEST_P(ButterflySizes, BoundaryEdgesDecomposeIntoFourCycles) {
+  // The proof of Lemma 2.12 rests on the fact that the edges between
+  // consecutive levels split into disjoint 4-cycles <v,u,v',u'>.
+  const topo::Butterfly bf(GetParam());
+  for (std::uint32_t b = 0; b < bf.dims(); ++b) {
+    const std::uint32_t mask = bf.cross_mask(b);
+    std::set<std::uint32_t> covered;
+    for (std::uint32_t w = 0; w < bf.n(); ++w) {
+      if (covered.count(w)) continue;
+      const std::uint32_t w2 = w ^ mask;
+      covered.insert(w);
+      covered.insert(w2);
+      // 4-cycle: <w,b> - <w,b+1> - <w2,b> - <w2,b+1> - <w,b>.
+      EXPECT_TRUE(bf.graph().has_edge(bf.node(w, b), bf.node(w, b + 1)));
+      EXPECT_TRUE(bf.graph().has_edge(bf.node(w, b + 1), bf.node(w2, b)));
+      EXPECT_TRUE(bf.graph().has_edge(bf.node(w2, b), bf.node(w2, b + 1)));
+      EXPECT_TRUE(bf.graph().has_edge(bf.node(w2, b + 1), bf.node(w, b)));
+    }
+    EXPECT_EQ(covered.size(), bf.n());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ButterflySizes,
+                         ::testing::Values(2u, 4u, 8u, 16u, 32u, 64u));
+
+// ---------------------------------------------------------------- Wn --
+
+class WrappedSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WrappedSizes, RegularOfDegreeFour) {
+  const topo::WrappedButterfly wb(GetParam());
+  EXPECT_EQ(wb.num_nodes(), GetParam() * wb.dims());
+  for (NodeId v = 0; v < wb.num_nodes(); ++v) {
+    EXPECT_EQ(wb.graph().degree(v), 4u);
+  }
+}
+
+TEST_P(WrappedSizes, DiameterFormula) {
+  const topo::WrappedButterfly wb(GetParam());
+  EXPECT_EQ(algo::diameter(wb.graph()), 3 * wb.dims() / 2);
+}
+
+TEST_P(WrappedSizes, LevelShiftAutomorphismForEveryShift) {
+  const topo::WrappedButterfly wb(GetParam());
+  for (std::uint32_t s = 0; s < wb.dims(); ++s) {
+    for (const auto& [u, v] : wb.graph().edges()) {
+      ASSERT_TRUE(wb.graph().has_edge(wb.level_shift(u, s),
+                                      wb.level_shift(v, s)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WrappedSizes,
+                         ::testing::Values(8u, 16u, 32u, 64u));
+
+// --------------------------------------------------------------- CCC --
+
+class CccSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CccSizes, CubicAndConnected) {
+  const topo::CubeConnectedCycles cc(GetParam());
+  for (NodeId v = 0; v < cc.num_nodes(); ++v) {
+    EXPECT_EQ(cc.graph().degree(v), 3u);
+  }
+  EXPECT_TRUE(algo::is_connected(cc.graph()));
+  EXPECT_EQ(cut::dimension_cut_bisection(cc).capacity, GetParam() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CccSizes,
+                         ::testing::Values(8u, 16u, 32u, 64u));
+
+// ----------------------------------------------- partition invariants --
+
+class PartitionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionFuzz, IncrementalCapacityAlwaysMatchesRecompute) {
+  Rng rng(GetParam());
+  const topo::Butterfly bf(8);
+  Partition part(bf.graph());
+  for (int step = 0; step < 500; ++step) {
+    const NodeId v = static_cast<NodeId>(rng.below(bf.num_nodes()));
+    part.move(v);
+    ASSERT_EQ(part.cut_capacity(), part.recompute_capacity());
+    std::size_t zeros = 0;
+    for (NodeId u = 0; u < bf.num_nodes(); ++u) {
+      zeros += part.side(u) == 0;
+    }
+    ASSERT_EQ(part.side_size(0), zeros);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+// ------------------------------------------- Lemma 2.8 for all sizes --
+
+class PushTailSizes : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PushTailSizes, NeverIncreasesCapacity) {
+  const topo::Butterfly bf(GetParam());
+  Rng rng(GetParam() * 31337);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::uint8_t> sides(bf.num_nodes());
+    for (auto& s : sides) s = static_cast<std::uint8_t>(rng.below(2));
+    const auto before = cut_capacity(bf.graph(), sides);
+    const auto after =
+        cut_capacity(bf.graph(), cut::push_tail_levels(bf, sides));
+    ASSERT_LE(after, before);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PushTailSizes,
+                         ::testing::Values(4u, 8u, 16u, 32u));
+
+// --------------------------------- expansion monotonicity properties --
+
+class ExpansionProperties
+    : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ExpansionProperties, ComplementSymmetryOfEdgeExpansion) {
+  // EE(G, k) == EE(G, N-k): the same cut seen from both sides.
+  const topo::Butterfly bf(GetParam());
+  const auto table = expansion::exact_expansion(bf.graph());
+  const NodeId n = bf.num_nodes();
+  for (std::size_t k = 1; k < n; ++k) {
+    ASSERT_EQ(table[k].ee, table[n - k].ee) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExpansionProperties,
+                         ::testing::Values(2u, 4u));
+
+}  // namespace
+}  // namespace bfly

@@ -1,0 +1,150 @@
+// Section 1.6 variants: Snir's Ω_n, Hong–Kung's FFT_n, and the [13]
+// directed bandwidth-style bisection from Section 1.2.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "expansion/constructive_sets.hpp"
+#include "variants/bandwidth.hpp"
+#include "variants/fft.hpp"
+#include "variants/omega.hpp"
+
+namespace bfly::variants {
+namespace {
+
+TEST(Omega, PortFunctionalBasics) {
+  const OmegaNetwork omega(8);  // base B4
+  const auto& bf = omega.base();
+  // A single input node: 2 edges + 2 ports.
+  const std::vector<NodeId> one_input = {bf.node(0, 0)};
+  EXPECT_EQ(omega.port_edge_expansion(one_input), 4u);
+  // A single middle node: 4 edges, no ports.
+  const std::vector<NodeId> one_mid = {bf.node(0, 1)};
+  EXPECT_EQ(omega.port_edge_expansion(one_mid), 4u);
+  // The whole base network: no cut edges, all ports = 2*(n/2) + 2*(n/2).
+  std::vector<NodeId> all;
+  for (NodeId v = 0; v < bf.num_nodes(); ++v) all.push_back(v);
+  EXPECT_EQ(omega.port_edge_expansion(all), 16u);
+}
+
+TEST(Omega, SnirInequalityHoldsExhaustively) {
+  // C log C >= 4k over EVERY nonempty subset of the Omega_8 base (B4,
+  // 12 nodes, 4095 sets) — the Section 1.6 claim, machine-checked.
+  const OmegaNetwork omega(8);
+  const auto& g = omega.base().graph();
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> set;
+  for (std::uint32_t bits = 1; bits < (1u << n); ++bits) {
+    set.clear();
+    for (NodeId v = 0; v < n; ++v) {
+      if (bits & (1u << v)) set.push_back(v);
+    }
+    const auto chk = omega.snir_inequality(set);
+    ASSERT_TRUE(chk.holds) << "violated at k=" << set.size()
+                           << " C=" << chk.c;
+  }
+}
+
+TEST(Omega, ExactSweepMatchesFunctional) {
+  const OmegaNetwork omega(8);
+  const auto best = exact_port_expansion(omega);
+  // Spot check: k = 1 minimum is 4 (any node).
+  EXPECT_EQ(best[1], 4u);
+  // Each minimum satisfies Snir.
+  for (std::size_t k = 1; k < best.size(); ++k) {
+    const double lhs = static_cast<double>(best[k]) *
+                       std::log2(static_cast<double>(best[k]));
+    EXPECT_GE(lhs, 4.0 * static_cast<double>(k) - 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Omega, RejectsBadSizes) {
+  EXPECT_THROW(OmegaNetwork(6), PreconditionError);
+  EXPECT_THROW(OmegaNetwork(2), PreconditionError);
+}
+
+TEST(FFT, DominatorOfWholeOutputLevelIsN) {
+  const topo::Butterfly bf(8);
+  const auto outputs = bf.level_nodes(bf.dims());
+  const auto cut = min_dominator(bf, outputs);
+  EXPECT_EQ(cut.size, 8);
+}
+
+TEST(FFT, DominatorOfSingleNode) {
+  const topo::Butterfly bf(8);
+  const std::vector<NodeId> one = {bf.node(5, 2)};
+  EXPECT_EQ(min_dominator(bf, one).size, 1);
+}
+
+TEST(FFT, HongKungHoldsOnStructuredSets) {
+  const topo::Butterfly bf(16);
+  // Sub-butterfly sets anchored at the outputs (the Lemma 4.10 sets):
+  // their dominator is the level above, and the bound holds.
+  for (const std::uint32_t delta : {1u, 2u, 3u}) {
+    const auto set = expansion::bn_ne_set(bf, delta);
+    const auto chk = hong_kung_check(bf, set);
+    ASSERT_GE(chk.dominator_size, 2u);
+    EXPECT_TRUE(chk.holds) << "delta=" << delta << " k=" << chk.k
+                           << " |D|=" << chk.dominator_size;
+  }
+}
+
+TEST(FFT, HongKungHoldsOnRandomSets) {
+  const topo::Butterfly bf(16);
+  Rng rng(4242);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t k = 2 + rng.below(24);
+    std::vector<NodeId> set;
+    std::vector<std::uint8_t> in(bf.num_nodes(), 0);
+    while (set.size() < k) {
+      const NodeId v = static_cast<NodeId>(rng.below(bf.num_nodes()));
+      if (!in[v]) {
+        in[v] = 1;
+        set.push_back(v);
+      }
+    }
+    const auto chk = hong_kung_check(bf, set);
+    if (chk.dominator_size >= 2) {
+      EXPECT_TRUE(chk.holds) << "k=" << chk.k << " |D|="
+                             << chk.dominator_size;
+    }
+  }
+}
+
+TEST(Bandwidth, MsbCutIsHalfN) {
+  for (const std::uint32_t n : {4u, 8u, 16u}) {
+    const topo::Butterfly bf(n);
+    EXPECT_EQ(directed_msb_cut(bf), n / 2) << "n=" << n;
+  }
+}
+
+TEST(Bandwidth, ExhaustiveOnB4EqualsHalfN) {
+  const topo::Butterfly bf(4);
+  EXPECT_EQ(directed_io_bisection_exhaustive(bf), 2u);
+}
+
+TEST(Bandwidth, FlowBoundBracketsValue) {
+  // flow LB <= value <= MSB cut; on B4 and B8 both ends equal n/2,
+  // pinning the [13] bisection exactly.
+  for (const std::uint32_t n : {4u, 8u}) {
+    const topo::Butterfly bf(n);
+    const auto lb = directed_io_bisection_flow_bound(bf);
+    const auto ub = directed_msb_cut(bf);
+    EXPECT_EQ(lb, n / 2) << "n=" << n;
+    EXPECT_EQ(ub, n / 2) << "n=" << n;
+  }
+}
+
+TEST(Bandwidth, RelationToBandwidthValue) {
+  // [13]: exact bandwidth of the n-input butterfly is 2n, and bandwidth
+  // <= 4 * bisection; with bisection = n/2 the inequality is tight.
+  const std::uint32_t n = 8;
+  const topo::Butterfly bf(n);
+  const double bandwidth = 2.0 * n;  // quoted exact value from [13]
+  EXPECT_LE(bandwidth,
+            4.0 * static_cast<double>(directed_msb_cut(bf)) + 1e-9);
+}
+
+}  // namespace
+}  // namespace bfly::variants
