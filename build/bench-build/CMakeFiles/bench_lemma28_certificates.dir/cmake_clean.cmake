@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lemma28_certificates"
+  "../bench/bench_lemma28_certificates.pdb"
+  "CMakeFiles/bench_lemma28_certificates.dir/bench_lemma28_certificates.cpp.o"
+  "CMakeFiles/bench_lemma28_certificates.dir/bench_lemma28_certificates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma28_certificates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

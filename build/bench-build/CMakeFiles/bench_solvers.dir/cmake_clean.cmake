@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_solvers"
+  "../bench/bench_solvers.pdb"
+  "CMakeFiles/bench_solvers.dir/bench_solvers.cpp.o"
+  "CMakeFiles/bench_solvers.dir/bench_solvers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_bisection_bn"
+  "../bench/bench_tab_bisection_bn.pdb"
+  "CMakeFiles/bench_tab_bisection_bn.dir/bench_tab_bisection_bn.cpp.o"
+  "CMakeFiles/bench_tab_bisection_bn.dir/bench_tab_bisection_bn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_bisection_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_bisection_wn_ccc"
+  "../bench/bench_tab_bisection_wn_ccc.pdb"
+  "CMakeFiles/bench_tab_bisection_wn_ccc.dir/bench_tab_bisection_wn_ccc.cpp.o"
+  "CMakeFiles/bench_tab_bisection_wn_ccc.dir/bench_tab_bisection_wn_ccc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_bisection_wn_ccc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

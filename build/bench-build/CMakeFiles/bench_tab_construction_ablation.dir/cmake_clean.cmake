@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_construction_ablation"
+  "../bench/bench_tab_construction_ablation.pdb"
+  "CMakeFiles/bench_tab_construction_ablation.dir/bench_tab_construction_ablation.cpp.o"
+  "CMakeFiles/bench_tab_construction_ablation.dir/bench_tab_construction_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_construction_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_diameter"
+  "../bench/bench_tab_diameter.pdb"
+  "CMakeFiles/bench_tab_diameter.dir/bench_tab_diameter.cpp.o"
+  "CMakeFiles/bench_tab_diameter.dir/bench_tab_diameter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

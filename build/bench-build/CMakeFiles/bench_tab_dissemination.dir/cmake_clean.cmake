@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_dissemination"
+  "../bench/bench_tab_dissemination.pdb"
+  "CMakeFiles/bench_tab_dissemination.dir/bench_tab_dissemination.cpp.o"
+  "CMakeFiles/bench_tab_dissemination.dir/bench_tab_dissemination.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

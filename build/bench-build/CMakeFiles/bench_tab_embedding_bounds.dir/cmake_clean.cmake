@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_embedding_bounds"
+  "../bench/bench_tab_embedding_bounds.pdb"
+  "CMakeFiles/bench_tab_embedding_bounds.dir/bench_tab_embedding_bounds.cpp.o"
+  "CMakeFiles/bench_tab_embedding_bounds.dir/bench_tab_embedding_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_embedding_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_emulation"
+  "../bench/bench_tab_emulation.pdb"
+  "CMakeFiles/bench_tab_emulation.dir/bench_tab_emulation.cpp.o"
+  "CMakeFiles/bench_tab_emulation.dir/bench_tab_emulation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_expansion_lower"
+  "../bench/bench_tab_expansion_lower.pdb"
+  "CMakeFiles/bench_tab_expansion_lower.dir/bench_tab_expansion_lower.cpp.o"
+  "CMakeFiles/bench_tab_expansion_lower.dir/bench_tab_expansion_lower.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_expansion_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_expansion_upper"
+  "../bench/bench_tab_expansion_upper.pdb"
+  "CMakeFiles/bench_tab_expansion_upper.dir/bench_tab_expansion_upper.cpp.o"
+  "CMakeFiles/bench_tab_expansion_upper.dir/bench_tab_expansion_upper.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_expansion_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

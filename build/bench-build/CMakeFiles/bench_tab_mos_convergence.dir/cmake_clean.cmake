@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_mos_convergence"
+  "../bench/bench_tab_mos_convergence.pdb"
+  "CMakeFiles/bench_tab_mos_convergence.dir/bench_tab_mos_convergence.cpp.o"
+  "CMakeFiles/bench_tab_mos_convergence.dir/bench_tab_mos_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_mos_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

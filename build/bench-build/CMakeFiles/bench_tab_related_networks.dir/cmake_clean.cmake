@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_related_networks"
+  "../bench/bench_tab_related_networks.pdb"
+  "CMakeFiles/bench_tab_related_networks.dir/bench_tab_related_networks.cpp.o"
+  "CMakeFiles/bench_tab_related_networks.dir/bench_tab_related_networks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_related_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab_solver_quality"
+  "../bench/bench_tab_solver_quality.pdb"
+  "CMakeFiles/bench_tab_solver_quality.dir/bench_tab_solver_quality.cpp.o"
+  "CMakeFiles/bench_tab_solver_quality.dir/bench_tab_solver_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab_solver_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

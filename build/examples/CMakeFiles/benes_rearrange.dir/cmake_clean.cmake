@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benes_rearrange.dir/benes_rearrange.cpp.o"
+  "CMakeFiles/benes_rearrange.dir/benes_rearrange.cpp.o.d"
+  "benes_rearrange"
+  "benes_rearrange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benes_rearrange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bisection_explorer.dir/bisection_explorer.cpp.o"
+  "CMakeFiles/bisection_explorer.dir/bisection_explorer.cpp.o.d"
+  "bisection_explorer"
+  "bisection_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bisection_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

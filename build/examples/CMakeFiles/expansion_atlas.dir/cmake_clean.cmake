@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expansion_atlas.dir/expansion_atlas.cpp.o"
+  "CMakeFiles/expansion_atlas.dir/expansion_atlas.cpp.o.d"
+  "expansion_atlas"
+  "expansion_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expansion_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

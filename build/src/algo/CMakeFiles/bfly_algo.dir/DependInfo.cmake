@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/bfs.cpp" "src/algo/CMakeFiles/bfly_algo.dir/bfs.cpp.o" "gcc" "src/algo/CMakeFiles/bfly_algo.dir/bfs.cpp.o.d"
+  "/root/repo/src/algo/components.cpp" "src/algo/CMakeFiles/bfly_algo.dir/components.cpp.o" "gcc" "src/algo/CMakeFiles/bfly_algo.dir/components.cpp.o.d"
+  "/root/repo/src/algo/diameter.cpp" "src/algo/CMakeFiles/bfly_algo.dir/diameter.cpp.o" "gcc" "src/algo/CMakeFiles/bfly_algo.dir/diameter.cpp.o.d"
+  "/root/repo/src/algo/isomorphism.cpp" "src/algo/CMakeFiles/bfly_algo.dir/isomorphism.cpp.o" "gcc" "src/algo/CMakeFiles/bfly_algo.dir/isomorphism.cpp.o.d"
+  "/root/repo/src/algo/maxflow.cpp" "src/algo/CMakeFiles/bfly_algo.dir/maxflow.cpp.o" "gcc" "src/algo/CMakeFiles/bfly_algo.dir/maxflow.cpp.o.d"
+  "/root/repo/src/algo/spectral.cpp" "src/algo/CMakeFiles/bfly_algo.dir/spectral.cpp.o" "gcc" "src/algo/CMakeFiles/bfly_algo.dir/spectral.cpp.o.d"
+  "/root/repo/src/algo/subgraph.cpp" "src/algo/CMakeFiles/bfly_algo.dir/subgraph.cpp.o" "gcc" "src/algo/CMakeFiles/bfly_algo.dir/subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

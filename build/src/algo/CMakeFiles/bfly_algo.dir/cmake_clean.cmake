@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_algo.dir/bfs.cpp.o"
+  "CMakeFiles/bfly_algo.dir/bfs.cpp.o.d"
+  "CMakeFiles/bfly_algo.dir/components.cpp.o"
+  "CMakeFiles/bfly_algo.dir/components.cpp.o.d"
+  "CMakeFiles/bfly_algo.dir/diameter.cpp.o"
+  "CMakeFiles/bfly_algo.dir/diameter.cpp.o.d"
+  "CMakeFiles/bfly_algo.dir/isomorphism.cpp.o"
+  "CMakeFiles/bfly_algo.dir/isomorphism.cpp.o.d"
+  "CMakeFiles/bfly_algo.dir/maxflow.cpp.o"
+  "CMakeFiles/bfly_algo.dir/maxflow.cpp.o.d"
+  "CMakeFiles/bfly_algo.dir/spectral.cpp.o"
+  "CMakeFiles/bfly_algo.dir/spectral.cpp.o.d"
+  "CMakeFiles/bfly_algo.dir/subgraph.cpp.o"
+  "CMakeFiles/bfly_algo.dir/subgraph.cpp.o.d"
+  "libbfly_algo.a"
+  "libbfly_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_core.dir/graph.cpp.o"
+  "CMakeFiles/bfly_core.dir/graph.cpp.o.d"
+  "CMakeFiles/bfly_core.dir/partition.cpp.o"
+  "CMakeFiles/bfly_core.dir/partition.cpp.o.d"
+  "CMakeFiles/bfly_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/bfly_core.dir/thread_pool.cpp.o.d"
+  "libbfly_core.a"
+  "libbfly_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cut/bisection.cpp" "src/cut/CMakeFiles/bfly_cut.dir/bisection.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/bisection.cpp.o.d"
+  "/root/repo/src/cut/branch_bound.cpp" "src/cut/CMakeFiles/bfly_cut.dir/branch_bound.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/branch_bound.cpp.o.d"
+  "/root/repo/src/cut/brute_force.cpp" "src/cut/CMakeFiles/bfly_cut.dir/brute_force.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/brute_force.cpp.o.d"
+  "/root/repo/src/cut/compactness.cpp" "src/cut/CMakeFiles/bfly_cut.dir/compactness.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/compactness.cpp.o.d"
+  "/root/repo/src/cut/constructive.cpp" "src/cut/CMakeFiles/bfly_cut.dir/constructive.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/constructive.cpp.o.d"
+  "/root/repo/src/cut/fiduccia_mattheyses.cpp" "src/cut/CMakeFiles/bfly_cut.dir/fiduccia_mattheyses.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/fiduccia_mattheyses.cpp.o.d"
+  "/root/repo/src/cut/kernighan_lin.cpp" "src/cut/CMakeFiles/bfly_cut.dir/kernighan_lin.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/kernighan_lin.cpp.o.d"
+  "/root/repo/src/cut/lemma213.cpp" "src/cut/CMakeFiles/bfly_cut.dir/lemma213.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/lemma213.cpp.o.d"
+  "/root/repo/src/cut/level_balance.cpp" "src/cut/CMakeFiles/bfly_cut.dir/level_balance.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/level_balance.cpp.o.d"
+  "/root/repo/src/cut/mos_theory.cpp" "src/cut/CMakeFiles/bfly_cut.dir/mos_theory.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/mos_theory.cpp.o.d"
+  "/root/repo/src/cut/multilevel.cpp" "src/cut/CMakeFiles/bfly_cut.dir/multilevel.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/multilevel.cpp.o.d"
+  "/root/repo/src/cut/simulated_annealing.cpp" "src/cut/CMakeFiles/bfly_cut.dir/simulated_annealing.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/simulated_annealing.cpp.o.d"
+  "/root/repo/src/cut/spectral_bisection.cpp" "src/cut/CMakeFiles/bfly_cut.dir/spectral_bisection.cpp.o" "gcc" "src/cut/CMakeFiles/bfly_cut.dir/spectral_bisection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/bfly_algo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_cut.dir/bisection.cpp.o"
+  "CMakeFiles/bfly_cut.dir/bisection.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/branch_bound.cpp.o"
+  "CMakeFiles/bfly_cut.dir/branch_bound.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/brute_force.cpp.o"
+  "CMakeFiles/bfly_cut.dir/brute_force.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/compactness.cpp.o"
+  "CMakeFiles/bfly_cut.dir/compactness.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/constructive.cpp.o"
+  "CMakeFiles/bfly_cut.dir/constructive.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/fiduccia_mattheyses.cpp.o"
+  "CMakeFiles/bfly_cut.dir/fiduccia_mattheyses.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/kernighan_lin.cpp.o"
+  "CMakeFiles/bfly_cut.dir/kernighan_lin.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/lemma213.cpp.o"
+  "CMakeFiles/bfly_cut.dir/lemma213.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/level_balance.cpp.o"
+  "CMakeFiles/bfly_cut.dir/level_balance.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/mos_theory.cpp.o"
+  "CMakeFiles/bfly_cut.dir/mos_theory.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/multilevel.cpp.o"
+  "CMakeFiles/bfly_cut.dir/multilevel.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/simulated_annealing.cpp.o"
+  "CMakeFiles/bfly_cut.dir/simulated_annealing.cpp.o.d"
+  "CMakeFiles/bfly_cut.dir/spectral_bisection.cpp.o"
+  "CMakeFiles/bfly_cut.dir/spectral_bisection.cpp.o.d"
+  "libbfly_cut.a"
+  "libbfly_cut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_cut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

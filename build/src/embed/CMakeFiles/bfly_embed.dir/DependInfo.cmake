@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/embedding.cpp" "src/embed/CMakeFiles/bfly_embed.dir/embedding.cpp.o" "gcc" "src/embed/CMakeFiles/bfly_embed.dir/embedding.cpp.o.d"
+  "/root/repo/src/embed/factory.cpp" "src/embed/CMakeFiles/bfly_embed.dir/factory.cpp.o" "gcc" "src/embed/CMakeFiles/bfly_embed.dir/factory.cpp.o.d"
+  "/root/repo/src/embed/lower_bounds.cpp" "src/embed/CMakeFiles/bfly_embed.dir/lower_bounds.cpp.o" "gcc" "src/embed/CMakeFiles/bfly_embed.dir/lower_bounds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/bfly_algo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

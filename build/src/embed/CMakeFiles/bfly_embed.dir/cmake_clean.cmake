@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_embed.dir/embedding.cpp.o"
+  "CMakeFiles/bfly_embed.dir/embedding.cpp.o.d"
+  "CMakeFiles/bfly_embed.dir/factory.cpp.o"
+  "CMakeFiles/bfly_embed.dir/factory.cpp.o.d"
+  "CMakeFiles/bfly_embed.dir/lower_bounds.cpp.o"
+  "CMakeFiles/bfly_embed.dir/lower_bounds.cpp.o.d"
+  "libbfly_embed.a"
+  "libbfly_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

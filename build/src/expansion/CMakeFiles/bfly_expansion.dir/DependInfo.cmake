@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expansion/constructive_sets.cpp" "src/expansion/CMakeFiles/bfly_expansion.dir/constructive_sets.cpp.o" "gcc" "src/expansion/CMakeFiles/bfly_expansion.dir/constructive_sets.cpp.o.d"
+  "/root/repo/src/expansion/credit_scheme.cpp" "src/expansion/CMakeFiles/bfly_expansion.dir/credit_scheme.cpp.o" "gcc" "src/expansion/CMakeFiles/bfly_expansion.dir/credit_scheme.cpp.o.d"
+  "/root/repo/src/expansion/expansion.cpp" "src/expansion/CMakeFiles/bfly_expansion.dir/expansion.cpp.o" "gcc" "src/expansion/CMakeFiles/bfly_expansion.dir/expansion.cpp.o.d"
+  "/root/repo/src/expansion/local_search.cpp" "src/expansion/CMakeFiles/bfly_expansion.dir/local_search.cpp.o" "gcc" "src/expansion/CMakeFiles/bfly_expansion.dir/local_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/bfly_algo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

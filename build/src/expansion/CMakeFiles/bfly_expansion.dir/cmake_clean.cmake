@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_expansion.dir/constructive_sets.cpp.o"
+  "CMakeFiles/bfly_expansion.dir/constructive_sets.cpp.o.d"
+  "CMakeFiles/bfly_expansion.dir/credit_scheme.cpp.o"
+  "CMakeFiles/bfly_expansion.dir/credit_scheme.cpp.o.d"
+  "CMakeFiles/bfly_expansion.dir/expansion.cpp.o"
+  "CMakeFiles/bfly_expansion.dir/expansion.cpp.o.d"
+  "CMakeFiles/bfly_expansion.dir/local_search.cpp.o"
+  "CMakeFiles/bfly_expansion.dir/local_search.cpp.o.d"
+  "libbfly_expansion.a"
+  "libbfly_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ascii_butterfly.cpp" "src/io/CMakeFiles/bfly_io.dir/ascii_butterfly.cpp.o" "gcc" "src/io/CMakeFiles/bfly_io.dir/ascii_butterfly.cpp.o.d"
+  "/root/repo/src/io/dot.cpp" "src/io/CMakeFiles/bfly_io.dir/dot.cpp.o" "gcc" "src/io/CMakeFiles/bfly_io.dir/dot.cpp.o.d"
+  "/root/repo/src/io/table.cpp" "src/io/CMakeFiles/bfly_io.dir/table.cpp.o" "gcc" "src/io/CMakeFiles/bfly_io.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_io.dir/ascii_butterfly.cpp.o"
+  "CMakeFiles/bfly_io.dir/ascii_butterfly.cpp.o.d"
+  "CMakeFiles/bfly_io.dir/dot.cpp.o"
+  "CMakeFiles/bfly_io.dir/dot.cpp.o.d"
+  "CMakeFiles/bfly_io.dir/table.cpp.o"
+  "CMakeFiles/bfly_io.dir/table.cpp.o.d"
+  "libbfly_io.a"
+  "libbfly_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/butterfly_layout.cpp" "src/layout/CMakeFiles/bfly_layout.dir/butterfly_layout.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/butterfly_layout.cpp.o.d"
+  "/root/repo/src/layout/grid_layout.cpp" "src/layout/CMakeFiles/bfly_layout.dir/grid_layout.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/grid_layout.cpp.o.d"
+  "/root/repo/src/layout/svg.cpp" "src/layout/CMakeFiles/bfly_layout.dir/svg.cpp.o" "gcc" "src/layout/CMakeFiles/bfly_layout.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_layout.dir/butterfly_layout.cpp.o"
+  "CMakeFiles/bfly_layout.dir/butterfly_layout.cpp.o.d"
+  "CMakeFiles/bfly_layout.dir/grid_layout.cpp.o"
+  "CMakeFiles/bfly_layout.dir/grid_layout.cpp.o.d"
+  "CMakeFiles/bfly_layout.dir/svg.cpp.o"
+  "CMakeFiles/bfly_layout.dir/svg.cpp.o.d"
+  "libbfly_layout.a"
+  "libbfly_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

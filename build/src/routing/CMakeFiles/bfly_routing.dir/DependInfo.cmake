@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/benes_route.cpp" "src/routing/CMakeFiles/bfly_routing.dir/benes_route.cpp.o" "gcc" "src/routing/CMakeFiles/bfly_routing.dir/benes_route.cpp.o.d"
+  "/root/repo/src/routing/butterfly_routing.cpp" "src/routing/CMakeFiles/bfly_routing.dir/butterfly_routing.cpp.o" "gcc" "src/routing/CMakeFiles/bfly_routing.dir/butterfly_routing.cpp.o.d"
+  "/root/repo/src/routing/dissemination.cpp" "src/routing/CMakeFiles/bfly_routing.dir/dissemination.cpp.o" "gcc" "src/routing/CMakeFiles/bfly_routing.dir/dissemination.cpp.o.d"
+  "/root/repo/src/routing/emulation.cpp" "src/routing/CMakeFiles/bfly_routing.dir/emulation.cpp.o" "gcc" "src/routing/CMakeFiles/bfly_routing.dir/emulation.cpp.o.d"
+  "/root/repo/src/routing/experiments.cpp" "src/routing/CMakeFiles/bfly_routing.dir/experiments.cpp.o" "gcc" "src/routing/CMakeFiles/bfly_routing.dir/experiments.cpp.o.d"
+  "/root/repo/src/routing/packet_sim.cpp" "src/routing/CMakeFiles/bfly_routing.dir/packet_sim.cpp.o" "gcc" "src/routing/CMakeFiles/bfly_routing.dir/packet_sim.cpp.o.d"
+  "/root/repo/src/routing/rearrange_certificate.cpp" "src/routing/CMakeFiles/bfly_routing.dir/rearrange_certificate.cpp.o" "gcc" "src/routing/CMakeFiles/bfly_routing.dir/rearrange_certificate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/bfly_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/bfly_embed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

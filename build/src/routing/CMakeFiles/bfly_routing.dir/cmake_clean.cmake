@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_routing.dir/benes_route.cpp.o"
+  "CMakeFiles/bfly_routing.dir/benes_route.cpp.o.d"
+  "CMakeFiles/bfly_routing.dir/butterfly_routing.cpp.o"
+  "CMakeFiles/bfly_routing.dir/butterfly_routing.cpp.o.d"
+  "CMakeFiles/bfly_routing.dir/dissemination.cpp.o"
+  "CMakeFiles/bfly_routing.dir/dissemination.cpp.o.d"
+  "CMakeFiles/bfly_routing.dir/emulation.cpp.o"
+  "CMakeFiles/bfly_routing.dir/emulation.cpp.o.d"
+  "CMakeFiles/bfly_routing.dir/experiments.cpp.o"
+  "CMakeFiles/bfly_routing.dir/experiments.cpp.o.d"
+  "CMakeFiles/bfly_routing.dir/packet_sim.cpp.o"
+  "CMakeFiles/bfly_routing.dir/packet_sim.cpp.o.d"
+  "CMakeFiles/bfly_routing.dir/rearrange_certificate.cpp.o"
+  "CMakeFiles/bfly_routing.dir/rearrange_certificate.cpp.o.d"
+  "libbfly_routing.a"
+  "libbfly_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/benes.cpp" "src/topology/CMakeFiles/bfly_topology.dir/benes.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/benes.cpp.o.d"
+  "/root/repo/src/topology/butterfly.cpp" "src/topology/CMakeFiles/bfly_topology.dir/butterfly.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/butterfly.cpp.o.d"
+  "/root/repo/src/topology/ccc.cpp" "src/topology/CMakeFiles/bfly_topology.dir/ccc.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/ccc.cpp.o.d"
+  "/root/repo/src/topology/complete.cpp" "src/topology/CMakeFiles/bfly_topology.dir/complete.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/complete.cpp.o.d"
+  "/root/repo/src/topology/debruijn.cpp" "src/topology/CMakeFiles/bfly_topology.dir/debruijn.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/debruijn.cpp.o.d"
+  "/root/repo/src/topology/hypercube.cpp" "src/topology/CMakeFiles/bfly_topology.dir/hypercube.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/hypercube.cpp.o.d"
+  "/root/repo/src/topology/mesh_of_stars.cpp" "src/topology/CMakeFiles/bfly_topology.dir/mesh_of_stars.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/mesh_of_stars.cpp.o.d"
+  "/root/repo/src/topology/shuffle_exchange.cpp" "src/topology/CMakeFiles/bfly_topology.dir/shuffle_exchange.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/shuffle_exchange.cpp.o.d"
+  "/root/repo/src/topology/wrapped_butterfly.cpp" "src/topology/CMakeFiles/bfly_topology.dir/wrapped_butterfly.cpp.o" "gcc" "src/topology/CMakeFiles/bfly_topology.dir/wrapped_butterfly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

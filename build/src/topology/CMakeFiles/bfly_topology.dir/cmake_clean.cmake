@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_topology.dir/benes.cpp.o"
+  "CMakeFiles/bfly_topology.dir/benes.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/butterfly.cpp.o"
+  "CMakeFiles/bfly_topology.dir/butterfly.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/ccc.cpp.o"
+  "CMakeFiles/bfly_topology.dir/ccc.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/complete.cpp.o"
+  "CMakeFiles/bfly_topology.dir/complete.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/debruijn.cpp.o"
+  "CMakeFiles/bfly_topology.dir/debruijn.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/hypercube.cpp.o"
+  "CMakeFiles/bfly_topology.dir/hypercube.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/mesh_of_stars.cpp.o"
+  "CMakeFiles/bfly_topology.dir/mesh_of_stars.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/shuffle_exchange.cpp.o"
+  "CMakeFiles/bfly_topology.dir/shuffle_exchange.cpp.o.d"
+  "CMakeFiles/bfly_topology.dir/wrapped_butterfly.cpp.o"
+  "CMakeFiles/bfly_topology.dir/wrapped_butterfly.cpp.o.d"
+  "libbfly_topology.a"
+  "libbfly_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

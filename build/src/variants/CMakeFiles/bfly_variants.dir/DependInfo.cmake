@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variants/bandwidth.cpp" "src/variants/CMakeFiles/bfly_variants.dir/bandwidth.cpp.o" "gcc" "src/variants/CMakeFiles/bfly_variants.dir/bandwidth.cpp.o.d"
+  "/root/repo/src/variants/fft.cpp" "src/variants/CMakeFiles/bfly_variants.dir/fft.cpp.o" "gcc" "src/variants/CMakeFiles/bfly_variants.dir/fft.cpp.o.d"
+  "/root/repo/src/variants/omega.cpp" "src/variants/CMakeFiles/bfly_variants.dir/omega.cpp.o" "gcc" "src/variants/CMakeFiles/bfly_variants.dir/omega.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/bfly_algo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfly_variants.dir/bandwidth.cpp.o"
+  "CMakeFiles/bfly_variants.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/bfly_variants.dir/fft.cpp.o"
+  "CMakeFiles/bfly_variants.dir/fft.cpp.o.d"
+  "CMakeFiles/bfly_variants.dir/omega.cpp.o"
+  "CMakeFiles/bfly_variants.dir/omega.cpp.o.d"
+  "libbfly_variants.a"
+  "libbfly_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfly_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cut_constructive.dir/test_cut_constructive.cpp.o"
+  "CMakeFiles/test_cut_constructive.dir/test_cut_constructive.cpp.o.d"
+  "test_cut_constructive"
+  "test_cut_constructive.pdb"
+  "test_cut_constructive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cut_constructive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

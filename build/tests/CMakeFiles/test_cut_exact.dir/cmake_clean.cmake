@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cut_exact.dir/test_cut_exact.cpp.o"
+  "CMakeFiles/test_cut_exact.dir/test_cut_exact.cpp.o.d"
+  "test_cut_exact"
+  "test_cut_exact.pdb"
+  "test_cut_exact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cut_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cut_heuristics.dir/test_cut_heuristics.cpp.o"
+  "CMakeFiles/test_cut_heuristics.dir/test_cut_heuristics.cpp.o.d"
+  "test_cut_heuristics"
+  "test_cut_heuristics.pdb"
+  "test_cut_heuristics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cut_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

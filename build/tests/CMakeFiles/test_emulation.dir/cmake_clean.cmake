@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emulation.dir/test_emulation.cpp.o"
+  "CMakeFiles/test_emulation.dir/test_emulation.cpp.o.d"
+  "test_emulation"
+  "test_emulation.pdb"
+  "test_emulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

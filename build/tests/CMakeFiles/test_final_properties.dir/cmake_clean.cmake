@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_final_properties.dir/test_final_properties.cpp.o"
+  "CMakeFiles/test_final_properties.dir/test_final_properties.cpp.o.d"
+  "test_final_properties"
+  "test_final_properties.pdb"
+  "test_final_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_final_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

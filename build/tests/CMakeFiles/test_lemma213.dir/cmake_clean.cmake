@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lemma213.dir/test_lemma213.cpp.o"
+  "CMakeFiles/test_lemma213.dir/test_lemma213.cpp.o.d"
+  "test_lemma213"
+  "test_lemma213.pdb"
+  "test_lemma213[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lemma213.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_more_coverage.cpp" "tests/CMakeFiles/test_more_coverage.dir/test_more_coverage.cpp.o" "gcc" "tests/CMakeFiles/test_more_coverage.dir/test_more_coverage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/bfly_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cut/CMakeFiles/bfly_cut.dir/DependInfo.cmake"
+  "/root/repo/build/src/expansion/CMakeFiles/bfly_expansion.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/bfly_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/bfly_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/variants/CMakeFiles/bfly_variants.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/bfly_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/bfly_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/bfly_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bfly_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_structure.dir/test_paper_structure.cpp.o"
+  "CMakeFiles/test_paper_structure.dir/test_paper_structure.cpp.o.d"
+  "test_paper_structure"
+  "test_paper_structure.pdb"
+  "test_paper_structure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_structure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

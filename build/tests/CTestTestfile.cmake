@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_algo[1]_include.cmake")
+include("/root/repo/build/tests/test_cut_exact[1]_include.cmake")
+include("/root/repo/build/tests/test_cut_heuristics[1]_include.cmake")
+include("/root/repo/build/tests/test_cut_mos[1]_include.cmake")
+include("/root/repo/build/tests/test_cut_constructive[1]_include.cmake")
+include("/root/repo/build/tests/test_expansion[1]_include.cmake")
+include("/root/repo/build/tests/test_embed[1]_include.cmake")
+include("/root/repo/build/tests/test_routing[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_maxflow[1]_include.cmake")
+include("/root/repo/build/tests/test_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_sweeps[1]_include.cmake")
+include("/root/repo/build/tests/test_layout[1]_include.cmake")
+include("/root/repo/build/tests/test_dissemination[1]_include.cmake")
+include("/root/repo/build/tests/test_multilevel[1]_include.cmake")
+include("/root/repo/build/tests/test_emulation[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_lemma213[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_structure[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_more_coverage[1]_include.cmake")
+include("/root/repo/build/tests/test_final_properties[1]_include.cmake")
