@@ -12,12 +12,14 @@
 #include "cut/kernighan_lin.hpp"
 #include "cut/mos_theory.hpp"
 #include "cut/multilevel.hpp"
+#include "cut/portfolio.hpp"
 #include "cut/simulated_annealing.hpp"
 #include "cut/spectral_bisection.hpp"
 #include "expansion/expansion.hpp"
 #include "routing/benes_route.hpp"
 #include "topology/benes.hpp"
 #include "topology/butterfly.hpp"
+#include "topology/wrapped_butterfly.hpp"
 
 namespace {
 
@@ -93,6 +95,70 @@ void BM_SpectralBisection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpectralBisection)->Arg(64)->Arg(256);
+
+// The old workflow: every heuristic solver run one after another on the
+// same seeds the portfolio derives. Baseline for BM_Portfolio.
+void BM_SerialSolverSweep(benchmark::State& state) {
+  const topo::Butterfly bf(static_cast<std::uint32_t>(state.range(0)));
+  const Graph& g = bf.graph();
+  const auto seeds = cut::derive_portfolio_seeds(0xbe7cull);
+  for (auto _ : state) {
+    cut::SpectralBisectionOptions sp;
+    sp.seed = seeds.spectral;
+    benchmark::DoNotOptimize(cut::min_bisection_spectral(g, sp));
+    cut::MultilevelOptions ml;
+    ml.seed = seeds.multilevel;
+    benchmark::DoNotOptimize(cut::min_bisection_multilevel(g, ml));
+    cut::FiducciaMattheysesOptions fm;
+    fm.seed = seeds.fm;
+    benchmark::DoNotOptimize(cut::min_bisection_fiduccia_mattheyses(g, fm));
+    cut::KernighanLinOptions kl;
+    kl.seed = seeds.kl;
+    benchmark::DoNotOptimize(cut::min_bisection_kernighan_lin(g, kl));
+    cut::SimulatedAnnealingOptions sa;
+    sa.seed = seeds.sa;
+    benchmark::DoNotOptimize(cut::min_bisection_simulated_annealing(g, sa));
+  }
+}
+BENCHMARK(BM_SerialSolverSweep)->Arg(16)->Arg(64);
+
+// The same solvers raced by the portfolio at 4 threads with a shared
+// incumbent (no exact engine, matching the sweep above).
+void BM_Portfolio4Threads(benchmark::State& state) {
+  const topo::Butterfly bf(static_cast<std::uint32_t>(state.range(0)));
+  cut::PortfolioOptions opts;
+  opts.master_seed = 0xbe7cull;
+  opts.num_threads = 4;
+  opts.run_branch_bound = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cut::min_bisection_portfolio(bf.graph(), opts));
+  }
+}
+BENCHMARK(BM_Portfolio4Threads)->Arg(16)->Arg(64);
+
+// Incumbent value for exact search: branch-and-bound from a cold start
+// vs consuming a multilevel cut as its live upper bound (what the
+// portfolio does). Same proof, smaller tree.
+void BM_BranchBound_Cold_W16(benchmark::State& state) {
+  const topo::WrappedButterfly wb(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cut::min_bisection_branch_bound(wb.graph()));
+  }
+}
+BENCHMARK(BM_BranchBound_Cold_W16);
+
+void BM_BranchBound_HeuristicIncumbent_W16(benchmark::State& state) {
+  const topo::WrappedButterfly wb(16);
+  const auto ml = cut::min_bisection_multilevel(wb.graph());
+  for (auto _ : state) {
+    std::atomic<std::size_t> incumbent{ml.capacity};
+    cut::BranchBoundOptions opts;
+    opts.live_bound = &incumbent;
+    benchmark::DoNotOptimize(
+        cut::min_bisection_branch_bound(wb.graph(), opts));
+  }
+}
+BENCHMARK(BM_BranchBound_HeuristicIncumbent_W16);
 
 void BM_MosAnalyticOptimum(benchmark::State& state) {
   const auto j = static_cast<std::uint32_t>(state.range(0));

@@ -4,8 +4,9 @@
 // Usage: bisection_explorer [family] [n] [solver]
 //   family: bn | wn | ccc | hypercube | benes | mos   (default bn)
 //   n:      power of two (default 16); for mos, the side j of MOS_{j,j}
-//   solver: exact | bb | kl | fm | sa | spectral | ml | folklore
-//           (default fm)
+//   solver: exact | bb | kl | fm | sa | spectral | ml | portfolio |
+//           folklore   (default fm; portfolio races everything at
+//           hardware concurrency and prints per-solver telemetry)
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -16,6 +17,7 @@
 #include "cut/fiduccia_mattheyses.hpp"
 #include "cut/kernighan_lin.hpp"
 #include "cut/multilevel.hpp"
+#include "cut/portfolio.hpp"
 #include "cut/simulated_annealing.hpp"
 #include "cut/spectral_bisection.hpp"
 #include "topology/benes.hpp"
@@ -37,6 +39,15 @@ cut::CutResult solve(const Graph& g, const std::string& solver) {
   if (solver == "sa") return cut::min_bisection_simulated_annealing(g);
   if (solver == "spectral") return cut::min_bisection_spectral(g);
   if (solver == "ml") return cut::min_bisection_multilevel(g);
+  if (solver == "portfolio") {
+    cut::PortfolioOptions opts;
+    // Exact search only pays off on instances it can actually finish;
+    // cap it so huge graphs degrade gracefully instead of spinning.
+    opts.branch_bound_node_limit = 50'000'000;
+    auto res = cut::min_bisection_portfolio(g, opts);
+    cut::print_portfolio_telemetry(res, std::cout);
+    return std::move(res.best);
+  }
   throw PreconditionError("unknown solver: " + solver);
 }
 

@@ -55,4 +55,46 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
       num_threads);
 }
 
+TaskGroup::TaskGroup(unsigned max_concurrency)
+    : max_(max_concurrency == 0 ? default_thread_count() : max_concurrency) {}
+
+void TaskGroup::add(std::function<void()> task) {
+  tasks_.push_back(std::move(task));
+}
+
+void TaskGroup::wait() {
+  std::vector<std::function<void()>> tasks;
+  tasks.swap(tasks_);
+  if (tasks.empty()) return;
+
+  const unsigned workers =
+      static_cast<unsigned>(std::min<std::size_t>(max_, tasks.size()));
+  if (workers <= 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) return;
+        try {
+          tasks[i]();
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace bfly

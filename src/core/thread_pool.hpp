@@ -1,11 +1,16 @@
-// Fork-join data parallelism.
+// Fork-join data parallelism and cooperative task groups.
 //
 // The HPC guides' idiom is explicit parallelism: every parallel region in
 // this library goes through parallel_for with a statically blocked
 // iteration space (all-pairs BFS for diameters, SA restarts, subset
-// sweeps). Work items must be independent; the caller owns any reduction.
+// sweeps) or through TaskGroup for heterogeneous task portfolios (the
+// cut-solver portfolio races exact and heuristic engines). Work items
+// must be independent; the caller owns any reduction. CancelToken is the
+// cooperative stop signal those tasks poll.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <thread>
@@ -27,5 +32,81 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
 void parallel_for_blocked(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
     unsigned num_threads = 0);
+
+/// Cooperative cancellation signal shared between concurrently running
+/// solvers. Long-running loops poll stop_requested() at natural work-unit
+/// boundaries (restarts, temperature levels, every few thousand search
+/// nodes) and wind down when it fires. An optional deadline makes the
+/// token fire on its own once the wall clock passes it.
+///
+/// Thread safety: request_stop()/stop_requested() may be called from any
+/// thread; set_deadline must happen before the token is shared.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Arms the deadline: stop_requested() returns true once now >= tp.
+  void set_deadline(std::chrono::steady_clock::time_point tp) noexcept {
+    deadline_ = tp;
+    has_deadline_ = true;
+  }
+
+  /// Convenience: deadline at now + seconds (ignored when seconds <= 0).
+  void set_deadline_after(double seconds) noexcept {
+    if (seconds <= 0.0) return;
+    set_deadline(std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(seconds)));
+  }
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    if (stop_.load(std::memory_order_relaxed)) return true;
+    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+      stop_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  mutable std::atomic<bool> stop_{false};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// A group of independent tasks executed with bounded concurrency.
+///
+/// Tasks are queued with add() and run by wait(): with max_concurrency 1
+/// they run serially in submission order on the calling thread; otherwise
+/// up to max_concurrency worker threads pull tasks in submission order.
+/// wait() blocks until every task finished and rethrows the first
+/// exception observed (remaining tasks still run to completion — solvers
+/// are expected to fail only on precondition violations).
+class TaskGroup {
+ public:
+  /// max_concurrency 0 = default_thread_count().
+  explicit TaskGroup(unsigned max_concurrency = 0);
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Queues a task; it does not start until wait().
+  void add(std::function<void()> task);
+
+  /// Runs all queued tasks and blocks until they complete.
+  void wait();
+
+  [[nodiscard]] unsigned max_concurrency() const noexcept { return max_; }
+
+ private:
+  unsigned max_;
+  std::vector<std::function<void()>> tasks_;
+};
 
 }  // namespace bfly

@@ -31,6 +31,10 @@ struct CutResult {
   std::size_t capacity = 0;
   Exactness exactness = Exactness::kHeuristic;
   std::string method;
+  /// Restart / V-cycle work units the solver actually completed (0 for
+  /// single-shot and exact solvers). Portfolio telemetry reports this so
+  /// cancelled runs show how far they got.
+  std::uint32_t restarts_completed = 0;
 };
 
 /// True iff the side vector is a bisection of all its nodes.

@@ -81,10 +81,20 @@ struct Searcher {
   }
 
   [[nodiscard]] std::size_t prune_threshold() const {
-    if (have_best) return best_cap;
-    return opts.initial_bound == std::numeric_limits<std::size_t>::max()
-               ? std::numeric_limits<std::size_t>::max()
-               : opts.initial_bound + 1;
+    std::size_t t;
+    if (have_best) {
+      t = best_cap;
+    } else {
+      t = opts.initial_bound == std::numeric_limits<std::size_t>::max()
+              ? std::numeric_limits<std::size_t>::max()
+              : opts.initial_bound + 1;
+    }
+    if (opts.live_bound != nullptr) {
+      // A bisection of this capacity already exists elsewhere; only
+      // strictly better solutions are worth visiting.
+      t = std::min(t, opts.live_bound->load(std::memory_order_relaxed));
+    }
+    return t;
   }
 
   [[nodiscard]] bool side_feasible(int s) const {
@@ -137,7 +147,16 @@ struct Searcher {
 
   void dfs(NodeId depth) {
     if (aborted) return;
-    if (opts.node_limit != 0 && ++visited > opts.node_limit) {
+    ++visited;
+    if (opts.node_limit != 0 && visited > opts.node_limit) {
+      aborted = true;
+      return;
+    }
+    // Poll cancellation at an amortized cadence: the flag is a relaxed
+    // atomic (and possibly a clock read), so checking every node would
+    // dominate the cheap bound arithmetic.
+    if (opts.cancel != nullptr && (visited & 0xfffu) == 0 &&
+        opts.cancel->stop_requested()) {
       aborted = true;
       return;
     }

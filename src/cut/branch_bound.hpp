@@ -9,10 +9,12 @@
 // butterfly-family instances.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 
 #include "core/graph.hpp"
+#include "core/thread_pool.hpp"
 #include "cut/bisection.hpp"
 
 namespace bfly::cut {
@@ -28,6 +30,18 @@ struct BranchBoundOptions {
   /// If nonempty, minimize over cuts bisecting this subset instead of over
   /// balanced bisections.
   std::span<const NodeId> bisect_subset;
+  /// Live incumbent capacity from a concurrently running portfolio: a
+  /// bisection of this capacity already exists elsewhere, so the search
+  /// prunes everything >= it and only reports strictly better solutions.
+  /// When the search completes without finding one, the result's capacity
+  /// stays SIZE_MAX with exactness kExact — a proof that the published
+  /// incumbent is optimal. The pointed-to value may shrink while the
+  /// search runs (each read must be a valid capacity of some bisection).
+  const std::atomic<std::size_t>* live_bound = nullptr;
+  /// Cooperative cancellation, polled every few thousand search nodes.
+  /// When it fires mid-search the result degrades to kHeuristic, exactly
+  /// like an exhausted node_limit.
+  const CancelToken* cancel = nullptr;
 };
 
 [[nodiscard]] CutResult min_bisection_branch_bound(

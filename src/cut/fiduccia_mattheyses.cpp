@@ -107,9 +107,15 @@ CutResult min_bisection_fiduccia_mattheyses(
   const std::uint32_t restarts = std::max(1u, opts.restarts);
 
   // Each restart is independent with a derived seed, so the restarts can
-  // run on any number of threads with a deterministic outcome.
+  // run on any number of threads with a deterministic outcome. Restarts
+  // skipped by cancellation are left at capacity SIZE_MAX and ignored.
   std::vector<CutResult> results(restarts);
+  for (auto& r : results) {
+    r.capacity = std::numeric_limits<std::size_t>::max();
+  }
+  std::atomic<std::uint32_t> completed{0};
   const auto run_restart = [&](std::size_t r) {
+    if (opts.cancel != nullptr && opts.cancel->stop_requested()) return;
     SplitMix64 sm(opts.seed + 0x9e37u * (r + 1));
     Rng rng(sm.next());
     Partition part(g, random_balanced_sides(n, rng));
@@ -118,6 +124,10 @@ CutResult min_bisection_fiduccia_mattheyses(
     }
     results[r].capacity = part.cut_capacity();
     results[r].sides = part.sides();
+    completed.fetch_add(1, std::memory_order_relaxed);
+    if (opts.incumbent != nullptr) {
+      opts.incumbent->publish(part.cut_capacity(), part.sides());
+    }
   };
   if (opts.num_threads > 1) {
     parallel_for(restarts, run_restart, opts.num_threads);
@@ -129,6 +139,7 @@ CutResult min_bisection_fiduccia_mattheyses(
   best.capacity = std::numeric_limits<std::size_t>::max();
   best.exactness = Exactness::kHeuristic;
   best.method = "fiduccia-mattheyses";
+  best.restarts_completed = completed.load(std::memory_order_relaxed);
   for (auto& r : results) {
     if (is_bisection(r.sides) && r.capacity < best.capacity) {
       best.capacity = r.capacity;

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "core/graph.hpp"
+#include "core/thread_pool.hpp"
 #include "cut/bisection.hpp"
+#include "cut/incumbent.hpp"
 
 namespace bfly::cut {
 
@@ -21,6 +23,13 @@ struct FiducciaMattheysesOptions {
   /// derives its own seed, and ties break toward the lowest restart
   /// index.
   std::uint32_t num_threads = 0;
+  /// Cooperative cancellation, checked before each restart. A cancelled
+  /// run returns the best bisection among restarts that did run.
+  const CancelToken* cancel = nullptr;
+  /// Portfolio hook: each restart's final bisection is offered to the
+  /// shared incumbent (one-way; never read back, so the result stays
+  /// deterministic).
+  IncumbentPublisher* incumbent = nullptr;
 };
 
 [[nodiscard]] CutResult min_bisection_fiduccia_mattheyses(

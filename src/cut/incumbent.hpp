@@ -1,0 +1,98 @@
+// Shared incumbent bound for the parallel solver portfolio.
+//
+// Heuristic solvers racing on the same graph publish every improvement
+// they find here; the exact branch-and-bound engine reads the capacity
+// cell as a live pruning bound. The capacity is a relaxed atomic (a
+// monotone watermark — stale reads only cost pruning opportunities, never
+// correctness) while the side vector snapshot lives under a mutex.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace bfly::cut {
+
+/// The best bisection found so far by any solver in a portfolio run.
+class SharedIncumbent {
+ public:
+  static constexpr std::size_t kUnset =
+      std::numeric_limits<std::size_t>::max();
+
+  SharedIncumbent() = default;
+  SharedIncumbent(const SharedIncumbent&) = delete;
+  SharedIncumbent& operator=(const SharedIncumbent&) = delete;
+
+  /// Records (capacity, sides) iff it strictly improves the incumbent.
+  /// Returns true when the incumbent was updated.
+  bool publish(std::size_t capacity,
+               const std::vector<std::uint8_t>& sides) {
+    // Fast reject without the lock; the watermark only decreases, so a
+    // stale read can only let a soon-to-lose candidate through to the
+    // authoritative check below.
+    if (capacity >= capacity_.load(std::memory_order_relaxed)) return false;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity >= best_capacity_) return false;
+    best_capacity_ = capacity;
+    sides_ = sides;
+    capacity_.store(capacity, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Best capacity published so far (kUnset when nothing published).
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// The atomic capacity cell, for solvers that want to poll it in an
+  /// inner loop (branch-and-bound's live pruning bound).
+  [[nodiscard]] const std::atomic<std::size_t>& capacity_cell()
+      const noexcept {
+    return capacity_;
+  }
+
+  /// Snapshot of the incumbent side vector (empty when unset).
+  [[nodiscard]] std::vector<std::uint8_t> sides() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sides_;
+  }
+
+ private:
+  std::atomic<std::size_t> capacity_{kUnset};
+  mutable std::mutex mutex_;
+  std::size_t best_capacity_ = kUnset;  // authoritative, under mutex_
+  std::vector<std::uint8_t> sides_;
+};
+
+/// Per-solver handle onto a SharedIncumbent: forwards publishes and
+/// counts how many of them improved the incumbent, so portfolio telemetry
+/// can attribute improvements to solvers. A null target turns publishing
+/// into a no-op, letting solvers take the hook unconditionally.
+class IncumbentPublisher {
+ public:
+  IncumbentPublisher() = default;
+  explicit IncumbentPublisher(SharedIncumbent* target) : target_(target) {}
+
+  bool publish(std::size_t capacity,
+               const std::vector<std::uint8_t>& sides) {
+    if (target_ == nullptr) return false;
+    const bool improved = target_->publish(capacity, sides);
+    if (improved) improvements_.fetch_add(1, std::memory_order_relaxed);
+    return improved;
+  }
+
+  /// Number of publishes that improved the incumbent. Stable once the
+  /// publishing solver has been joined.
+  [[nodiscard]] std::uint32_t improvements() const noexcept {
+    return improvements_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  SharedIncumbent* target_ = nullptr;
+  std::atomic<std::uint32_t> improvements_{0};
+};
+
+}  // namespace bfly::cut

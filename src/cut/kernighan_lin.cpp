@@ -89,9 +89,15 @@ CutResult min_bisection_kernighan_lin(const Graph& g,
   best.method = "kernighan-lin";
 
   for (std::uint32_t r = 0; r < std::max(1u, opts.restarts); ++r) {
+    if (opts.cancel != nullptr && opts.cancel->stop_requested()) break;
     Partition part(g, random_balanced_sides(n, rng));
     for (std::uint32_t pass = 0; pass < opts.max_passes; ++pass) {
       if (!kl_pass(part)) break;
+      if (opts.cancel != nullptr && opts.cancel->stop_requested()) break;
+    }
+    ++best.restarts_completed;
+    if (opts.incumbent != nullptr) {
+      opts.incumbent->publish(part.cut_capacity(), part.sides());
     }
     if (part.cut_capacity() < best.capacity) {
       best.capacity = part.cut_capacity();

@@ -6,7 +6,9 @@
 #include <cstdint>
 
 #include "core/graph.hpp"
+#include "core/thread_pool.hpp"
 #include "cut/bisection.hpp"
+#include "cut/incumbent.hpp"
 
 namespace bfly::cut {
 
@@ -14,6 +16,14 @@ struct KernighanLinOptions {
   std::uint32_t restarts = 8;
   std::uint32_t max_passes = 16;  ///< per restart
   std::uint64_t seed = 0x6b6cu;  // "kl"
+  /// Cooperative cancellation, checked between restarts and passes. A
+  /// cancelled run still returns the best bisection found so far.
+  const CancelToken* cancel = nullptr;
+  /// Portfolio hook: every restart's final bisection is offered to the
+  /// shared incumbent. Publishing is one-way — the solver's own
+  /// trajectory never depends on what other solvers found, which keeps
+  /// its result deterministic.
+  IncumbentPublisher* incumbent = nullptr;
 };
 
 [[nodiscard]] CutResult min_bisection_kernighan_lin(

@@ -226,6 +226,7 @@ CutResult min_bisection_multilevel(const Graph& g,
   best.method = "multilevel";
 
   for (std::uint32_t cycle = 0; cycle < std::max(1u, opts.cycles); ++cycle) {
+    if (opts.cancel != nullptr && opts.cancel->stop_requested()) break;
     // --- coarsen ---------------------------------------------------
     std::vector<Level> hierarchy;
     const Graph* cur = &g;
@@ -289,11 +290,19 @@ CutResult min_bisection_multilevel(const Graph& g,
     }
     if (is_bisection(sides)) {
       const std::size_t c = cut_capacity(g, sides);
+      if (opts.incumbent != nullptr) opts.incumbent->publish(c, sides);
       if (c < best.capacity) {
         best.capacity = c;
         best.sides = sides;
       }
     }
+    ++best.restarts_completed;
+  }
+  // A run cancelled before its first cycle legitimately has no cut yet;
+  // an uncancelled run must always produce one.
+  if (best.restarts_completed == 0 && opts.cancel != nullptr &&
+      opts.cancel->stop_requested()) {
+    return best;
   }
   BFLY_CHECK(!best.sides.empty(),
              "multilevel failed to produce a bisection");

@@ -11,7 +11,9 @@
 #include <cstdint>
 
 #include "core/graph.hpp"
+#include "core/thread_pool.hpp"
 #include "cut/bisection.hpp"
+#include "cut/incumbent.hpp"
 
 namespace bfly::cut {
 
@@ -21,6 +23,13 @@ struct MultilevelOptions {
   std::uint32_t refine_passes = 12;   ///< FM passes per level
   std::uint32_t cycles = 2;           ///< independent V-cycles
   std::uint64_t seed = 0x313371u;
+  /// Cooperative cancellation, checked between V-cycles. A run cancelled
+  /// before its first cycle completes returns capacity SIZE_MAX with an
+  /// empty side vector.
+  const CancelToken* cancel = nullptr;
+  /// Portfolio hook: each V-cycle's bisection is offered to the shared
+  /// incumbent (one-way; never read back).
+  IncumbentPublisher* incumbent = nullptr;
 };
 
 [[nodiscard]] CutResult min_bisection_multilevel(

@@ -33,6 +33,7 @@ CutResult min_bisection_simulated_annealing(
   std::iota(perm.begin(), perm.end(), 0);
 
   for (std::uint32_t r = 0; r < std::max(1u, opts.restarts); ++r) {
+    if (opts.cancel != nullptr && opts.cancel->stop_requested()) break;
     shuffle(perm, rng);
     std::vector<std::uint8_t> sides(n, 0);
     for (NodeId i = n / 2; i < n; ++i) sides[perm[i]] = 1;
@@ -45,6 +46,7 @@ CutResult min_bisection_simulated_annealing(
 
     for (double temp = t0; temp > opts.final_temperature;
          temp *= opts.cooling) {
+      if (opts.cancel != nullptr && opts.cancel->stop_requested()) break;
       for (std::uint32_t s = 0; s < steps; ++s) {
         auto& s0 = side_nodes[0];
         auto& s1 = side_nodes[1];
@@ -64,12 +66,19 @@ CutResult min_bisection_simulated_annealing(
       if (part.cut_capacity() < best.capacity && part.is_bisection()) {
         best.capacity = part.cut_capacity();
         best.sides = part.sides();
+        if (opts.incumbent != nullptr) {
+          opts.incumbent->publish(best.capacity, best.sides);
+        }
       }
     }
     if (part.cut_capacity() < best.capacity && part.is_bisection()) {
       best.capacity = part.cut_capacity();
       best.sides = part.sides();
+      if (opts.incumbent != nullptr) {
+        opts.incumbent->publish(best.capacity, best.sides);
+      }
     }
+    ++best.restarts_completed;
   }
   return best;
 }

@@ -6,7 +6,9 @@
 #include <cstdint>
 
 #include "core/graph.hpp"
+#include "core/thread_pool.hpp"
 #include "cut/bisection.hpp"
+#include "cut/incumbent.hpp"
 
 namespace bfly::cut {
 
@@ -17,6 +19,12 @@ struct SimulatedAnnealingOptions {
   double final_temperature = 0.05;
   double cooling = 0.95;
   std::uint64_t seed = 0x5au;  // "sa"
+  /// Cooperative cancellation, checked between temperature levels and
+  /// restarts. A cancelled run returns the best bisection found so far.
+  const CancelToken* cancel = nullptr;
+  /// Portfolio hook: improvements are published to the shared incumbent
+  /// as they are found (one-way; never read back).
+  IncumbentPublisher* incumbent = nullptr;
 };
 
 [[nodiscard]] CutResult min_bisection_simulated_annealing(

@@ -72,6 +72,52 @@ TEST_P(SolverFuzz, LocalSearchNeverBeatsExact) {
   }
 }
 
+TEST_P(SolverFuzz, BranchBoundInsensitiveToInitialBoundTightness) {
+  // Pruning-correctness differential for the upper-bound machinery: the
+  // search must return the same optimum whether it starts from no bound,
+  // a loose bound, or a bound already equal to the optimum (the
+  // initial_bound is inclusive, so the optimal solution stays findable).
+  const Graph g = random_multigraph(11, 0.35, GetParam() * 17 + 5);
+  const auto exact = cut::min_bisection_exhaustive(g);
+
+  cut::BranchBoundOptions loose;
+  loose.initial_bound = g.num_edges();  // trivially valid upper bound
+  const auto from_loose = cut::min_bisection_branch_bound(g, loose);
+  ASSERT_EQ(from_loose.capacity, exact.capacity);
+  ASSERT_EQ(from_loose.exactness, cut::Exactness::kExact);
+  ASSERT_TRUE(cut::is_bisection(from_loose.sides));
+
+  cut::BranchBoundOptions tight;
+  tight.initial_bound = exact.capacity;
+  const auto from_tight = cut::min_bisection_branch_bound(g, tight);
+  ASSERT_EQ(from_tight.capacity, exact.capacity);
+  ASSERT_EQ(from_tight.exactness, cut::Exactness::kExact);
+  ASSERT_TRUE(cut::is_bisection(from_tight.sides));
+  ASSERT_EQ(cut_capacity(g, from_tight.sides), from_tight.capacity);
+}
+
+TEST_P(SolverFuzz, BranchBoundLiveBoundSemantics) {
+  // The portfolio's live incumbent bound is exclusive: with the cell one
+  // above the optimum the search still recovers the optimal cut; with it
+  // at the optimum the search proves no strictly better cut exists.
+  const Graph g = random_multigraph(10, 0.4, GetParam() * 23 + 11);
+  const auto exact = cut::min_bisection_exhaustive(g);
+
+  std::atomic<std::size_t> above{exact.capacity + 1};
+  cut::BranchBoundOptions opts;
+  opts.live_bound = &above;
+  const auto found = cut::min_bisection_branch_bound(g, opts);
+  ASSERT_EQ(found.capacity, exact.capacity);
+  ASSERT_EQ(found.exactness, cut::Exactness::kExact);
+
+  std::atomic<std::size_t> at{exact.capacity};
+  cut::BranchBoundOptions proof;
+  proof.live_bound = &at;
+  const auto proved = cut::min_bisection_branch_bound(g, proof);
+  ASSERT_EQ(proved.capacity, static_cast<std::size_t>(-1));
+  ASSERT_EQ(proved.exactness, cut::Exactness::kExact);
+}
+
 TEST_P(SolverFuzz, SubsetBisectionAgreesAcrossEngines) {
   const Graph g = random_multigraph(10, 0.4, GetParam() * 5 + 3);
   Rng rng(GetParam());
