@@ -11,6 +11,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "core/error.hpp"
 #include "cut/branch_bound.hpp"
 #include "cut/constructive.hpp"
 #include "cut/portfolio.hpp"
@@ -95,6 +96,18 @@ int main() {
   io::Table t({"network", "N", "exact/paper", "KL", "FM", "SA", "spectral",
                "multilevel", "portfolio", "serial_ms", "portfolio_ms"});
 
+  // Checked builds run every solver with deep validation at exit and no
+  // optimizer; sanitized builds pay ~10x instrumentation overhead. In
+  // either case the 128-input rows would dominate a smoke run by
+  // minutes without exercising new code paths, so they are reserved for
+  // plain release builds. The numbers in DESIGN.md/README come from
+  // release runs.
+  const bool full_sweep = !checked_build() && !sanitized_build();
+  if (!full_sweep) {
+    std::cout << "(checked/sanitized build: 128-input rows skipped; run "
+                 "a release build for the full table)\n\n";
+  }
+
   cut::PortfolioResult showcase;
   {
     const topo::Butterfly bf(8);
@@ -104,7 +117,7 @@ int main() {
     const topo::Butterfly bf(64);
     solve_row(bf.graph(), t, "B64", "<= 64 (folklore)", false);
   }
-  {
+  if (full_sweep) {
     const topo::Butterfly bf(128);
     solve_row(bf.graph(), t, "B128", "<= 128 (folklore)", false);
   }
@@ -116,7 +129,7 @@ int main() {
     const topo::WrappedButterfly wb(64);
     solve_row(wb.graph(), t, "W64", "64 (paper)", false);
   }
-  {
+  if (full_sweep) {
     const topo::WrappedButterfly wb(128);
     solve_row(wb.graph(), t, "W128", "128 (paper)", false);
   }
@@ -124,7 +137,7 @@ int main() {
     const topo::CubeConnectedCycles cc(64);
     solve_row(cc.graph(), t, "CCC64", "32 (paper)", false);
   }
-  {
+  if (full_sweep) {
     const topo::CubeConnectedCycles cc(128);
     solve_row(cc.graph(), t, "CCC128", "64 (paper)", false);
   }

@@ -1,0 +1,61 @@
+// Fuzz harness for the butterfly ASCII parser (io/ascii_butterfly.hpp).
+//
+// Two decode paths:
+//   * odd first byte — remaining bytes go to the parser verbatim;
+//   * even first byte — start from a VALID rendering of B_{2^d}
+//     (d from the second byte) and apply byte-driven single-character
+//     corruptions. Near-valid inputs exercise the deep consistency
+//     checks (marker/mask agreement, level numbering, trailers) that
+//     pure garbage never reaches.
+//
+// Contract under test: any input either parses into an (n, dims) pair
+// that is internally consistent and re-renders/re-parses to the same
+// pair, or throws ParseError. Crash/UB/other exception = finding.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "core/error.hpp"
+#include "io/ascii_butterfly.hpp"
+#include "topology/butterfly.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  std::string text;
+  if ((data[0] & 1u) != 0) {
+    text.assign(reinterpret_cast<const char*>(data + 1), size - 1);
+  } else {
+    const std::uint32_t dims = size >= 2 ? 1u + (data[1] % 5u) : 2u;
+    const bfly::topo::Butterfly bf(1u << dims);
+    text = bfly::io::render_butterfly_ascii(bf);
+    // Each subsequent byte pair corrupts one character.
+    for (std::size_t i = 2; i + 1 < size; i += 2) {
+      if (text.empty()) break;
+      const std::size_t pos = (static_cast<std::size_t>(data[i]) * 257u +
+                               static_cast<std::size_t>(i)) %
+                              text.size();
+      text[pos] = static_cast<char>(data[i + 1]);
+    }
+  }
+  try {
+    const bfly::io::AsciiButterflyInfo info =
+        bfly::io::parse_butterfly_ascii(text);
+    // Accepted input: the declared shape must be internally consistent...
+    if (info.dims == 0 || info.dims > 24 ||
+        info.n != (1u << info.dims)) {
+      std::abort();
+    }
+    // ...and, at constructible sizes, round-trip through a real network.
+    if (info.dims <= 6) {
+      const bfly::topo::Butterfly bf(info.n);
+      const bfly::io::AsciiButterflyInfo again =
+          bfly::io::parse_butterfly_ascii(
+              bfly::io::render_butterfly_ascii(bf));
+      if (again.n != info.n || again.dims != info.dims) std::abort();
+    }
+  } catch (const bfly::io::ParseError&) {
+    // Expected rejection path.
+  }
+  return 0;
+}

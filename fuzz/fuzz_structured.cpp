@@ -1,0 +1,136 @@
+// Structured fuzzer: decodes the input bytes into a (topology, solver,
+// seed) triple, runs the chosen bisection solver with a tiny budget, and
+// checks the library's cross-solver contracts:
+//
+//   * every solver's result passes validate_cut with the bisection
+//     constraint enforced;
+//   * branch-and-bound (seeded with the heuristic's capacity as an
+//     initial bound) proves an exact optimum that is never beaten by any
+//     heuristic — if a heuristic ever reports a capacity below the
+//     proven optimum, one of the two solvers miscounted a cut.
+//
+// The instances are small enough (4–32 nodes) that the exact solver is
+// cheap, so each fuzz input exercises the full decode → solve → verify
+// pipeline in well under a millisecond.
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+#include "core/error.hpp"
+#include "core/graph.hpp"
+#include "cut/bisection.hpp"
+#include "cut/branch_bound.hpp"
+#include "cut/fiduccia_mattheyses.hpp"
+#include "cut/kernighan_lin.hpp"
+#include "cut/multilevel.hpp"
+#include "cut/simulated_annealing.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/hypercube.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace {
+
+using bfly::Graph;
+using bfly::cut::CutResult;
+
+/// Builds the decoded topology. All variants have an even node count, so
+/// a perfect bisection always exists.
+Graph build_topology(std::uint8_t family, std::uint8_t size_sel) {
+  switch (family % 4u) {
+    case 0:  // B_2, B_4, B_8: 4, 12, 32 nodes
+      return bfly::topo::Butterfly(2u << (size_sel % 3u)).graph();
+    case 1:  // wrapped B_4, B_8: 8, 24 nodes
+      return bfly::topo::WrappedButterfly(4u << (size_sel % 2u)).graph();
+    case 2:  // CCC_2, CCC_3: 8, 24 nodes
+      return bfly::topo::CubeConnectedCycles(4u << (size_sel % 2u)).graph();
+    default:  // Q_1..Q_4: 2..16 nodes
+      return bfly::topo::Hypercube(1u + (size_sel % 4u)).graph();
+  }
+}
+
+CutResult run_solver(const Graph& g, std::uint8_t which, std::uint64_t seed) {
+  switch (which % 4u) {
+    case 0: {
+      bfly::cut::FiducciaMattheysesOptions o;
+      o.restarts = 2;
+      o.max_passes = 4;
+      o.seed = seed;
+      return bfly::cut::min_bisection_fiduccia_mattheyses(g, o);
+    }
+    case 1: {
+      bfly::cut::KernighanLinOptions o;
+      o.restarts = 2;
+      o.max_passes = 4;
+      o.seed = seed;
+      return bfly::cut::min_bisection_kernighan_lin(g, o);
+    }
+    case 2: {
+      bfly::cut::SimulatedAnnealingOptions o;
+      o.restarts = 1;
+      o.steps_per_temperature = 16;
+      o.cooling = 0.7;
+      o.seed = seed;
+      return bfly::cut::min_bisection_simulated_annealing(g, o);
+    }
+    default: {
+      bfly::cut::MultilevelOptions o;
+      o.coarsen_to = 8;
+      o.initial_tries = 4;
+      o.refine_passes = 4;
+      o.cycles = 1;
+      o.seed = seed;
+      return bfly::cut::min_bisection_multilevel(g, o);
+    }
+  }
+}
+
+/// Exact bisection widths, memoized per decoded instance: the topology is
+/// a pure function of (family, size_sel), so the branch-and-bound price
+/// is paid once per shape across the whole fuzz run.
+std::size_t exact_capacity(std::uint8_t family, std::uint8_t size_sel,
+                           const Graph& g, std::size_t heuristic_cap) {
+  static std::map<std::pair<unsigned, unsigned>, std::size_t> cache;
+  const std::pair<unsigned, unsigned> key{family % 4u,
+                                          static_cast<unsigned>(size_sel)};
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  bfly::cut::BranchBoundOptions o;
+  o.initial_bound = heuristic_cap + 1;  // exclusive bound; keeps it cheap
+  const CutResult exact = bfly::cut::min_bisection_branch_bound(g, o);
+  if (exact.exactness != bfly::cut::Exactness::kExact) std::abort();
+  bfly::cut::validate_cut(g, exact, /*require_bisection=*/true);
+  cache.emplace(key, exact.capacity);
+  return exact.capacity;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 3) return 0;
+  const std::uint8_t family = data[0];
+  const std::uint8_t size_sel = data[1];
+  const std::uint8_t which = data[2];
+  std::uint64_t seed = 0;
+  for (std::size_t i = 3; i < size && i < 11; ++i) {
+    seed = (seed << 8) | data[i];
+  }
+
+  const Graph g = build_topology(family, size_sel);
+  const CutResult heuristic = run_solver(g, which, seed);
+
+  // Contract 1: whatever the heuristic returns is a genuine bisection
+  // whose reported capacity matches a recount.
+  bfly::cut::validate_cut(g, heuristic, /*require_bisection=*/true);
+
+  // Contract 2: no heuristic beats the proven optimum. The exact solver
+  // is seeded with the heuristic's capacity, so if the heuristic's count
+  // were optimistic (too low), branch-and-bound would fail to reproduce
+  // it and the cached optimum would exceed it — caught right here.
+  const std::size_t opt = exact_capacity(family, size_sel, g,
+                                         heuristic.capacity);
+  if (heuristic.capacity < opt) std::abort();
+  return 0;
+}

@@ -1,9 +1,25 @@
-// Checked-precondition helpers.
+// Checked-precondition helpers and the contracts layer.
 //
-// BFLY_CHECK is always on: it guards public API preconditions whose
-// violation would otherwise corrupt results silently (wrong-size partition,
-// non-power-of-two butterfly order, ...). BFLY_ASSERT compiles away in
-// release builds and guards internal invariants on hot paths.
+// Three tiers, from always-on to checked-build-only:
+//
+//   * BFLY_CHECK(expr, msg) — always on. Guards public API preconditions
+//     whose violation would otherwise corrupt results silently (wrong-size
+//     partition, non-power-of-two butterfly order, ...). Throws
+//     PreconditionError naming the violated expression.
+//   * BFLY_ASSERT(expr) / BFLY_ASSERT_MSG(expr, msg) — internal invariants
+//     on hot paths (gain-bucket consistency, incumbent monotonicity, ...).
+//     Active in checked builds; in NDEBUG builds the expression is
+//     discarded through sizeof so it still type-checks (variables used only
+//     in asserts never trigger -Wunused-variable under -Werror) but costs
+//     nothing at run time.
+//   * deep validate() self-checks (Graph::validate, Partition::validate,
+//     cut::validate_cut, embed::validate_embedding, ...) — full-structure
+//     recounts invoked at solver exit under checked builds and callable
+//     from tests always.
+//
+// bfly::checked_build() reports at compile time which tier is active, so
+// callers can gate O(N)+ validation work the same way the macros gate
+// O(1) expression checks.
 #pragma once
 
 #include <sstream>
@@ -18,6 +34,35 @@ class PreconditionError : public std::logic_error {
   explicit PreconditionError(const std::string& what)
       : std::logic_error(what) {}
 };
+
+/// True when internal invariant checks (BFLY_ASSERT*, solver-exit deep
+/// validation) are compiled in — i.e. NDEBUG is not defined.
+[[nodiscard]] constexpr bool checked_build() noexcept {
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// True when the build is instrumented by AddressSanitizer or
+/// ThreadSanitizer. Long-running sweeps use this (alongside
+/// checked_build()) to trade sweep size for instrumentation headroom:
+/// a 10x-slower build re-running the biggest instances only burns CI
+/// minutes without exercising any new code paths.
+[[nodiscard]] constexpr bool sanitized_build() noexcept {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
 
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
@@ -39,7 +84,12 @@ namespace detail {
   } while (false)
 
 #ifdef NDEBUG
-#define BFLY_ASSERT(expr) ((void)0)
+// sizeof-discard: the expression is never evaluated but still
+// type-checked, so asserts cannot rot and assert-only variables stay
+// "used" under -Werror Release builds.
+#define BFLY_ASSERT(expr) ((void)sizeof(!(expr)))
+#define BFLY_ASSERT_MSG(expr, msg) ((void)sizeof(!(expr)), (void)sizeof(msg))
 #else
 #define BFLY_ASSERT(expr) BFLY_CHECK(expr, "internal invariant")
+#define BFLY_ASSERT_MSG(expr, msg) BFLY_CHECK(expr, (msg))
 #endif

@@ -52,6 +52,7 @@ Graph GraphBuilder::build() && {
     }
     g.max_degree_ = std::max(g.max_degree_, e - b);
   }
+  if (checked_build()) g.validate();
   return g;
 }
 
@@ -64,6 +65,59 @@ std::size_t Graph::edge_multiplicity(NodeId u, NodeId v) const {
   const auto nb = neighbors(u);
   const auto [lo, hi] = std::equal_range(nb.begin(), nb.end(), v);
   return static_cast<std::size_t>(hi - lo);
+}
+
+void Graph::validate() const {
+  const NodeId n = num_nodes();
+  BFLY_CHECK(offsets_.size() == static_cast<std::size_t>(n) + 1 ||
+                 (offsets_.empty() && n == 0),
+             "CSR offset array has wrong size");
+  if (offsets_.empty()) {
+    BFLY_CHECK(adj_.empty() && adj_edge_.empty() && edges_.empty(),
+               "empty graph must have no adjacency or edges");
+    return;
+  }
+  BFLY_CHECK(offsets_.front() == 0, "CSR offsets must start at 0");
+  for (NodeId v = 0; v < n; ++v) {
+    BFLY_CHECK(offsets_[v] <= offsets_[v + 1],
+               "CSR offsets must be non-decreasing");
+  }
+  BFLY_CHECK(offsets_.back() == adj_.size(),
+             "CSR offsets must end at the adjacency size");
+  BFLY_CHECK(adj_.size() == 2 * edges_.size(),
+             "degree sum must equal twice the edge count");
+  BFLY_CHECK(adj_edge_.size() == adj_.size(),
+             "edge-id array must be co-indexed with adjacency");
+
+  std::size_t observed_max_degree = 0;
+  std::vector<std::size_t> edge_seen(edges_.size(), 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::size_t b = offsets_[v], e = offsets_[v + 1];
+    observed_max_degree = std::max(observed_max_degree, e - b);
+    for (std::size_t i = b; i < e; ++i) {
+      const NodeId w = adj_[i];
+      BFLY_CHECK(w < n, "adjacency entry out of range");
+      BFLY_CHECK(w != v, "self loop in adjacency");
+      BFLY_CHECK(i == b || adj_[i - 1] <= w,
+                 "adjacency rows must be sorted by neighbor id");
+      const EdgeId id = adj_edge_[i];
+      BFLY_CHECK(id < edges_.size(), "adjacency edge id out of range");
+      const auto [a, c] = edges_[id];
+      BFLY_CHECK((a == v && c == w) || (a == w && c == v),
+                 "adjacency edge id does not match its endpoints");
+      ++edge_seen[id];
+    }
+  }
+  BFLY_CHECK(observed_max_degree == max_degree_,
+             "cached max_degree does not match recount");
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const auto [u, v] = edges_[id];
+    BFLY_CHECK(u <= v, "edge endpoints must be normalized (u <= v)");
+    BFLY_CHECK(v < n, "edge endpoint out of range");
+    BFLY_CHECK(u != v, "self loops are not supported");
+    BFLY_CHECK(edge_seen[id] == 2,
+               "each edge must appear exactly twice in the adjacency");
+  }
 }
 
 }  // namespace bfly

@@ -91,6 +91,14 @@ class Graph {
   /// Sum of degrees == 2 * num_edges(); exposed for sanity checks.
   [[nodiscard]] std::size_t degree_sum() const noexcept { return adj_.size(); }
 
+  /// Deep self-check of the CSR representation: offset monotonicity,
+  /// degree-sum / edge-count agreement, per-row sorting, adjacency/edge-id
+  /// co-indexing against the edge list, endpoint normalization and range,
+  /// absence of self loops, and max_degree. O(N + M). Throws
+  /// PreconditionError on the first violated invariant; called at solver
+  /// exit under checked builds and from tests always.
+  void validate() const;
+
  private:
   friend class GraphBuilder;
 

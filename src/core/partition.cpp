@@ -58,6 +58,19 @@ std::size_t Partition::recompute_capacity() const {
   return bfly::cut_capacity(*g_, sides_);
 }
 
+void Partition::validate() const {
+  BFLY_CHECK(sides_.size() == g_->num_nodes(),
+             "partition size must equal node count");
+  std::size_t zeros = 0;
+  for (const auto s : sides_) {
+    BFLY_CHECK(s <= 1, "sides must be 0 or 1");
+    if (s == 0) ++zeros;
+  }
+  BFLY_CHECK(zeros == size0_, "cached side-0 count does not match recount");
+  BFLY_CHECK(cut_ == recompute_capacity(),
+             "cached cut capacity does not match recount");
+}
+
 std::size_t cut_capacity(const Graph& g,
                          const std::vector<std::uint8_t>& sides) {
   BFLY_CHECK(sides.size() == g.num_nodes(), "side assignment size mismatch");

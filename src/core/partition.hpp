@@ -62,6 +62,11 @@ class Partition {
   /// incremental bookkeeping.
   [[nodiscard]] std::size_t recompute_capacity() const;
 
+  /// Deep self-check: side values are 0/1, the cached side-0 count and
+  /// cut capacity match a from-scratch recount. O(N + M). Throws
+  /// PreconditionError on mismatch.
+  void validate() const;
+
  private:
   const Graph* g_;
   std::vector<std::uint8_t> sides_;

@@ -47,6 +47,9 @@ class CancelToken {
   CancelToken(const CancelToken&) = delete;
   CancelToken& operator=(const CancelToken&) = delete;
 
+  /// Idempotent: any number of calls from any threads leave the token
+  /// fired; a fired token never un-fires (asserted at the portfolio's
+  /// join point and exercised by test_contracts).
   void request_stop() noexcept {
     stop_.store(true, std::memory_order_relaxed);
   }

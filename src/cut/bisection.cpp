@@ -37,11 +37,19 @@ bool bisects_subset(const std::vector<std::uint8_t>& sides,
   return ones <= half && (u - ones) <= half;
 }
 
-void validate_cut(const Graph& g, const CutResult& r) {
+void validate_cut(const Graph& g, const CutResult& r,
+                  bool require_bisection) {
   BFLY_CHECK(r.sides.size() == g.num_nodes(),
              "cut side vector does not match graph");
+  for (const auto s : r.sides) {
+    BFLY_CHECK(s <= 1, "cut sides must be 0 or 1");
+  }
   BFLY_CHECK(cut_capacity(g, r.sides) == r.capacity,
              "cut capacity does not match side vector");
+  if (require_bisection) {
+    BFLY_CHECK(is_bisection(r.sides),
+               "cut does not satisfy the bisection balance constraint");
+  }
 }
 
 }  // namespace bfly::cut

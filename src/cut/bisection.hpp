@@ -45,8 +45,11 @@ struct CutResult {
 [[nodiscard]] bool bisects_subset(const std::vector<std::uint8_t>& sides,
                                   std::span<const NodeId> subset);
 
-/// Validates a CutResult against its graph: side vector size, capacity
-/// consistency. Throws PreconditionError on mismatch (used by tests).
-void validate_cut(const Graph& g, const CutResult& r);
+/// Validates a CutResult against its graph: side vector size, 0/1 side
+/// values, capacity consistency, and (when require_bisection) the balance
+/// constraint. Throws PreconditionError on mismatch (used by tests, and
+/// by solvers at exit under checked builds).
+void validate_cut(const Graph& g, const CutResult& r,
+                  bool require_bisection = false);
 
 }  // namespace bfly::cut

@@ -163,6 +163,13 @@ struct Searcher {
     if (cur_cut + sum_min >= prune_threshold()) return;
     if (depth == n) {
       // Constraints were enforced along the path.
+      BFLY_ASSERT_MSG(!have_best || cur_cut < best_cap,
+                      "incumbent capacity must decrease monotonically");
+      BFLY_ASSERT_MSG(subset_mode ||
+                          (cnt[0] <= cap_side && cnt[1] <= cap_side),
+                      "leaf assignment violates the balance constraint");
+      BFLY_ASSERT_MSG(!subset_mode || (u1 >= u_floor && u1 <= u_ceil),
+                      "leaf assignment violates the subset constraint");
       best_cap = cur_cut;
       best_sides = state;
       have_best = true;
@@ -192,6 +199,12 @@ CutResult min_bisection_branch_bound(const Graph& g,
   BFLY_CHECK(g.num_nodes() >= 2, "bisection needs at least two nodes");
   Searcher s(g, opts);
   s.dfs(0);
+  // A completed search must have unwound its incremental bookkeeping back
+  // to the empty assignment; anything else means assign/unassign drifted.
+  BFLY_ASSERT_MSG(s.aborted || (s.cnt[0] == 0 && s.cnt[1] == 0 &&
+                                s.cur_cut == 0 && s.sum_min == 0 &&
+                                s.u_assigned == 0),
+                  "search bookkeeping did not unwind cleanly");
 
   CutResult res;
   res.method = opts.bisect_subset.empty() ? "branch-and-bound"
@@ -200,6 +213,11 @@ CutResult min_bisection_branch_bound(const Graph& g,
     res.capacity = s.best_cap;
     res.sides = std::move(s.best_sides);
     res.exactness = s.aborted ? Exactness::kHeuristic : Exactness::kExact;
+    if (checked_build()) {
+      validate_cut(g, res, /*require_bisection=*/opts.bisect_subset.empty());
+      BFLY_ASSERT(opts.bisect_subset.empty() ||
+                  bisects_subset(res.sides, opts.bisect_subset));
+    }
   } else {
     // No solution at or below the supplied bound (or search aborted).
     res.capacity = std::numeric_limits<std::size_t>::max();

@@ -86,6 +86,10 @@ bool fm_pass(Partition& part) {
   }
   BFLY_ASSERT(part.cut_capacity() == best_cap);
   BFLY_ASSERT(part.is_bisection());
+  // The incremental gain/capacity bookkeeping must agree with a
+  // from-scratch recount after a full pass of moves and rollbacks.
+  BFLY_ASSERT_MSG(part.recompute_capacity() == part.cut_capacity(),
+                  "incremental capacity drifted from recount");
   return best_cap < start_cap;
 }
 
@@ -145,6 +149,9 @@ CutResult min_bisection_fiduccia_mattheyses(
       best.capacity = r.capacity;
       best.sides = std::move(r.sides);
     }
+  }
+  if (checked_build() && !best.sides.empty()) {
+    validate_cut(g, best, /*require_bisection=*/true);
   }
   return best;
 }

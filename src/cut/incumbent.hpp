@@ -14,6 +14,8 @@
 #include <mutex>
 #include <vector>
 
+#include "core/error.hpp"
+
 namespace bfly::cut {
 
 /// The best bisection found so far by any solver in a portfolio run.
@@ -36,6 +38,10 @@ class SharedIncumbent {
     if (capacity >= capacity_.load(std::memory_order_relaxed)) return false;
     const std::lock_guard<std::mutex> lock(mutex_);
     if (capacity >= best_capacity_) return false;
+    // All solvers in one portfolio race the same graph, so every
+    // published side vector must agree on the node count.
+    BFLY_CHECK(sides_.empty() || sides.size() == sides_.size(),
+               "published side vectors must agree on node count");
     best_capacity_ = capacity;
     sides_ = sides;
     capacity_.store(capacity, std::memory_order_relaxed);

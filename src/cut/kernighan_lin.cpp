@@ -63,6 +63,8 @@ bool kl_pass(Partition& part) {
     part.swap_across(swap_b[i - 1], swap_a[i - 1]);
   }
   BFLY_ASSERT(part.cut_capacity() == best_cap);
+  BFLY_ASSERT_MSG(part.recompute_capacity() == part.cut_capacity(),
+                  "incremental capacity drifted from recount");
   return best_cap < start_cap;
 }
 
@@ -103,6 +105,9 @@ CutResult min_bisection_kernighan_lin(const Graph& g,
       best.capacity = part.cut_capacity();
       best.sides = part.sides();
     }
+  }
+  if (checked_build() && !best.sides.empty()) {
+    validate_cut(g, best, /*require_bisection=*/true);
   }
   return best;
 }

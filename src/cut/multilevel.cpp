@@ -178,6 +178,11 @@ bool weighted_fm_pass(const Graph& g,
   for (std::size_t i = moves.size(); i > prefix; --i) {
     sides[moves[i - 1]] ^= 1;
   }
+  // After rolling back to the kept prefix, the tracked cut value must
+  // agree with a from-scratch recount of the surviving side vector.
+  BFLY_ASSERT_MSG(cut_capacity(g, sides) ==
+                      (keep ? best_cut : start_cut),
+                  "weighted FM cut tracking drifted from recount");
   return keep;
 }
 
@@ -306,6 +311,7 @@ CutResult min_bisection_multilevel(const Graph& g,
   }
   BFLY_CHECK(!best.sides.empty(),
              "multilevel failed to produce a bisection");
+  if (checked_build()) validate_cut(g, best, /*require_bisection=*/true);
   return best;
 }
 

@@ -154,6 +154,10 @@ PortfolioResult min_bisection_portfolio(const Graph& g,
     });
   }
   group.wait();
+  // request_stop is idempotent and must be visible once the tasks have
+  // been joined: a bb-completed run always leaves the token fired.
+  BFLY_ASSERT_MSG(!bb_completed || token.stop_requested(),
+                  "cancel token lost the branch-and-bound stop request");
 
   PortfolioResult out;
   out.proved_optimal = bb_completed;
@@ -200,6 +204,16 @@ PortfolioResult min_bisection_portfolio(const Graph& g,
       bb_completed ? Exactness::kExact : Exactness::kHeuristic;
   out.best.method = "portfolio/" + out.winner;
   out.wall_seconds = seconds_since(t_start);
+  if (checked_build()) {
+    // The winner must be a genuine bisection whose stored capacity
+    // recounts, and no losing solver may have beaten it.
+    validate_cut(g, out.best, /*require_bisection=*/true);
+    for (const auto& t : out.telemetry) {
+      BFLY_ASSERT_MSG(t.capacity == kNoCapacity ||
+                          out.best.capacity <= t.capacity,
+                      "portfolio winner lost to a reported capacity");
+    }
+  }
   return out;
 }
 

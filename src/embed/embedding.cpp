@@ -68,4 +68,17 @@ EmbeddingMetrics measure_embedding(const Graph& guest, const Graph& host,
   return m;
 }
 
+void validate_embedding(const Graph& guest, const Graph& host,
+                        const Embedding& e, const EmbeddingMetrics& m) {
+  const EmbeddingMetrics fresh = measure_embedding(guest, host, e);
+  BFLY_CHECK(fresh.load == m.load,
+             "recounted embedding load does not match");
+  BFLY_CHECK(fresh.congestion == m.congestion,
+             "recounted embedding congestion does not match");
+  BFLY_CHECK(fresh.dilation == m.dilation,
+             "recounted embedding dilation does not match");
+  BFLY_CHECK(fresh.edge_use == m.edge_use,
+             "recounted per-edge use does not match");
+}
+
 }  // namespace bfly::embed

@@ -45,4 +45,10 @@ struct EmbeddingMetrics {
                                                  const Graph& host,
                                                  const Embedding& e);
 
+/// Deep self-check: re-measures the embedding from scratch and checks the
+/// recounted load/congestion/dilation against previously computed metrics.
+/// Throws PreconditionError on a malformed embedding or any mismatch.
+void validate_embedding(const Graph& guest, const Graph& host,
+                        const Embedding& e, const EmbeddingMetrics& m);
+
 }  // namespace bfly::embed

@@ -108,7 +108,13 @@ CreditReport finalize(const Accumulator& acc, std::size_t k,
   }
   rep.implied_lower_bound = rep.retained_by_boundary / per_item_cap;
   rep.actual_boundary = actual_boundary;
-  (void)k;
+  // Credit conservation: every node of A injected exactly one unit, and
+  // each unit either stuck to a boundary item or stranded on a leaf.
+  BFLY_ASSERT_MSG(
+      std::abs(rep.retained_by_boundary + rep.retained_elsewhere -
+               static_cast<double>(k)) <=
+          1e-9 * static_cast<double>(k == 0 ? 1 : k),
+      "credit scheme lost or duplicated credit");
   return rep;
 }
 

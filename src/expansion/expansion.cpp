@@ -125,7 +125,35 @@ std::vector<ExpansionEntry> exact_expansion(
     }
     record();
   }
+  if (checked_build() && opts.keep_witnesses) {
+    for (std::size_t k = 1; k <= max_k; ++k) {
+      validate_expansion_entry(g, k, table[k]);
+    }
+  }
   return table;
+}
+
+void validate_expansion_entry(const Graph& g, std::size_t k,
+                              const ExpansionEntry& entry) {
+  const auto check_witness = [&](std::span<const NodeId> witness) {
+    BFLY_CHECK(witness.size() == k, "expansion witness has wrong size");
+    std::vector<std::uint8_t> seen(g.num_nodes(), 0);
+    for (const NodeId v : witness) {
+      BFLY_CHECK(v < g.num_nodes(), "expansion witness node out of range");
+      BFLY_CHECK(!seen[v], "expansion witness node repeated");
+      seen[v] = 1;
+    }
+  };
+  if (!entry.ee_witness.empty() || k == 0) {
+    check_witness(entry.ee_witness);
+    BFLY_CHECK(edge_boundary(g, entry.ee_witness) == entry.ee,
+               "recounted edge boundary does not match recorded EE");
+  }
+  if (!entry.ne_witness.empty() || k == 0) {
+    check_witness(entry.ne_witness);
+    BFLY_CHECK(node_boundary(g, entry.ne_witness) == entry.ne,
+               "recounted node boundary does not match recorded NE");
+  }
 }
 
 namespace {
@@ -220,7 +248,9 @@ ExpansionEntry exact_expansion_of_size(const Graph& g, std::size_t k,
                  max_subsets,
              "C(N, k) exceeds the configured subset limit");
   SizeKSearcher searcher(g, k);
-  return searcher.run();
+  ExpansionEntry entry = searcher.run();
+  if (checked_build()) validate_expansion_entry(g, k, entry);
+  return entry;
 }
 
 }  // namespace bfly::expansion

@@ -45,6 +45,13 @@ struct ExactExpansionOptions {
 [[nodiscard]] std::vector<ExpansionEntry> exact_expansion(
     const Graph& g, const ExactExpansionOptions& opts = {});
 
+/// Deep self-check of one tabulated entry: each kept witness has exactly
+/// k distinct in-range nodes and its recounted boundary equals the
+/// recorded ee/ne value. Throws PreconditionError on mismatch; called by
+/// tests and, under checked builds, by the expansion sweeps at exit.
+void validate_expansion_entry(const Graph& g, std::size_t k,
+                              const ExpansionEntry& entry);
+
 /// Exact EE(G, k) and NE(G, k) for ONE set size by depth-first
 /// enumeration of k-subsets with incremental boundary maintenance —
 /// feasible when C(N, k) is modest even if 2^N is not (e.g. B8 with

@@ -1,6 +1,9 @@
 #include "io/ascii_butterfly.hpp"
 
 #include <sstream>
+#include <vector>
+
+#include "topology/labels.hpp"
 
 namespace bfly::io {
 
@@ -50,6 +53,142 @@ std::string render_butterfly_ascii(const topo::Butterfly& bf) {
        << (mask) << " columns)\n";
   }
   return os.str();
+}
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line_no, const std::string& msg) {
+  std::ostringstream os;
+  os << "butterfly ASCII parse error at line " << (line_no + 1) << ": "
+     << msg;
+  throw ParseError(os.str());
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> toks;
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+/// Parses a decimal token (optionally with one trailing ',') into a
+/// bounded unsigned value; returns false on anything else.
+bool parse_decimal(std::string tok, std::uint64_t limit,
+                   std::uint64_t& out) {
+  if (!tok.empty() && tok.back() == ',') tok.pop_back();
+  if (tok.empty() || tok.size() > 10) return false;
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v > limit) return false;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+AsciiButterflyInfo parse_butterfly_ascii(const std::string& text) {
+  std::vector<std::string> lines;
+  {
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) lines.push_back(line);
+  }
+  std::size_t ln = 0;
+  const auto line_tokens = [&]() -> std::vector<std::string> {
+    if (ln >= lines.size()) parse_fail(ln, "unexpected end of input");
+    return tokens_of(lines[ln]);
+  };
+
+  // Header: "column" followed by the n column labels as d-bit strings
+  // that must enumerate 0..n-1 in increasing order.
+  const auto header = line_tokens();
+  if (header.empty() || header[0] != "column") {
+    parse_fail(ln, "expected 'column' header");
+  }
+  const std::size_t n_cols = header.size() - 1;
+  if (n_cols == 0) parse_fail(ln, "no column labels");
+  const std::size_t d = header[1].size();
+  if (d == 0 || d > 24) parse_fail(ln, "column label width out of range");
+  if (n_cols != (std::size_t{1} << d)) {
+    parse_fail(ln, "column count is not 2^width");
+  }
+  for (std::size_t w = 0; w < n_cols; ++w) {
+    const std::string& bits = header[w + 1];
+    if (bits.size() != d) parse_fail(ln, "ragged column label widths");
+    std::uint32_t value = 0;
+    for (const char c : bits) {
+      if (c != '0' && c != '1') parse_fail(ln, "non-binary column label");
+      value = (value << 1) | static_cast<std::uint32_t>(c - '0');
+    }
+    if (value != w) parse_fail(ln, "column labels must enumerate 0..n-1");
+  }
+  ++ln;
+
+  // "level" separator.
+  const auto sep = line_tokens();
+  if (sep.size() != 1 || sep[0] != "level") {
+    parse_fail(ln, "expected 'level' separator");
+  }
+  ++ln;
+
+  const auto dims = static_cast<std::uint32_t>(d);
+  const auto n = static_cast<std::uint32_t>(n_cols);
+  for (std::uint32_t lvl = 0; lvl <= dims; ++lvl) {
+    // Node row: the level number followed by one 'o' per column.
+    const auto row = line_tokens();
+    if (row.size() != n_cols + 1) {
+      parse_fail(ln, "node row has wrong column count");
+    }
+    std::uint64_t declared = 0;
+    if (!parse_decimal(row[0], dims, declared) || declared != lvl) {
+      parse_fail(ln, "node row declares the wrong level");
+    }
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      if (row[i] != "o") parse_fail(ln, "node row must contain 'o' marks");
+    }
+    ++ln;
+    if (lvl == dims) break;
+
+    // Boundary row: n cross markers then the
+    // "(cross edges flip bit K, span M columns)" trailer.
+    const auto edge = line_tokens();
+    if (edge.size() != n_cols + 8) {
+      parse_fail(ln, "boundary row has wrong token count");
+    }
+    const std::uint32_t mask = topo::bit_mask(dims, lvl + 1);
+    for (std::uint32_t w = 0; w < n; ++w) {
+      const std::string& mark = edge[w];
+      const bool crossing = (w & mask) != 0;
+      if (mark != (crossing ? "\\" : "|")) {
+        parse_fail(ln, "cross marker does not match the boundary's mask");
+      }
+    }
+    if (edge[n_cols] != "(cross" || edge[n_cols + 1] != "edges" ||
+        edge[n_cols + 2] != "flip" || edge[n_cols + 3] != "bit" ||
+        edge[n_cols + 5] != "span" || edge[n_cols + 7] != "columns)") {
+      parse_fail(ln, "malformed boundary trailer");
+    }
+    std::uint64_t bit_pos = 0, span = 0;
+    if (!parse_decimal(edge[n_cols + 4], dims, bit_pos) ||
+        bit_pos != lvl + 1) {
+      parse_fail(ln, "boundary trailer declares the wrong bit position");
+    }
+    if (!parse_decimal(edge[n_cols + 6], n, span) || span != mask) {
+      parse_fail(ln, "boundary trailer declares the wrong span");
+    }
+    ++ln;
+  }
+  // Anything after the last node row other than blank lines is noise.
+  for (; ln < lines.size(); ++ln) {
+    if (!tokens_of(lines[ln]).empty()) {
+      parse_fail(ln, "trailing input after the last level");
+    }
+  }
+  return AsciiButterflyInfo{n, dims};
 }
 
 }  // namespace bfly::io

@@ -1,15 +1,37 @@
 // ASCII rendering of a butterfly network in the style of the paper's
-// Figure 1: levels as rows, columns as bit strings, with straight and
-// cross edges sketched between adjacent levels.
+// Figure 1 (levels as rows, columns as bit strings, straight and cross
+// edges sketched between adjacent levels) — and the inverse parser.
+//
+// The parser is an untrusted-input surface: it re-derives (n, dims) from
+// a rendering and cross-checks every structural claim the drawing makes
+// (column labels enumerate 0..n-1 in order, one node row per level, each
+// boundary's cross markers match the declared bit position and span).
+// Malformed input throws ParseError; no byte sequence causes UB.
+// fuzz/fuzz_ascii_butterfly.cpp hammers exactly this contract.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
+#include "io/dot.hpp"  // ParseError
 #include "topology/butterfly.hpp"
 
 namespace bfly::io {
 
 /// Multi-line drawing of Bn (readable up to n = 16 or so).
 [[nodiscard]] std::string render_butterfly_ascii(const topo::Butterfly& bf);
+
+/// What a butterfly drawing declares about its network.
+struct AsciiButterflyInfo {
+  std::uint32_t n = 0;     ///< columns (inputs)
+  std::uint32_t dims = 0;  ///< log2 n
+};
+
+/// Parses a render_butterfly_ascii drawing back into (n, dims),
+/// validating the full structure. Throws ParseError on malformed or
+/// internally inconsistent input. Round-trip guarantee:
+/// parse_butterfly_ascii(render_butterfly_ascii(bf)) == {bf.n(), bf.dims()}.
+[[nodiscard]] AsciiButterflyInfo parse_butterfly_ascii(
+    const std::string& text);
 
 }  // namespace bfly::io

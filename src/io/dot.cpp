@@ -1,5 +1,10 @@
 #include "io/dot.hpp"
 
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
 namespace bfly::io {
 
 void write_dot(std::ostream& os, const Graph& g, const DotOptions& opts) {
@@ -22,6 +27,237 @@ void write_dot(std::ostream& os, const Graph& g, const DotOptions& opts) {
     os << "  n" << u << " -- n" << v << ";\n";
   }
   os << "}\n";
+}
+
+namespace {
+
+// Hand-rolled tokenizer/recursive-descent parser. Every path through it
+// is bounds-checked: the fuzz harness feeds it arbitrary bytes and
+// expects either a ParsedDot or a ParseError, never UB.
+class DotParser {
+ public:
+  DotParser(std::string text, const DotReadOptions& opts)
+      : text_(std::move(text)), opts_(opts) {}
+
+  ParsedDot run() {
+    ParsedDot out;
+    expect_keyword("graph");
+    // Optional graph name (identifier or quoted string).
+    Token t = next();
+    if (t.kind == Token::kIdent || t.kind == Token::kString) {
+      out.name = t.text;
+      t = next();
+    }
+    if (t.kind != Token::kLBrace) fail("expected '{'", t);
+
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (;;) {
+      t = next();
+      if (t.kind == Token::kRBrace) break;
+      if (t.kind == Token::kEnd) fail("unterminated graph body", t);
+      if (t.kind == Token::kSemi) continue;  // empty statement
+      if (t.kind != Token::kIdent && t.kind != Token::kString) {
+        fail("expected a node id", t);
+      }
+      const NodeId u = intern(t.text);
+      Token after = next();
+      if (after.kind == Token::kEdgeOp) {
+        // Edge chain: a -- b [-- c ...] [attrs] ;
+        NodeId prev = u;
+        for (;;) {
+          Token rhs = next();
+          if (rhs.kind != Token::kIdent && rhs.kind != Token::kString) {
+            fail("expected a node id after '--'", rhs);
+          }
+          const NodeId v = intern(rhs.text);
+          if (prev == v) fail("self loops are not supported", rhs);
+          edges.emplace_back(prev, v);
+          if (edges.size() > opts_.max_edges) {
+            fail("edge count exceeds the configured cap", rhs);
+          }
+          prev = v;
+          after = next();
+          if (after.kind != Token::kEdgeOp) break;
+        }
+      }
+      if (after.kind == Token::kLBracket) {
+        skip_attr_list();
+        after = next();
+      }
+      if (after.kind != Token::kSemi) {
+        fail("expected ';' to end the statement", after);
+      }
+    }
+    t = next();
+    if (t.kind != Token::kEnd) fail("trailing input after '}'", t);
+
+    GraphBuilder gb(static_cast<NodeId>(out_names_.size()));
+    for (const auto& [a, b] : edges) gb.add_edge(a, b);
+    out.graph = std::move(gb).build();
+    out.node_names = std::move(out_names_);
+    return out;
+  }
+
+ private:
+  struct Token {
+    enum Kind {
+      kIdent,
+      kString,
+      kLBrace,
+      kRBrace,
+      kLBracket,
+      kRBracket,
+      kSemi,
+      kEdgeOp,  // --
+      kEnd,
+    };
+    Kind kind = kEnd;
+    std::string text;
+    std::size_t offset = 0;
+  };
+
+  [[noreturn]] void fail(const std::string& msg, const Token& at) const {
+    std::ostringstream os;
+    os << "DOT parse error at byte " << at.offset << ": " << msg;
+    if (!at.text.empty()) os << " (got '" << at.text << "')";
+    throw ParseError(os.str());
+  }
+
+  void skip_space() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token next() {
+    skip_space();
+    Token t;
+    t.offset = pos_;
+    if (pos_ >= text_.size()) return t;  // kEnd
+    const char c = text_[pos_];
+    if (c == '{' || c == '}' || c == '[' || c == ']' || c == ';') {
+      ++pos_;
+      t.kind = c == '{'   ? Token::kLBrace
+               : c == '}' ? Token::kRBrace
+               : c == '[' ? Token::kLBracket
+               : c == ']' ? Token::kRBracket
+                          : Token::kSemi;
+      t.text = c;
+      return t;
+    }
+    if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+      pos_ += 2;
+      t.kind = Token::kEdgeOp;
+      t.text = "--";
+      return t;
+    }
+    if (c == '"') {
+      ++pos_;
+      t.kind = Token::kString;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        t.text += text_[pos_++];
+      }
+      if (pos_ >= text_.size()) fail("unterminated string literal", t);
+      ++pos_;  // closing quote
+      return t;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '.') {
+      t.kind = Token::kIdent;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '_' ||
+            d == '.') {
+          t.text += d;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      return t;
+    }
+    t.text = c;
+    fail("unexpected character", t);
+  }
+
+  void expect_keyword(const std::string& kw) {
+    const Token t = next();
+    if (t.kind != Token::kIdent || t.text != kw) {
+      fail("expected keyword '" + kw + "'", t);
+    }
+  }
+
+  // Consumes a [name=value, ...] attribute list; the '[' has been read.
+  // Content is skipped as raw text (respecting quoted strings) — the
+  // reader only cares about graph structure, not attributes.
+  void skip_attr_list() {
+    Token at;
+    at.offset = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ']') {
+        ++pos_;
+        return;
+      }
+      if (c == '"') {
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+          ++pos_;
+        }
+        if (pos_ >= text_.size()) fail("unterminated string literal", at);
+      }
+      ++pos_;
+    }
+    fail("unterminated attribute list", at);
+  }
+
+  NodeId intern(const std::string& name) {
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    if (out_names_.size() >= opts_.max_nodes) {
+      Token t;
+      t.offset = pos_;
+      fail("node count exceeds the configured cap", t);
+    }
+    const NodeId id = static_cast<NodeId>(out_names_.size());
+    ids_.emplace(name, id);
+    out_names_.push_back(name);
+    return id;
+  }
+
+  std::string text_;
+  DotReadOptions opts_;
+  std::size_t pos_ = 0;
+  std::unordered_map<std::string, NodeId> ids_;
+  std::vector<std::string> out_names_;
+};
+
+}  // namespace
+
+ParsedDot read_dot_string(const std::string& text,
+                          const DotReadOptions& opts) {
+  DotParser parser(text, opts);
+  ParsedDot out = parser.run();
+  if (checked_build()) out.graph.validate();
+  return out;
+}
+
+ParsedDot read_dot(std::istream& is, const DotReadOptions& opts) {
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return read_dot_string(buf.str(), opts);
 }
 
 }  // namespace bfly::io

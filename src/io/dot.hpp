@@ -1,10 +1,22 @@
-// Graphviz DOT export.
+// Graphviz DOT export and (restricted) import.
+//
+// The writer emits plain undirected DOT. The reader is the library's
+// untrusted-input surface: it accepts the dialect the writer produces —
+// `graph NAME { node and edge statements }` with optional attribute
+// lists, quoted identifiers, and `//`/`#` comments — and throws
+// ParseError (a PreconditionError) on anything malformed instead of
+// crashing or fabricating a graph. fuzz/fuzz_dot.cpp hammers exactly
+// this contract.
 #pragma once
 
+#include <cstddef>
 #include <functional>
+#include <istream>
 #include <ostream>
 #include <string>
+#include <vector>
 
+#include "core/error.hpp"
 #include "core/graph.hpp"
 
 namespace bfly::io {
@@ -19,5 +31,39 @@ struct DotOptions {
 
 /// Writes the graph in undirected DOT format.
 void write_dot(std::ostream& os, const Graph& g, const DotOptions& opts = {});
+
+/// Thrown by the DOT/ASCII readers on malformed input.
+class ParseError : public PreconditionError {
+ public:
+  explicit ParseError(const std::string& what) : PreconditionError(what) {}
+};
+
+/// The result of parsing a DOT document: the graph, its name, and each
+/// node's DOT id (in the order node ids were assigned — first appearance).
+struct ParsedDot {
+  std::string name;
+  Graph graph;
+  std::vector<std::string> node_names;
+};
+
+struct DotReadOptions {
+  /// Hard caps against adversarial inputs: parsing throws ParseError when
+  /// a document declares more nodes/edges than this.
+  std::size_t max_nodes = 1u << 22;
+  std::size_t max_edges = 1u << 24;
+};
+
+/// Parses an undirected DOT document (the dialect write_dot emits: node
+/// statements, `a -- b` edge statements, attribute lists, quoted strings,
+/// `//` and `#` comments). Node ids are assigned in order of first
+/// appearance. Throws ParseError on malformed input, including self
+/// loops, directed edges, and cap violations; never exhibits UB on any
+/// byte sequence.
+[[nodiscard]] ParsedDot read_dot(std::istream& is,
+                                 const DotReadOptions& opts = {});
+
+/// Convenience overload for in-memory documents (fuzzing, tests).
+[[nodiscard]] ParsedDot read_dot_string(const std::string& text,
+                                        const DotReadOptions& opts = {});
 
 }  // namespace bfly::io
