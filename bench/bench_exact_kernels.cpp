@@ -1,0 +1,229 @@
+// E19 — exact-kernel performance: the scalar reference kernels vs the
+// word-level bitset branch-and-bound and the sharded exhaustive
+// expansion sweep, old-vs-new on the same instances.
+//
+// Emits one machine-readable JSON file (BENCH_exact_kernels.json in the
+// working directory, overridable with --out=<path>) with rows
+//   {instance, kernel, threads, seconds, visited_nodes, capacity}
+// where `capacity` is the proved bisection width for bisection rows and
+// EE(G, floor(N/2)) for expansion rows (the full tables are compared
+// internally). The binary exits nonzero if any new kernel disagrees
+// with its scalar reference — CI runs `bench_exact_kernels --smoke`
+// (small instance set, < 60 s even in Debug) as a correctness gate and
+// uploads the JSON as an artifact. Without --smoke the full instance
+// set runs, sized for Release timing (W16/CCC16 bisection, a 26-node
+// exhaustive expansion).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/thread_pool.hpp"
+#include "cut/branch_bound.hpp"
+#include "expansion/expansion.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace {
+
+using namespace bfly;
+
+struct Row {
+  std::string instance;
+  std::string kernel;
+  unsigned threads = 1;
+  double seconds = 0.0;
+  std::uint64_t visited_nodes = 0;
+  std::size_t capacity = 0;
+};
+
+std::vector<Row> g_rows;
+int g_failures = 0;
+
+Graph random_graph(NodeId n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder gb(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) gb.add_edge(u, v);
+    }
+  }
+  return std::move(gb).build();
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+cut::CutResult run_bisection(const std::string& instance, const Graph& g,
+                             cut::BranchBoundKernel kernel, unsigned threads,
+                             const char* kernel_name) {
+  cut::BranchBoundOptions opts;
+  opts.kernel = kernel;
+  opts.num_threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = cut::min_bisection_branch_bound(g, opts);
+  const double secs = seconds_since(t0);
+  g_rows.push_back({instance, kernel_name, threads, secs, res.nodes_visited,
+                    res.capacity});
+  std::printf("%-10s %-18s threads=%u  %10.4fs  visited=%llu  capacity=%zu\n",
+              instance.c_str(), kernel_name, threads, secs,
+              static_cast<unsigned long long>(res.nodes_visited),
+              res.capacity);
+  return res;
+}
+
+void bisection_case(const std::string& instance, const Graph& g,
+                    unsigned max_threads) {
+  const auto scalar = run_bisection(instance, g, cut::BranchBoundKernel::kScalar,
+                                    1, "bb-scalar");
+  const auto bitset = run_bisection(instance, g, cut::BranchBoundKernel::kBitset,
+                                    1, "bb-bitset");
+  if (bitset.capacity != scalar.capacity) {
+    std::fprintf(stderr,
+                 "MISMATCH %s: bb-bitset capacity %zu != bb-scalar %zu\n",
+                 instance.c_str(), bitset.capacity, scalar.capacity);
+    ++g_failures;
+  }
+  if (max_threads > 1) {
+    const auto par = run_bisection(instance, g, cut::BranchBoundKernel::kBitset,
+                                   max_threads, "bb-bitset-par");
+    if (par.capacity != scalar.capacity) {
+      std::fprintf(
+          stderr,
+          "MISMATCH %s: bb-bitset-par capacity %zu != bb-scalar %zu\n",
+          instance.c_str(), par.capacity, scalar.capacity);
+      ++g_failures;
+    }
+  }
+}
+
+void expansion_case(const std::string& instance, const Graph& g,
+                    unsigned max_threads) {
+  expansion::ExactExpansionOptions base;
+  base.max_states = 1ull << 28;
+  base.keep_witnesses = false;
+
+  const std::size_t mid = g.num_nodes() / 2;
+
+  auto run = [&](unsigned threads, unsigned shard_bits,
+                 const char* kernel_name) {
+    expansion::ExactExpansionOptions opts = base;
+    opts.num_threads = threads;
+    opts.shard_bits = shard_bits;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = expansion::exact_expansion_full(g, opts);
+    const double secs = seconds_since(t0);
+    g_rows.push_back({instance, kernel_name, threads, secs,
+                      res.visited_states, res.table[mid].ee});
+    std::printf(
+        "%-10s %-18s threads=%u  %10.4fs  visited=%llu  capacity=%zu\n",
+        instance.c_str(), kernel_name, threads, secs,
+        static_cast<unsigned long long>(res.visited_states),
+        res.table[mid].ee);
+    return res;
+  };
+
+  const auto serial = run(1, 0, "sweep-serial");
+  // Sharded with a fixed shard count (deterministic regardless of the
+  // worker count), first drained serially, then by the thread pool.
+  const auto sharded = run(1, 4, "sweep-sharded");
+  const auto par = max_threads > 1
+                       ? run(max_threads, 0, "sweep-sharded-par")
+                       : sharded;
+  for (const auto* other : {&sharded, &par}) {
+    for (std::size_t k = 1; k < serial.table.size(); ++k) {
+      if (other->table[k].ee != serial.table[k].ee ||
+          other->table[k].ne != serial.table[k].ne) {
+        std::fprintf(stderr,
+                     "MISMATCH %s: sharded sweep table differs from serial "
+                     "at k=%zu (ee %zu vs %zu, ne %zu vs %zu)\n",
+                     instance.c_str(), k, other->table[k].ee,
+                     serial.table[k].ee, other->table[k].ne,
+                     serial.table[k].ne);
+        ++g_failures;
+        break;
+      }
+    }
+  }
+}
+
+void write_json(const std::string& path, bool smoke) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    ++g_failures;
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"exact_kernels\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"mismatches\": %d,\n", g_failures);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"instance\": \"%s\", \"kernel\": \"%s\", "
+                 "\"threads\": %u, \"seconds\": %.6f, "
+                 "\"visited_nodes\": %llu, \"capacity\": %zu}%s\n",
+                 r.instance.c_str(), r.kernel.c_str(), r.threads, r.seconds,
+                 static_cast<unsigned long long>(r.visited_nodes), r.capacity,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), g_rows.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_exact_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out=<path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  const unsigned hw = default_thread_count();
+  const unsigned max_threads = hw > 1 ? hw : 1;
+  std::printf("exact-kernel bench (%s mode, %u hardware threads)\n",
+              smoke ? "smoke" : "full", hw);
+
+  // --- branch-and-bound bisection, scalar vs bitset ---
+  bisection_case("B4", topo::Butterfly(4).graph(), max_threads);
+  bisection_case("B8", topo::Butterfly(8).graph(), max_threads);
+  bisection_case("W8", topo::WrappedButterfly(8).graph(), max_threads);
+  bisection_case("CCC8", topo::CubeConnectedCycles(8).graph(), max_threads);
+  bisection_case("rand16", random_graph(16, 0.4, 7), max_threads);
+  if (!smoke) {
+    bisection_case("rand24", random_graph(24, 0.3, 11), max_threads);
+    bisection_case("W16", topo::WrappedButterfly(16).graph(), max_threads);
+    bisection_case("CCC16", topo::CubeConnectedCycles(16).graph(),
+                   max_threads);
+  }
+
+  // --- exhaustive expansion sweep, serial vs sharded ---
+  expansion_case("B4", topo::Butterfly(4).graph(), max_threads);  // 12 nodes
+  expansion_case("rand18", random_graph(18, 0.3, 5), max_threads);
+  if (!smoke) {
+    expansion_case("W8", topo::WrappedButterfly(8).graph(),
+                   max_threads);  // 24 nodes
+    expansion_case("rand26", random_graph(26, 0.25, 3), max_threads);
+  }
+
+  write_json(out, smoke);
+  if (g_failures != 0) {
+    std::fprintf(stderr, "%d kernel mismatches\n", g_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -2,7 +2,10 @@
 // the heuristics, the analytic MOS optimum, and Beneš routing.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "cut/branch_bound.hpp"
@@ -201,4 +204,28 @@ BENCHMARK(BM_ButterflyConstruction)->Arg(256)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults to writing BENCH_solvers.json next
+// to the binary's working directory so every run leaves a machine-
+// readable record (EXPERIMENTS.md documents the schema). Explicit
+// --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_solvers.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

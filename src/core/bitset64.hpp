@@ -1,12 +1,14 @@
 // Dynamic bitset over 64-bit words.
 //
 // Used by the exact solvers to represent node subsets; sized at runtime,
-// supports popcount and word-level iteration which the subset-enumeration
-// kernels rely on.
+// supports popcount, word-level iteration, and the fused set-algebra
+// kernels (and_count, or/and/andnot assignment) that the bitset-parallel
+// branch-and-bound and expansion sweeps are built on.
 #pragma once
 
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/error.hpp"
@@ -70,6 +72,63 @@ class Bitset64 {
         w &= w - 1;
       }
     }
+  }
+
+  /// popcount(*this & other) without materializing the intersection —
+  /// the inner-loop primitive of the bitset branch-and-bound (assigned-
+  /// neighbor counts are popcounts of adj[v] & side_mask).
+  [[nodiscard]] std::size_t and_count(const Bitset64& other) const {
+    BFLY_ASSERT(nbits_ == other.nbits_);
+    std::size_t c = 0;
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      c += static_cast<std::size_t>(
+          std::popcount(words_[wi] & other.words_[wi]));
+    }
+    return c;
+  }
+
+  /// *this |= other.
+  void or_assign(const Bitset64& other) {
+    BFLY_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      words_[wi] |= other.words_[wi];
+    }
+  }
+
+  /// *this &= other.
+  void and_assign(const Bitset64& other) {
+    BFLY_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      words_[wi] &= other.words_[wi];
+    }
+  }
+
+  /// *this &= ~other.
+  void andnot_assign(const Bitset64& other) {
+    BFLY_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      words_[wi] &= ~other.words_[wi];
+    }
+  }
+
+  /// Sets every bit in [0, size()).
+  void set_all() {
+    if (nbits_ == 0) return;
+    for (auto& w : words_) w = ~0ull;
+    const std::size_t tail = nbits_ & 63;
+    if (tail != 0) words_.back() = (1ull << tail) - 1;
+  }
+
+  /// Number of 64-bit words backing the bitset.
+  [[nodiscard]] std::size_t num_words() const noexcept {
+    return words_.size();
+  }
+
+  /// Read-only view of the backing words (bit i lives in word i / 64).
+  /// Exposed so the exact kernels can fuse multi-operand expressions
+  /// (adj[v] & side & ~assigned) in one pass without temporaries.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
   }
 
   friend bool operator==(const Bitset64&, const Bitset64&) = default;

@@ -49,11 +49,24 @@ Graph GraphBuilder::build() && {
     for (std::size_t i = b; i < e; ++i) {
       g.adj_[i] = row[i - b].first;
       g.adj_edge_[i] = row[i - b].second;
+      if (i > b && g.adj_[i] == g.adj_[i - 1]) g.has_parallel_edges_ = true;
     }
     g.max_degree_ = std::max(g.max_degree_, e - b);
   }
   if (checked_build()) g.validate();
   return g;
+}
+
+const std::vector<Bitset64>& Graph::adjacency_bitsets() const {
+  std::call_once(bit_adj_->once, [this] {
+    const NodeId n = num_nodes();
+    auto& rows = bit_adj_->rows;
+    rows.assign(n, Bitset64(n));
+    for (NodeId v = 0; v < n; ++v) {
+      for (const NodeId w : neighbors(v)) rows[v].set(w);
+    }
+  });
+  return bit_adj_->rows;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {

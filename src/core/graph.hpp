@@ -7,10 +7,13 @@
 // loops are rejected since none of the paper's networks contain any.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "core/bitset64.hpp"
 #include "core/error.hpp"
 #include "core/types.hpp"
 
@@ -88,6 +91,27 @@ class Graph {
 
   [[nodiscard]] std::size_t max_degree() const noexcept { return max_degree_; }
 
+  /// True iff some node pair is connected by more than one edge
+  /// (computed once at build). The bitset kernels collapse parallel
+  /// edges, so they consult this to decide whether the packed adjacency
+  /// is a faithful view.
+  [[nodiscard]] bool has_parallel_edges() const noexcept {
+    return has_parallel_edges_;
+  }
+
+  /// Packed adjacency: one n-bit Bitset64 row per node, bit w set iff at
+  /// least one (v, w) edge exists. Built lazily on first call and cached
+  /// for the graph's lifetime (thread-safe; copies share the cache).
+  /// Parallel edges collapse to a single bit — multiplicity-sensitive
+  /// callers must check has_parallel_edges(). O(N²/64) words of memory.
+  [[nodiscard]] const std::vector<Bitset64>& adjacency_bitsets() const;
+
+  /// The packed adjacency row of v (see adjacency_bitsets()).
+  [[nodiscard]] const Bitset64& adjacency_row(NodeId v) const {
+    BFLY_ASSERT(v < num_nodes());
+    return adjacency_bitsets()[v];
+  }
+
   /// Sum of degrees == 2 * num_edges(); exposed for sanity checks.
   [[nodiscard]] std::size_t degree_sum() const noexcept { return adj_.size(); }
 
@@ -102,11 +126,21 @@ class Graph {
  private:
   friend class GraphBuilder;
 
+  // Lazily built packed adjacency. Lives behind a shared_ptr so Graph
+  // stays copyable (copies of an immutable graph share one cache) and
+  // the once_flag gives racing readers a single build.
+  struct BitAdjacency {
+    std::once_flag once;
+    std::vector<Bitset64> rows;
+  };
+
   std::vector<std::size_t> offsets_;  // size num_nodes + 1
   std::vector<NodeId> adj_;           // size 2 * num_edges
   std::vector<EdgeId> adj_edge_;      // co-indexed with adj_
   std::vector<std::pair<NodeId, NodeId>> edges_;
   std::size_t max_degree_ = 0;
+  bool has_parallel_edges_ = false;
+  std::shared_ptr<BitAdjacency> bit_adj_ = std::make_shared<BitAdjacency>();
 };
 
 }  // namespace bfly

@@ -35,6 +35,10 @@ struct CutResult {
   /// single-shot and exact solvers). Portfolio telemetry reports this so
   /// cancelled runs show how far they got.
   std::uint32_t restarts_completed = 0;
+  /// Search-tree nodes expanded (exact solvers; 0 for heuristics).
+  /// bench_exact_kernels records this so bound-strength changes show up
+  /// as visited-node deltas, not just wall time.
+  std::uint64_t nodes_visited = 0;
 };
 
 /// True iff the side vector is a bisection of all its nodes.

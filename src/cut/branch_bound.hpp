@@ -5,7 +5,31 @@
 // of its assigned-neighbor counts on each side — a valid additive lower
 // bound because those edges are attributed to their unique unassigned
 // endpoint. Supports the plain bisection constraint and the paper's
-// U-bisection constraint (Section 2.1). Practical to ~40 nodes on the
+// U-bisection constraint (Section 2.1).
+//
+// Two kernels implement the same search:
+//
+//   * the byte-array scalar kernel — the original reference walker,
+//     retained for differential testing and as the fallback for
+//     multigraphs (parallel edges collapse in a packed adjacency);
+//   * the word-level bitset kernel — side masks and the unassigned set
+//     are Bitset64 words over the graph's cached packed adjacency, the
+//     per-neighbor updates run over adj[v] & unassigned in one fused
+//     word sweep, and an assignment-count lower bound on the unassigned
+//     remainder (how many nodes MUST land on their worse side once a
+//     side fills up) prunes on top of the classic sum-of-min bound.
+//     When both sides' remaining room forces the rest of the graph onto
+//     one side, the subtree is closed in O(remaining) instead of
+//     descending further.
+//
+// The bitset kernel can also run in parallel: every feasible assignment
+// of the first seed_depth BFS-order nodes becomes a subproblem seed,
+// dispatched over a TaskGroup; workers share one incumbent (the
+// portfolio's SharedIncumbent machinery), so any improvement found by
+// one worker immediately tightens every other worker's pruning bound.
+// The proven optimal capacity is identical for any thread count; only
+// the witness cut may differ between capacity ties (same contract as
+// the portfolio, DESIGN.md §5). Practical to ~64 nodes on the
 // butterfly-family instances.
 #pragma once
 
@@ -19,13 +43,23 @@
 
 namespace bfly::cut {
 
+/// Which branch-and-bound search kernel to run.
+enum class BranchBoundKernel {
+  kAuto,    ///< bitset when the graph is simple, scalar otherwise
+  kScalar,  ///< byte-array reference kernel (always applicable)
+  kBitset,  ///< word-level kernel; rejects graphs with parallel edges
+};
+
 struct BranchBoundOptions {
   /// Optional incumbent capacity (exclusive upper bound on the search);
   /// supply a heuristic solution's capacity to speed things up. The solver
   /// still proves optimality.
   std::size_t initial_bound = static_cast<std::size_t>(-1);
   /// Abort after this many search-tree nodes (0 = unlimited). When hit,
-  /// the result's exactness degrades to kHeuristic.
+  /// the result's exactness degrades to kHeuristic. Under the parallel
+  /// kernel the limit applies to the workers' pooled node count and is
+  /// enforced at the cancellation-poll cadence, so the abort lands
+  /// within a few thousand nodes of the limit rather than exactly on it.
   std::uint64_t node_limit = 0;
   /// If nonempty, minimize over cuts bisecting this subset instead of over
   /// balanced bisections.
@@ -42,6 +76,19 @@ struct BranchBoundOptions {
   /// When it fires mid-search the result degrades to kHeuristic, exactly
   /// like an exhausted node_limit.
   const CancelToken* cancel = nullptr;
+  /// Kernel selection; kAuto picks the bitset kernel whenever the packed
+  /// adjacency is faithful (no parallel edges).
+  BranchBoundKernel kernel = BranchBoundKernel::kAuto;
+  /// Worker threads for the bitset kernel (1 = serial, 0 =
+  /// default_thread_count()). The scalar reference kernel always runs
+  /// serially. Serial runs are fully deterministic including the witness;
+  /// parallel runs prove the same capacity but may return a different
+  /// optimal cut between ties.
+  unsigned num_threads = 1;
+  /// BFS-prefix depth used to enumerate parallel subproblem seeds
+  /// (0 = auto: grow until there are several seeds per worker). Ignored
+  /// by serial runs.
+  unsigned seed_depth = 0;
 };
 
 [[nodiscard]] CutResult min_bisection_branch_bound(

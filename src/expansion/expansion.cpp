@@ -1,12 +1,18 @@
 #include "expansion/expansion.hpp"
 
+#include <atomic>
 #include <bit>
 #include <limits>
 
 #include "core/error.hpp"
 #include "core/math_util.hpp"
+#include "core/thread_pool.hpp"
 
 namespace bfly::expansion {
+
+namespace {
+constexpr std::size_t kUnseen = std::numeric_limits<std::size_t>::max();
+}
 
 std::size_t edge_boundary(const Graph& g, std::span<const NodeId> set) {
   std::vector<std::uint8_t> in(g.num_nodes(), 0);
@@ -45,8 +51,168 @@ std::size_t node_boundary(const Graph& g, std::span<const NodeId> set) {
   return neighbor_set(g, set).size();
 }
 
-std::vector<ExpansionEntry> exact_expansion(
-    const Graph& g, const ExactExpansionOptions& opts) {
+namespace {
+
+// Abort/budget state pooled across the shard workers of one sweep.
+struct SweepShared {
+  std::atomic<std::uint64_t> pooled_visited{0};
+  std::atomic<bool> aborted{false};
+};
+
+// One shard of the exhaustive sweep: incremental membership / boundary
+// state plus a per-size best table. With p fixed top bits the shard
+// seeds its high-node pattern in O(p) toggles and then walks the
+// standard binary-reflected Gray code over the low n-p bits, so every
+// state transition still flips exactly one node. p == 0 is the classic
+// serial sweep, enumeration order included.
+class ShardSweep {
+ public:
+  ShardSweep(const Graph& g, const ExactExpansionOptions& opts,
+             std::size_t max_k, SweepShared& shared)
+      : g_(g),
+        opts_(opts),
+        max_k_(max_k),
+        shared_(shared),
+        n_(g.num_nodes()),
+        in_(n_, 0),
+        nbr_cnt_(n_, 0),
+        best_ee_(max_k + 1, kUnseen),
+        best_ne_(max_k + 1, kUnseen),
+        table_(max_k + 1) {}
+
+  // Runs the sub-sweep with the top p nodes fixed to `high_pattern`.
+  void run(unsigned p, std::uint64_t high_pattern) {
+    const NodeId low = static_cast<NodeId>(n_ - p);
+    for (unsigned b = 0; b < p; ++b) {
+      if ((high_pattern >> b) & 1u) toggle(static_cast<NodeId>(low + b));
+    }
+    visit();  // the seed state itself
+    if (!aborted_) {
+      const std::uint64_t low_states = 1ull << low;
+      for (std::uint64_t i = 1; i < low_states && !aborted_; ++i) {
+        toggle(static_cast<NodeId>(std::countr_zero(i)));
+        visit();
+      }
+    }
+    flush_and_poll();
+  }
+
+  [[nodiscard]] const std::vector<std::size_t>& best_ee() const {
+    return best_ee_;
+  }
+  [[nodiscard]] const std::vector<std::size_t>& best_ne() const {
+    return best_ne_;
+  }
+  [[nodiscard]] std::vector<ExpansionEntry>& table() { return table_; }
+
+ private:
+  void toggle(NodeId v) {
+    if (!in_[v]) {
+      // v enters S.
+      if (nbr_cnt_[v] > 0) --ne_;  // v no longer counts as a neighbor
+      std::size_t to_s = 0;
+      for (const NodeId u : g_.neighbors(v)) {
+        if (in_[u]) {
+          ++to_s;
+        } else {
+          if (nbr_cnt_[u] == 0) ++ne_;
+        }
+        ++nbr_cnt_[u];
+      }
+      cap_ += g_.degree(v) - 2 * to_s;
+      in_[v] = 1;
+      ++size_;
+    } else {
+      // v leaves S.
+      std::size_t to_s = 0;
+      for (const NodeId u : g_.neighbors(v)) {
+        --nbr_cnt_[u];
+        if (in_[u]) {
+          ++to_s;
+        } else {
+          if (nbr_cnt_[u] == 0) --ne_;
+        }
+      }
+      cap_ -= g_.degree(v) - 2 * to_s;
+      in_[v] = 0;
+      --size_;
+      if (nbr_cnt_[v] > 0) ++ne_;
+    }
+  }
+
+  [[nodiscard]] std::vector<NodeId> snapshot() const {
+    std::vector<NodeId> s;
+    s.reserve(size_);
+    for (NodeId v = 0; v < n_; ++v) {
+      if (in_[v]) s.push_back(v);
+    }
+    return s;
+  }
+
+  void visit() {
+    ++visited_;
+    if (opts_.state_budget != 0 &&
+        pool_at_flush_ + (visited_ - last_flushed_) > opts_.state_budget) {
+      aborted_ = true;
+      shared_.aborted.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if ((visited_ & 0xfffu) == 0) {
+      flush_and_poll();
+      if (aborted_) return;
+    }
+    if (size_ == 0 || size_ > max_k_) return;
+    if (cap_ < best_ee_[size_]) {
+      best_ee_[size_] = cap_;
+      table_[size_].ee = cap_;
+      if (opts_.keep_witnesses) table_[size_].ee_witness = snapshot();
+    }
+    if (ne_ < best_ne_[size_]) {
+      best_ne_[size_] = ne_;
+      table_[size_].ne = ne_;
+      if (opts_.keep_witnesses) table_[size_].ne_witness = snapshot();
+    }
+  }
+
+  void flush_and_poll() {
+    shared_.pooled_visited.fetch_add(visited_ - last_flushed_,
+                                     std::memory_order_relaxed);
+    last_flushed_ = visited_;
+    pool_at_flush_ =
+        shared_.pooled_visited.load(std::memory_order_relaxed);
+    if (shared_.aborted.load(std::memory_order_relaxed)) {
+      aborted_ = true;
+      return;
+    }
+    if (opts_.cancel != nullptr && opts_.cancel->stop_requested()) {
+      aborted_ = true;
+      shared_.aborted.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  const Graph& g_;
+  const ExactExpansionOptions& opts_;
+  std::size_t max_k_;
+  SweepShared& shared_;
+  NodeId n_;
+
+  std::vector<std::uint8_t> in_;
+  std::vector<std::uint32_t> nbr_cnt_;  // edges from v into S
+  std::size_t size_ = 0, cap_ = 0, ne_ = 0;
+
+  std::vector<std::size_t> best_ee_, best_ne_;
+  std::vector<ExpansionEntry> table_;
+
+  std::uint64_t visited_ = 0;
+  std::uint64_t last_flushed_ = 0;
+  std::uint64_t pool_at_flush_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+ExactExpansionResult exact_expansion_full(const Graph& g,
+                                          const ExactExpansionOptions& opts) {
   const NodeId n = g.num_nodes();
   BFLY_CHECK(n >= 1 && n < 63, "graph too large for exhaustive expansion");
   const std::uint64_t states = 1ull << n;
@@ -55,82 +221,77 @@ std::vector<ExpansionEntry> exact_expansion(
   const std::size_t max_k =
       opts.max_k == 0 ? n : std::min<std::size_t>(opts.max_k, n);
 
-  std::vector<ExpansionEntry> table(max_k + 1);
-  std::vector<std::size_t> best_ee(max_k + 1,
-                                   std::numeric_limits<std::size_t>::max());
-  std::vector<std::size_t> best_ne(max_k + 1,
-                                   std::numeric_limits<std::size_t>::max());
-
-  std::vector<std::uint8_t> in(n, 0);
-  std::vector<std::uint32_t> nbr_cnt(n, 0);  // edges from v into S
-  std::size_t size = 0, cap = 0, ne = 0;
-
-  const auto snapshot = [&] {
-    std::vector<NodeId> s;
-    s.reserve(size);
-    for (NodeId v = 0; v < n; ++v) {
-      if (in[v]) s.push_back(v);
-    }
-    return s;
-  };
-
-  const auto record = [&] {
-    if (size == 0 || size > max_k) return;
-    auto& entry = table[size];
-    if (cap < best_ee[size]) {
-      best_ee[size] = cap;
-      entry.ee = cap;
-      if (opts.keep_witnesses) entry.ee_witness = snapshot();
-    }
-    if (ne < best_ne[size]) {
-      best_ne[size] = ne;
-      entry.ne = ne;
-      if (opts.keep_witnesses) entry.ne_witness = snapshot();
-    }
-  };
-
-  record();
-  for (std::uint64_t i = 1; i < states; ++i) {
-    const NodeId v = static_cast<NodeId>(std::countr_zero(i));
-    if (!in[v]) {
-      // v enters S.
-      if (nbr_cnt[v] > 0) --ne;  // v no longer counts as a neighbor
-      std::size_t to_s = 0;
-      for (const NodeId u : g.neighbors(v)) {
-        if (in[u]) {
-          ++to_s;
-        } else {
-          if (nbr_cnt[u] == 0) ++ne;
-        }
-        ++nbr_cnt[u];
-      }
-      cap += g.degree(v) - 2 * to_s;
-      in[v] = 1;
-      ++size;
-    } else {
-      // v leaves S.
-      std::size_t to_s = 0;
-      for (const NodeId u : g.neighbors(v)) {
-        --nbr_cnt[u];
-        if (in[u]) {
-          ++to_s;
-        } else {
-          if (nbr_cnt[u] == 0) --ne;
-        }
-      }
-      cap -= g.degree(v) - 2 * to_s;
-      in[v] = 0;
-      --size;
-      if (nbr_cnt[v] > 0) ++ne;
-    }
-    record();
+  const unsigned threads =
+      opts.num_threads == 0 ? default_thread_count() : opts.num_threads;
+  unsigned p = opts.shard_bits;
+  if (p == 0 && threads > 1) {
+    // Several shards per worker so a lucky shard finishing early does
+    // not idle its thread.
+    while ((1ull << p) < 4ull * threads) ++p;
   }
-  if (checked_build() && opts.keep_witnesses) {
+  p = std::min<unsigned>(p, n > 0 ? n - 1 : 0);
+  const std::uint64_t num_shards = 1ull << p;
+
+  SweepShared shared;
+  std::vector<ShardSweep> shards;
+  shards.reserve(num_shards);
+  for (std::uint64_t h = 0; h < num_shards; ++h) {
+    shards.emplace_back(g, opts, max_k, shared);
+  }
+  if (num_shards == 1) {
+    shards[0].run(p, 0);
+  } else {
+    TaskGroup group(threads);
+    for (std::uint64_t h = 0; h < num_shards; ++h) {
+      group.add([&shards, h, p] { shards[h].run(p, h); });
+    }
+    group.wait();
+  }
+
+  // Merge in fixed shard order: the tabulated minima are independent of
+  // thread count and schedule; only which tying witness survives depends
+  // on the shard order, which is itself deterministic.
+  ExactExpansionResult res;
+  res.table.resize(max_k + 1);
+  std::vector<std::size_t> best_ee(max_k + 1, kUnseen);
+  std::vector<std::size_t> best_ne(max_k + 1, kUnseen);
+  for (std::size_t k = 1; k <= max_k; ++k) {
+    res.table[k].ee = kUnseen;
+    res.table[k].ne = kUnseen;
+    for (auto& shard : shards) {
+      if (shard.best_ee()[k] < best_ee[k]) {
+        best_ee[k] = shard.best_ee()[k];
+        res.table[k].ee = shard.best_ee()[k];
+        res.table[k].ee_witness = std::move(shard.table()[k].ee_witness);
+      }
+      if (shard.best_ne()[k] < best_ne[k]) {
+        best_ne[k] = shard.best_ne()[k];
+        res.table[k].ne = shard.best_ne()[k];
+        res.table[k].ne_witness = std::move(shard.table()[k].ne_witness);
+      }
+    }
+  }
+  res.visited_states = shared.pooled_visited.load(std::memory_order_relaxed);
+  res.exactness = shared.aborted.load(std::memory_order_relaxed)
+                      ? cut::Exactness::kHeuristic
+                      : cut::Exactness::kExact;
+  BFLY_ASSERT_MSG(
+      res.exactness == cut::Exactness::kHeuristic ||
+          res.visited_states == states,
+      "a completed sweep must have visited every subset exactly once");
+
+  if (checked_build() && opts.keep_witnesses &&
+      res.exactness == cut::Exactness::kExact) {
     for (std::size_t k = 1; k <= max_k; ++k) {
-      validate_expansion_entry(g, k, table[k]);
+      validate_expansion_entry(g, k, res.table[k]);
     }
   }
-  return table;
+  return res;
+}
+
+std::vector<ExpansionEntry> exact_expansion(const Graph& g,
+                                            const ExactExpansionOptions& opts) {
+  return exact_expansion_full(g, opts).table;
 }
 
 void validate_expansion_entry(const Graph& g, std::size_t k,
@@ -160,18 +321,29 @@ namespace {
 
 // Incremental k-subset enumerator: maintains membership, edge boundary,
 // and node boundary while extending the set one node at a time in
-// increasing id order.
+// increasing id order. Each extension is one work unit against the
+// budget; cancellation is polled at an amortized cadence.
 class SizeKSearcher {
  public:
-  SizeKSearcher(const Graph& g, std::size_t k)
-      : g_(g), k_(k), in_(g.num_nodes(), 0), nbr_cnt_(g.num_nodes(), 0) {
-    entry_.ee = std::numeric_limits<std::size_t>::max();
-    entry_.ne = std::numeric_limits<std::size_t>::max();
+  SizeKSearcher(const Graph& g, std::size_t k,
+                const SizeKExpansionOptions& opts)
+      : g_(g),
+        k_(k),
+        opts_(opts),
+        in_(g.num_nodes(), 0),
+        nbr_cnt_(g.num_nodes(), 0) {
+    entry_.ee = kUnseen;
+    entry_.ne = kUnseen;
   }
 
-  ExpansionEntry run() {
+  SizeKExpansionResult run() {
     dfs(0);
-    return std::move(entry_);
+    SizeKExpansionResult res;
+    res.entry = std::move(entry_);
+    res.exactness =
+        aborted_ ? cut::Exactness::kHeuristic : cut::Exactness::kExact;
+    res.visited_subsets = visited_;
+    return res;
   }
 
  private:
@@ -208,6 +380,7 @@ class SizeKSearcher {
   }
 
   void dfs(NodeId next) {
+    if (aborted_) return;
     if (chosen_.size() == k_) {
       if (cap_ < entry_.ee) {
         entry_.ee = cap_;
@@ -223,34 +396,57 @@ class SizeKSearcher {
     const std::size_t needed = k_ - chosen_.size();
     if (g_.num_nodes() - next < needed) return;
     for (NodeId v = next; v < g_.num_nodes(); ++v) {
+      ++visited_;
+      if (opts_.work_budget != 0 && visited_ > opts_.work_budget) {
+        aborted_ = true;
+        return;
+      }
+      if (opts_.cancel != nullptr && (visited_ & 0xfffu) == 0 &&
+          opts_.cancel->stop_requested()) {
+        aborted_ = true;
+        return;
+      }
       add(v);
       dfs(v + 1);
       remove(v);
+      if (aborted_) return;
       if (g_.num_nodes() - (v + 1) < needed) break;
     }
   }
 
   const Graph& g_;
   std::size_t k_;
+  const SizeKExpansionOptions& opts_;
   std::vector<std::uint8_t> in_;
   std::vector<std::uint32_t> nbr_cnt_;
   std::vector<NodeId> chosen_;
   std::size_t cap_ = 0, ne_ = 0;
   ExpansionEntry entry_;
+  std::uint64_t visited_ = 0;
+  bool aborted_ = false;
 };
 
 }  // namespace
 
-ExpansionEntry exact_expansion_of_size(const Graph& g, std::size_t k,
-                                       double max_subsets) {
+SizeKExpansionResult exact_expansion_of_size_full(
+    const Graph& g, std::size_t k, const SizeKExpansionOptions& opts) {
   BFLY_CHECK(k >= 1 && k <= g.num_nodes(), "set size out of range");
   BFLY_CHECK(binomial_approx(g.num_nodes(), static_cast<unsigned>(k)) <=
-                 max_subsets,
+                 opts.max_subsets,
              "C(N, k) exceeds the configured subset limit");
-  SizeKSearcher searcher(g, k);
-  ExpansionEntry entry = searcher.run();
-  if (checked_build()) validate_expansion_entry(g, k, entry);
-  return entry;
+  SizeKSearcher searcher(g, k, opts);
+  SizeKExpansionResult res = searcher.run();
+  if (checked_build() && res.exactness == cut::Exactness::kExact) {
+    validate_expansion_entry(g, k, res.entry);
+  }
+  return res;
+}
+
+ExpansionEntry exact_expansion_of_size(const Graph& g, std::size_t k,
+                                       double max_subsets) {
+  SizeKExpansionOptions opts;
+  opts.max_subsets = max_subsets;
+  return exact_expansion_of_size_full(g, k, opts).entry;
 }
 
 }  // namespace bfly::expansion

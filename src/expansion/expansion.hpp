@@ -1,8 +1,16 @@
 // Edge- and node-expansion (paper Section 1.3).
 //
 // EE(G, k) = min over |S| = k of C(S, S̄); NE(G, k) = min over |S| = k of
-// |N(S)|. Exact values come from one Gray-code sweep over all subsets
-// (practical to ~26 nodes), tracking both quantities incrementally.
+// |N(S)|. Exact values come from an exhaustive Gray-code sweep over all
+// subsets (practical to ~26 nodes), tracking both quantities
+// incrementally. The sweep can be sharded: fixing the top p bits of the
+// subset word splits the 2^N states into 2^p independent sub-sweeps
+// (O(N) seeding each, then a Gray-code walk over the low N-p bits) that
+// run on a TaskGroup and merge their per-size tables in shard order, so
+// the tabulated ee/ne values are identical for every thread count. Both
+// sweeps honor cooperative cancellation and a state budget, degrading
+// the result to Exactness::kHeuristic on abort — the same contract as
+// the branch-and-bound bisection solver.
 #pragma once
 
 #include <cstdint>
@@ -10,7 +18,9 @@
 #include <vector>
 
 #include "core/graph.hpp"
+#include "core/thread_pool.hpp"
 #include "core/types.hpp"
+#include "cut/bisection.hpp"  // for cut::Exactness (header-only enum)
 
 namespace bfly::expansion {
 
@@ -38,10 +48,37 @@ struct ExactExpansionOptions {
   /// Only tabulate k <= max_k (0 = all k up to N).
   std::size_t max_k = 0;
   bool keep_witnesses = true;
+  /// Cooperative cancellation, polled every few thousand states; firing
+  /// mid-sweep degrades the result to kHeuristic.
+  const CancelToken* cancel = nullptr;
+  /// Abort after this many visited states (0 = unlimited; pooled across
+  /// workers when sharded). Aborted sweeps report kHeuristic.
+  std::uint64_t state_budget = 0;
+  /// Worker threads for the sharded sweep (1 = classic serial sweep,
+  /// 0 = default_thread_count()).
+  unsigned num_threads = 1;
+  /// Fix this many top bits of the subset word per shard (0 = auto:
+  /// several shards per worker; forced to 0 when running serially).
+  /// Sharding changes only the enumeration order — tabulated ee/ne
+  /// values are identical; a witness may differ between ties.
+  unsigned shard_bits = 0;
+};
+
+struct ExactExpansionResult {
+  /// Entry index k (index 0 unused). After an aborted sweep, sizes never
+  /// reached have ee == ne == SIZE_MAX and empty witnesses.
+  std::vector<ExpansionEntry> table;
+  cut::Exactness exactness = cut::Exactness::kExact;
+  /// Subset states actually visited (2^N for a completed sweep).
+  std::uint64_t visited_states = 0;
 };
 
 /// Exact EE(G, k) and NE(G, k) for every k in [1, max_k] by exhaustive
-/// sweep; entry index k (index 0 unused).
+/// (optionally sharded) sweep, with abort telemetry.
+[[nodiscard]] ExactExpansionResult exact_expansion_full(
+    const Graph& g, const ExactExpansionOptions& opts = {});
+
+/// Table-only convenience wrapper around exact_expansion_full().
 [[nodiscard]] std::vector<ExpansionEntry> exact_expansion(
     const Graph& g, const ExactExpansionOptions& opts = {});
 
@@ -52,10 +89,32 @@ struct ExactExpansionOptions {
 void validate_expansion_entry(const Graph& g, std::size_t k,
                               const ExpansionEntry& entry);
 
+struct SizeKExpansionOptions {
+  /// Guard against accidental C(N, k) blowups.
+  double max_subsets = 5e7;
+  /// Cooperative cancellation, polled every few thousand set extensions.
+  const CancelToken* cancel = nullptr;
+  /// Abort after this many set extensions (0 = unlimited).
+  std::uint64_t work_budget = 0;
+};
+
+struct SizeKExpansionResult {
+  /// After an abort before any full k-subset was reached, ee and ne stay
+  /// SIZE_MAX with empty witnesses.
+  ExpansionEntry entry;
+  cut::Exactness exactness = cut::Exactness::kExact;
+  /// Set extensions performed (enumeration work units).
+  std::uint64_t visited_subsets = 0;
+};
+
 /// Exact EE(G, k) and NE(G, k) for ONE set size by depth-first
 /// enumeration of k-subsets with incremental boundary maintenance —
 /// feasible when C(N, k) is modest even if 2^N is not (e.g. B8 with
-/// k <= 8: C(32,8) ~ 10^7). `max_subsets` guards accidental blowups.
+/// k <= 8: C(32,8) ~ 10^7).
+[[nodiscard]] SizeKExpansionResult exact_expansion_of_size_full(
+    const Graph& g, std::size_t k, const SizeKExpansionOptions& opts = {});
+
+/// Entry-only convenience wrapper around exact_expansion_of_size_full().
 [[nodiscard]] ExpansionEntry exact_expansion_of_size(
     const Graph& g, std::size_t k, double max_subsets = 5e7);
 

@@ -1,0 +1,326 @@
+// Differential suite for the word-level exact kernels: the bitset
+// branch-and-bound and the sharded expansion sweep must reproduce their
+// scalar references' values (capacity / ee / ne) exactly — on random
+// graphs, on the paper's instances, in subset mode, in parallel, and
+// through the cancellation/budget paths. Runs under every sanitizer
+// flavor; carries the tsan label because the parallel kernels share an
+// incumbent and pooled counters across worker threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/bitset64.hpp"
+#include "core/rng.hpp"
+#include "cut/branch_bound.hpp"
+#include "expansion/expansion.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/ccc.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly {
+namespace {
+
+Graph random_graph(NodeId n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder gb(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) gb.add_edge(u, v);
+    }
+  }
+  return std::move(gb).build();
+}
+
+// --- Bitset64 word-level primitives ---
+
+TEST(Bitset64Ops, AndCountOrAndNot) {
+  Bitset64 a(130), b(130);
+  for (std::size_t i = 0; i < 130; i += 3) a.set(i);
+  for (std::size_t i = 0; i < 130; i += 5) b.set(i);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 130; i += 15) ++expected;
+  EXPECT_EQ(a.and_count(b), expected);
+
+  Bitset64 u = a;
+  u.or_assign(b);
+  EXPECT_EQ(u.count(), a.count() + b.count() - expected);
+
+  Bitset64 i = a;
+  i.and_assign(b);
+  EXPECT_EQ(i.count(), expected);
+
+  Bitset64 d = a;
+  d.andnot_assign(b);
+  EXPECT_EQ(d.count(), a.count() - expected);
+  EXPECT_EQ(d.and_count(b), 0u);
+}
+
+TEST(Bitset64Ops, SetAllMasksTailWord) {
+  Bitset64 s(70);
+  s.set_all();
+  EXPECT_EQ(s.count(), 70u);
+  EXPECT_EQ(s.num_words(), 2u);
+  EXPECT_EQ(s.words()[1], (1ull << 6) - 1);
+  s.reset(69);
+  EXPECT_EQ(s.count(), 69u);
+}
+
+// --- packed adjacency cache ---
+
+TEST(PackedAdjacency, MatchesCsrRows) {
+  const Graph g = random_graph(40, 0.2, 17);
+  const auto& rows = g.adjacency_bitsets();
+  ASSERT_EQ(rows.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    Bitset64 expect(g.num_nodes());
+    for (const NodeId w : g.neighbors(v)) expect.set(w);
+    EXPECT_EQ(rows[v], expect);
+    EXPECT_EQ(&g.adjacency_row(v), &rows[v]);
+  }
+  EXPECT_FALSE(g.has_parallel_edges());
+}
+
+TEST(PackedAdjacency, CopiesShareTheCache) {
+  const Graph g = random_graph(12, 0.4, 3);
+  const auto* before = &g.adjacency_bitsets();
+  const Graph copy = g;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_EQ(&copy.adjacency_bitsets(), before);
+}
+
+TEST(PackedAdjacency, ParallelEdgesAreDetectedAndCollapse) {
+  GraphBuilder gb(4);
+  gb.add_edge(0, 1);
+  gb.add_edge(0, 1);
+  gb.add_edge(2, 3);
+  const Graph g = std::move(gb).build();
+  EXPECT_TRUE(g.has_parallel_edges());
+  EXPECT_EQ(g.adjacency_row(0).count(), 1u);  // multiplicity collapsed
+}
+
+// --- branch-and-bound: bitset kernel vs scalar reference ---
+
+void expect_same_capacity(const Graph& g, cut::BranchBoundOptions base = {}) {
+  base.kernel = cut::BranchBoundKernel::kScalar;
+  const auto scalar = cut::min_bisection_branch_bound(g, base);
+  base.kernel = cut::BranchBoundKernel::kBitset;
+  base.num_threads = 1;
+  const auto serial = cut::min_bisection_branch_bound(g, base);
+  base.num_threads = 4;
+  const auto parallel = cut::min_bisection_branch_bound(g, base);
+
+  EXPECT_EQ(scalar.exactness, cut::Exactness::kExact);
+  EXPECT_EQ(serial.exactness, cut::Exactness::kExact);
+  EXPECT_EQ(parallel.exactness, cut::Exactness::kExact);
+  EXPECT_EQ(serial.capacity, scalar.capacity);
+  EXPECT_EQ(parallel.capacity, scalar.capacity);
+  // validate_cut runs inside the solver under checked builds; recheck
+  // here so the differential holds in NDEBUG flavors too.
+  cut::validate_cut(g, serial, base.bisect_subset.empty());
+  cut::validate_cut(g, parallel, base.bisect_subset.empty());
+}
+
+TEST(BitsetBranchBound, RandomGraphsMatchScalar) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const double p = 0.15 + 0.06 * static_cast<double>(seed % 5);
+    const Graph g = random_graph(static_cast<NodeId>(10 + seed), p, seed);
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    expect_same_capacity(g);
+  }
+}
+
+TEST(BitsetBranchBound, PaperInstancesMatchScalar) {
+  expect_same_capacity(topo::Butterfly(2).graph());
+  expect_same_capacity(topo::Butterfly(4).graph());
+  expect_same_capacity(topo::WrappedButterfly(8).graph());
+  expect_same_capacity(topo::CubeConnectedCycles(8).graph());
+}
+
+TEST(BitsetBranchBound, KnownWidths) {
+  cut::BranchBoundOptions opts;
+  opts.kernel = cut::BranchBoundKernel::kBitset;
+  const auto b8 = cut::min_bisection_branch_bound(topo::Butterfly(8).graph(),
+                                                  opts);
+  EXPECT_EQ(b8.capacity, 8u);  // BW(B8) = 8 (paper Table, n = 8)
+  EXPECT_EQ(b8.method, "branch-and-bound-bitset");
+  EXPECT_GT(b8.nodes_visited, 0u);
+}
+
+TEST(BitsetBranchBound, SubsetModeMatchesScalar) {
+  const Graph g = random_graph(14, 0.3, 23);
+  const std::vector<NodeId> subset = {0, 2, 3, 5, 7, 11};
+  cut::BranchBoundOptions base;
+  base.bisect_subset = subset;
+  base.kernel = cut::BranchBoundKernel::kScalar;
+  const auto scalar = cut::min_bisection_branch_bound(g, base);
+  base.kernel = cut::BranchBoundKernel::kBitset;
+  for (const unsigned threads : {1u, 3u}) {
+    base.num_threads = threads;
+    const auto bitset = cut::min_bisection_branch_bound(g, base);
+    EXPECT_EQ(bitset.capacity, scalar.capacity);
+    EXPECT_TRUE(cut::bisects_subset(bitset.sides, subset));
+    EXPECT_EQ(bitset.method, "branch-and-bound-bitset-subset");
+  }
+}
+
+TEST(BitsetBranchBound, MultigraphsFallBackToScalarUnderAuto) {
+  // W4's wraparound and CCC4's two-node cycles produce parallel edges;
+  // the packed adjacency collapses them, so kAuto must route to the
+  // scalar kernel (which counts multiplicities) and kBitset must refuse.
+  for (const Graph& g : {topo::WrappedButterfly(4).graph(),
+                         topo::CubeConnectedCycles(4).graph()}) {
+    ASSERT_TRUE(g.has_parallel_edges());
+    const auto res = cut::min_bisection_branch_bound(g);
+    EXPECT_EQ(res.method, "branch-and-bound");  // scalar path
+    cut::BranchBoundOptions opts;
+    opts.kernel = cut::BranchBoundKernel::kBitset;
+    EXPECT_THROW(cut::min_bisection_branch_bound(g, opts), PreconditionError);
+  }
+}
+
+TEST(BitsetBranchBound, SeedDepthAndThreadCountDoNotChangeCapacity) {
+  const Graph g = topo::WrappedButterfly(8).graph();
+  cut::BranchBoundOptions opts;
+  opts.kernel = cut::BranchBoundKernel::kBitset;
+  const auto reference = cut::min_bisection_branch_bound(g, opts);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    for (const unsigned depth : {0u, 6u, 10u}) {
+      opts.num_threads = threads;
+      opts.seed_depth = depth;
+      const auto res = cut::min_bisection_branch_bound(g, opts);
+      EXPECT_EQ(res.capacity, reference.capacity)
+          << "threads=" << threads << " seed_depth=" << depth;
+      EXPECT_EQ(res.exactness, cut::Exactness::kExact);
+    }
+  }
+}
+
+TEST(BitsetBranchBound, NodeLimitDegradesExactness) {
+  const Graph g = random_graph(18, 0.5, 3);
+  cut::BranchBoundOptions opts;
+  opts.kernel = cut::BranchBoundKernel::kBitset;
+  opts.node_limit = 10;
+  for (const unsigned threads : {1u, 4u}) {
+    opts.num_threads = threads;
+    const auto res = cut::min_bisection_branch_bound(g, opts);
+    EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+  }
+}
+
+TEST(BitsetBranchBound, CancelTokenAbortsParallelSearch) {
+  const Graph g = random_graph(20, 0.5, 5);
+  CancelToken cancel;
+  cancel.request_stop();  // already fired: the search must wind down
+  cut::BranchBoundOptions opts;
+  opts.kernel = cut::BranchBoundKernel::kBitset;
+  opts.num_threads = 4;
+  opts.cancel = &cancel;
+  const auto res = cut::min_bisection_branch_bound(g, opts);
+  EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+}
+
+TEST(BitsetBranchBound, LiveBoundBelowOptimumProvesWithoutWitness) {
+  const topo::Butterfly bf(4);
+  const std::atomic<std::size_t> live{4};  // == BW(B4): nothing better
+  cut::BranchBoundOptions opts;
+  opts.kernel = cut::BranchBoundKernel::kBitset;
+  opts.live_bound = &live;
+  const auto res = cut::min_bisection_branch_bound(bf.graph(), opts);
+  EXPECT_EQ(res.exactness, cut::Exactness::kExact);
+  EXPECT_EQ(res.capacity, static_cast<std::size_t>(-1));
+  EXPECT_TRUE(res.sides.empty());
+}
+
+// --- exhaustive expansion: sharded sweep vs serial reference ---
+
+void expect_same_tables(const Graph& g) {
+  expansion::ExactExpansionOptions opts;
+  opts.max_states = 1ull << 27;
+  const auto serial = expansion::exact_expansion_full(g, opts);
+  ASSERT_EQ(serial.exactness, cut::Exactness::kExact);
+  ASSERT_EQ(serial.visited_states, 1ull << g.num_nodes());
+
+  expansion::ExactExpansionOptions sharded = opts;
+  sharded.shard_bits = 3;
+  for (const unsigned threads : {1u, 4u}) {
+    sharded.num_threads = threads;
+    const auto res = expansion::exact_expansion_full(g, sharded);
+    EXPECT_EQ(res.exactness, cut::Exactness::kExact);
+    EXPECT_EQ(res.visited_states, serial.visited_states);
+    ASSERT_EQ(res.table.size(), serial.table.size());
+    for (std::size_t k = 1; k < serial.table.size(); ++k) {
+      EXPECT_EQ(res.table[k].ee, serial.table[k].ee) << "k=" << k;
+      EXPECT_EQ(res.table[k].ne, serial.table[k].ne) << "k=" << k;
+      expansion::validate_expansion_entry(g, k, res.table[k]);
+    }
+  }
+}
+
+TEST(ShardedExpansion, RandomGraphsMatchSerial) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    expect_same_tables(random_graph(static_cast<NodeId>(11 + seed),
+                                    0.25 + 0.1 * static_cast<double>(seed),
+                                    seed + 41));
+  }
+}
+
+TEST(ShardedExpansion, ButterflyMatchesSerial) {
+  expect_same_tables(topo::Butterfly(4).graph());  // 12 nodes, 2^12 states
+}
+
+TEST(ShardedExpansion, StateBudgetDegradesExactness) {
+  const Graph g = random_graph(16, 0.3, 9);
+  expansion::ExactExpansionOptions opts;
+  opts.state_budget = 100;
+  const auto res = expansion::exact_expansion_full(g, opts);
+  EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+  EXPECT_LT(res.visited_states, 1ull << 16);
+}
+
+TEST(ShardedExpansion, CancelTokenAborts) {
+  const Graph g = random_graph(18, 0.3, 9);
+  CancelToken cancel;
+  cancel.request_stop();
+  expansion::ExactExpansionOptions opts;
+  opts.cancel = &cancel;
+  opts.num_threads = 4;
+  const auto res = expansion::exact_expansion_full(g, opts);
+  EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+}
+
+TEST(SizeKExpansion, WorkBudgetDegradesExactness) {
+  const Graph g = topo::Butterfly(8).graph();
+  expansion::SizeKExpansionOptions opts;
+  opts.work_budget = 50;
+  const auto res = expansion::exact_expansion_of_size_full(g, 4, opts);
+  EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+  EXPECT_LE(res.visited_subsets, 51u);
+}
+
+TEST(SizeKExpansion, CompletedRunMatchesFullSweep) {
+  const topo::Butterfly bf(4);
+  const auto table = expansion::exact_expansion(bf.graph());
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const auto res = expansion::exact_expansion_of_size_full(bf.graph(), k);
+    EXPECT_EQ(res.exactness, cut::Exactness::kExact);
+    EXPECT_EQ(res.entry.ee, table[k].ee) << "k=" << k;
+    EXPECT_EQ(res.entry.ne, table[k].ne) << "k=" << k;
+    EXPECT_GT(res.visited_subsets, 0u);
+  }
+}
+
+TEST(SizeKExpansion, PreFiredCancelLeavesEntryUnseen) {
+  const Graph g = topo::Butterfly(8).graph();
+  CancelToken cancel;
+  cancel.request_stop();
+  expansion::SizeKExpansionOptions opts;
+  opts.cancel = &cancel;
+  opts.work_budget = 1;  // force the first extension over budget
+  const auto res = expansion::exact_expansion_of_size_full(g, 6, opts);
+  EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+  EXPECT_TRUE(res.entry.ee_witness.empty());
+  EXPECT_EQ(res.entry.ee, static_cast<std::size_t>(-1));
+}
+
+}  // namespace
+}  // namespace bfly
