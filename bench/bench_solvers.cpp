@@ -19,6 +19,7 @@
 #include "cut/simulated_annealing.hpp"
 #include "cut/spectral_bisection.hpp"
 #include "expansion/expansion.hpp"
+#include "robust/supervisor.hpp"
 #include "routing/benes_route.hpp"
 #include "topology/benes.hpp"
 #include "topology/butterfly.hpp"
@@ -162,6 +163,67 @@ void BM_BranchBound_HeuristicIncumbent_W16(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BranchBound_HeuristicIncumbent_W16);
+
+// Supervisor resilience telemetry lands in the JSON record: status (0 =
+// exact-optimal, 1 = degraded-heuristic, 2 = failed), retries consumed,
+// the ladder step that produced the answer, and the supervised solve's
+// own wall clock — so a perf dashboard can tell a clean exact run from
+// one that survived by degrading.
+void report_supervision(benchmark::State& state,
+                        robust::SolveStatus status, unsigned retries,
+                        unsigned degradation_step, double wall_seconds) {
+  state.counters["status"] = static_cast<double>(status);
+  state.counters["retries"] = retries;
+  state.counters["degradation_step"] = degradation_step;
+  state.counters["wall_clock_s"] = wall_seconds;
+  state.SetLabel(robust::to_string(status));
+}
+
+// The supervisor around the exact engine on an unconstrained solve: the
+// delta against BM_BranchBoundBisection_B8 is the supervision overhead
+// (one progress cell store per flush, a token poll, a report).
+void BM_SupervisedBisection_B8(benchmark::State& state) {
+  const topo::Butterfly bf(8);
+  const robust::Supervisor sup;
+  robust::SolveReport rep;
+  for (auto _ : state) {
+    rep = sup.solve_bisection(bf.graph());
+    benchmark::DoNotOptimize(rep);
+  }
+  report_supervision(state, rep.status, rep.retries, rep.degradation_step,
+                     rep.wall_seconds);
+}
+BENCHMARK(BM_SupervisedBisection_B8);
+
+// A deliberately starved deadline: the ladder degrades instead of
+// hanging, and the JSON row records how far down it went.
+void BM_SupervisedBisection_TightDeadline_B16(benchmark::State& state) {
+  const topo::Butterfly bf(16);
+  robust::SupervisorOptions so;
+  so.deadline_seconds = 0.02;
+  const robust::Supervisor sup(so);
+  robust::SolveReport rep;
+  for (auto _ : state) {
+    rep = sup.solve_bisection(bf.graph());
+    benchmark::DoNotOptimize(rep);
+  }
+  report_supervision(state, rep.status, rep.retries, rep.degradation_step,
+                     rep.wall_seconds);
+}
+BENCHMARK(BM_SupervisedBisection_TightDeadline_B16);
+
+void BM_SupervisedExpansion_B4(benchmark::State& state) {
+  const topo::Butterfly bf(4);
+  const robust::Supervisor sup;
+  robust::ExpansionReport rep;
+  for (auto _ : state) {
+    rep = sup.solve_expansion(bf.graph());
+    benchmark::DoNotOptimize(rep);
+  }
+  report_supervision(state, rep.status, rep.retries, rep.degradation_step,
+                     rep.wall_seconds);
+}
+BENCHMARK(BM_SupervisedExpansion_B4);
 
 void BM_MosAnalyticOptimum(benchmark::State& state) {
   const auto j = static_cast<std::uint32_t>(state.range(0));

@@ -1,0 +1,118 @@
+// Snapshot-decoder fuzzer: the checkpoint format is the one place the
+// library parses bytes it may not have written itself (a resumed solve
+// reads whatever is on disk after a crash), so the decoder must treat
+// the input as hostile. Two modes per input:
+//
+//   * raw decode — arbitrary bytes through decode_snapshot: the only
+//     acceptable outcomes are a fully validated snapshot or a
+//     SnapshotError; any other exception, crash, or sanitizer report
+//     is a bug. A successful decode must re-encode to bytes that decode
+//     again to the same state (the format round-trips).
+//   * mutate round-trip — the input also seeds a VALID snapshot, which
+//     is encoded and then damaged with one input-chosen byte flip or
+//     truncation; the decoder must reject the damaged stream with a
+//     structured SnapshotError (the checksum or a bounds check fires),
+//     never return a half-decoded state.
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+#include <vector>
+
+#include "cut/branch_bound.hpp"
+#include "robust/checkpoint.hpp"
+
+namespace {
+
+using bfly::robust::BisectionSnapshot;
+
+bool states_equal(const bfly::cut::BranchBoundSearchState& a,
+                  const bfly::cut::BranchBoundSearchState& b) {
+  return a.seed_depth == b.seed_depth && a.prefix_done == b.prefix_done &&
+         a.incumbent_capacity == b.incumbent_capacity &&
+         a.incumbent_sides == b.incumbent_sides &&
+         a.nodes_spent == b.nodes_spent;
+}
+
+/// Deterministically derives a structurally valid snapshot from the
+/// fuzz input, so the mutate mode damages realistic streams rather
+/// than the decoder's early reject paths only.
+BisectionSnapshot derive_snapshot(const std::uint8_t* data,
+                                  std::size_t size) {
+  BisectionSnapshot snap;
+  std::uint64_t mix = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    mix = (mix ^ data[i]) * 0x100000001b3ull;
+  }
+  snap.fingerprint = mix | 1u;  // nonzero
+  auto& st = snap.state;
+  st.seed_depth = static_cast<unsigned>(mix % 17u);
+  st.prefix_done.assign(1 + (mix >> 8) % 64u, 0);
+  for (std::size_t i = 0; i < st.prefix_done.size(); ++i) {
+    st.prefix_done[i] = static_cast<std::uint8_t>((mix >> (i % 32u)) & 1u);
+  }
+  if ((mix & 2u) != 0) {
+    st.incumbent_capacity = (mix >> 16) % 1000u;
+    st.incumbent_sides.assign(2 + (mix >> 24) % 62u, 0);
+    for (std::size_t i = 0; i < st.incumbent_sides.size(); ++i) {
+      st.incumbent_sides[i] =
+          static_cast<std::uint8_t>((mix >> ((i + 7) % 32u)) & 1u);
+    }
+  }
+  st.nodes_spent = mix >> 3;
+  return snap;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Mode 1: the raw bytes are the snapshot file.
+  try {
+    const BisectionSnapshot snap =
+        bfly::robust::decode_snapshot({data, size});
+    // The decoder accepted it, so it must be canonical: encoding the
+    // decoded state and decoding again is the identity.
+    const auto re = bfly::robust::encode_snapshot(snap);
+    const BisectionSnapshot again = bfly::robust::decode_snapshot(re);
+    if (again.fingerprint != snap.fingerprint ||
+        !states_equal(again.state, snap.state)) {
+      std::abort();
+    }
+  } catch (const bfly::robust::SnapshotError&) {
+    // Structured rejection is the contract.
+  }
+
+  // Mode 2: damage a valid stream at an input-chosen point.
+  if (size < 2) return 0;
+  const BisectionSnapshot valid = derive_snapshot(data, size);
+  const auto bytes = bfly::robust::encode_snapshot(valid);
+  try {
+    if (states_equal(bfly::robust::decode_snapshot(bytes).state,
+                     valid.state) == false) {
+      std::abort();  // clean round-trip must be lossless
+    }
+  } catch (const bfly::robust::SnapshotError&) {
+    std::abort();  // a freshly encoded snapshot must decode
+  }
+
+  const std::size_t pos = data[0] % bytes.size();
+  if ((data[1] & 1u) != 0) {
+    // Single byte flip (guaranteed to change the byte).
+    auto damaged = bytes;
+    damaged[pos] ^= static_cast<std::uint8_t>(data[1] | 1u);
+    try {
+      (void)bfly::robust::decode_snapshot(damaged);
+      std::abort();  // corruption slipped past the checksum
+    } catch (const bfly::robust::SnapshotError&) {
+    }
+  } else {
+    // Truncation to a strict prefix.
+    try {
+      (void)bfly::robust::decode_snapshot(
+          std::span<const std::uint8_t>(bytes.data(), pos));
+      std::abort();  // a strict prefix decoded as complete
+    } catch (const bfly::robust::SnapshotError&) {
+    }
+  }
+  return 0;
+}

@@ -56,6 +56,7 @@ FiedlerResult fiedler_vector(const Graph& g, const FiedlerOptions& opts) {
   FiedlerResult res;
   double prev_lambda = 0.0;
   for (std::uint32_t it = 0; it < opts.max_iterations; ++it) {
+    if (opts.cancel != nullptr && opts.cancel->stop_requested()) break;
     // y = (c*I - L) x = c*x - (D - A) x
     for (NodeId v = 0; v < n; ++v) {
       y[v] = (c - static_cast<double>(g.degree(v))) * x[v];

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/graph.hpp"
+#include "core/thread_pool.hpp"
 
 namespace bfly::algo {
 
@@ -15,6 +16,10 @@ struct FiedlerOptions {
   std::uint32_t max_iterations = 2000;
   double tolerance = 1e-9;
   std::uint64_t seed = 0xf1ed1e5u;
+  /// Cooperative cancellation, polled once per power iteration. A
+  /// cancelled run returns the iterate it had (still unit-norm and
+  /// mean-free — usable as a rough split, just not converged).
+  const CancelToken* cancel = nullptr;
 };
 
 struct FiedlerResult {

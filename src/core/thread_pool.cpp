@@ -4,6 +4,8 @@
 #include <exception>
 #include <mutex>
 
+#include "robust/fault_injection.hpp"
+
 namespace bfly {
 
 unsigned default_thread_count() noexcept {
@@ -79,19 +81,32 @@ void TaskGroup::wait() {
   std::mutex error_mutex;
   std::vector<std::thread> pool;
   pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= tasks.size()) return;
-        try {
-          tasks[i]();
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+  // Spawning can fail (std::system_error from the runtime, or the
+  // kTaskSpawn fault point in checked builds): join whatever did spawn
+  // before propagating, so no thread outlives its captured stack frame.
+  try {
+    for (unsigned w = 0; w < workers; ++w) {
+      BFLY_FAULT_POINT(kTaskSpawn);
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= tasks.size()) return;
+          // A stalled worker (fault-injected here) sleeps before pulling
+          // its task; the Supervisor's watchdog is what notices.
+          BFLY_FAULT_POINT(kWorkerStall);
+          try {
+            tasks[i]();
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
         }
-      }
-    });
+      });
+    }
+  } catch (...) {
+    next.store(tasks.size(), std::memory_order_relaxed);
+    for (auto& t : pool) t.join();
+    throw;
   }
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);

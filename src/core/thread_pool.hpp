@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -39,8 +40,11 @@ void parallel_for_blocked(
 /// nodes) and wind down when it fires. An optional deadline makes the
 /// token fire on its own once the wall clock passes it.
 ///
-/// Thread safety: request_stop()/stop_requested() may be called from any
-/// thread; set_deadline must happen before the token is shared.
+/// Thread safety: every member may be called from any thread, on a live
+/// token. The deadline is a single atomic cell, so the robust Supervisor
+/// can arm or extend it while workers concurrently poll
+/// stop_requested(). Extending the deadline after the token has already
+/// fired has no effect: a fired token never un-fires.
 class CancelToken {
  public:
   CancelToken() = default;
@@ -54,10 +58,11 @@ class CancelToken {
     stop_.store(true, std::memory_order_relaxed);
   }
 
-  /// Arms the deadline: stop_requested() returns true once now >= tp.
+  /// Arms (or moves) the deadline: stop_requested() returns true once
+  /// now >= tp. Relaxed-published; safe on a shared, live token.
   void set_deadline(std::chrono::steady_clock::time_point tp) noexcept {
-    deadline_ = tp;
-    has_deadline_ = true;
+    deadline_ns_.store(tp.time_since_epoch().count(),
+                       std::memory_order_relaxed);
   }
 
   /// Convenience: deadline at now + seconds (ignored when seconds <= 0).
@@ -70,7 +75,9 @@ class CancelToken {
 
   [[nodiscard]] bool stop_requested() const noexcept {
     if (stop_.load(std::memory_order_relaxed)) return true;
-    if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    const auto d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != kNoDeadline &&
+        std::chrono::steady_clock::now().time_since_epoch().count() >= d) {
       stop_.store(true, std::memory_order_relaxed);
       return true;
     }
@@ -78,9 +85,11 @@ class CancelToken {
   }
 
  private:
+  using Rep = std::chrono::steady_clock::rep;
+  static constexpr Rep kNoDeadline = std::numeric_limits<Rep>::max();
+
   mutable std::atomic<bool> stop_{false};
-  bool has_deadline_ = false;
-  std::chrono::steady_clock::time_point deadline_{};
+  std::atomic<Rep> deadline_ns_{kNoDeadline};
 };
 
 /// A group of independent tasks executed with bounded concurrency.

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <bit>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include "core/bitset64.hpp"
 #include "core/error.hpp"
 #include "cut/incumbent.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace bfly::cut {
 
@@ -181,10 +183,14 @@ struct ScalarSearcher {
     // Poll cancellation at an amortized cadence: the flag is a relaxed
     // atomic (and possibly a clock read), so checking every node would
     // dominate the cheap bound arithmetic.
-    if (opts.cancel != nullptr && (visited & 0xfffu) == 0 &&
-        opts.cancel->stop_requested()) {
-      aborted = true;
-      return;
+    if ((visited & 0xfffu) == 0) {
+      if (opts.progress != nullptr) {
+        opts.progress->store(visited, std::memory_order_relaxed);
+      }
+      if (opts.cancel != nullptr && opts.cancel->stop_requested()) {
+        aborted = true;
+        return;
+      }
     }
     if (cur_cut + sum_min >= prune_threshold()) return;
     if (depth == n) {
@@ -361,10 +367,17 @@ struct BitsetSearcher {
   // Pool the local node count and poll every stop source. Called at an
   // amortized cadence from dfs and once at the end of a worker's run.
   void flush_and_poll() {
+    // Simulated crash-at-node-N: models the process dying mid-search,
+    // leaving whatever the checkpoint sink last wrote as the only
+    // surviving state. No-op outside fault-injection builds.
+    BFLY_FAULT_POINT(kCrash);
     shared.pooled_visited.fetch_add(visited - last_flushed,
                                     std::memory_order_relaxed);
     last_flushed = visited;
     pool_at_flush = shared.pooled_visited.load(std::memory_order_relaxed);
+    if (opts.progress != nullptr) {
+      opts.progress->store(pool_at_flush, std::memory_order_relaxed);
+    }
     if (shared.aborted.load(std::memory_order_relaxed)) {
       aborted = true;
       return;
@@ -598,10 +611,28 @@ BitsetRunOutcome run_bitset_search(const Graph& g,
   const std::vector<NodeId> order = bfs_assignment_order(g);
   SearchShared shared;
   BitsetRunOutcome out;
+  // Checkpointing (either direction) forces the seed-prefix driver even
+  // for serial runs: the prefix subtree is the unit of resume, so the
+  // interrupted run and its continuation partition the tree identically.
+  const bool checkpointing =
+      opts.on_checkpoint != nullptr || opts.resume != nullptr;
 
-  // Tiny instances gain nothing from seeding overhead; a serial run is
-  // also the fully deterministic reference (witness included).
-  if (threads <= 1 || g.num_nodes() < 16) {
+  if (opts.resume != nullptr) {
+    // Restore the interrupted run's incumbent and node count before any
+    // worker starts, so the resumed search prunes (and reports) exactly
+    // as if it had never stopped.
+    const BranchBoundSearchState& rs = *opts.resume;
+    shared.pooled_visited.store(rs.nodes_spent, std::memory_order_relaxed);
+    if (rs.incumbent_capacity != kNoCapacity) {
+      BFLY_CHECK(rs.incumbent_sides.size() == g.num_nodes(),
+                 "resume incumbent does not match the graph");
+      shared.incumbent.publish(rs.incumbent_capacity, rs.incumbent_sides);
+    }
+  }
+
+  if (!checkpointing && (threads <= 1 || g.num_nodes() < 16)) {
+    // Tiny instances gain nothing from seeding overhead; a serial run is
+    // also the fully deterministic reference (witness included).
     BitsetSearcher s(g, opts, order, shared);
     s.dfs(0);
     s.flush_and_poll();
@@ -611,27 +642,102 @@ BitsetRunOutcome run_bitset_search(const Graph& g,
                                   s.unassigned.count() == s.n),
                     "search bookkeeping did not unwind cleanly");
   } else {
-    const unsigned max_depth = std::min<unsigned>(
-        opts.seed_depth != 0 ? opts.seed_depth : 12u, g.num_nodes());
-    const std::size_t target =
-        opts.seed_depth != 0 ? std::size_t{1} << 30  // honor exact depth
-                             : static_cast<std::size_t>(threads) * 8;
+    unsigned max_depth;
+    std::size_t target;
+    if (opts.resume != nullptr) {
+      // Re-enumerate at exactly the depth of the interrupted run so the
+      // completion flags line up index-for-index.
+      max_depth = std::min<unsigned>(opts.resume->seed_depth, g.num_nodes());
+      target = std::size_t{1} << 30;
+    } else if (opts.seed_depth != 0) {
+      max_depth = std::min<unsigned>(opts.seed_depth, g.num_nodes());
+      target = std::size_t{1} << 30;  // honor exact depth
+    } else {
+      max_depth = std::min<unsigned>(12u, g.num_nodes());
+      // Checkpointed runs want enough prefixes for a useful resume grain
+      // even when serial; plain parallel runs just want to feed workers.
+      target = checkpointing
+                   ? std::max<std::size_t>(
+                         32, static_cast<std::size_t>(threads) * 8)
+                   : static_cast<std::size_t>(threads) * 8;
+    }
     const auto prefixes =
         enumerate_seed_prefixes(g, opts, order, target, max_depth);
-    TaskGroup group(threads);
-    for (const auto& prefix : prefixes) {
-      group.add([&g, &opts, &order, &shared, &prefix] {
+    const unsigned depth_used =
+        prefixes.empty() ? 0 : static_cast<unsigned>(prefixes[0].size());
+
+    if (!checkpointing) {
+      TaskGroup group(threads);
+      for (const auto& prefix : prefixes) {
+        group.add([&g, &opts, &order, &shared, &prefix] {
+          BitsetSearcher s(g, opts, order, shared);
+          for (std::size_t i = 0; i < prefix.size(); ++i) {
+            s.assign(order[i], prefix[i]);
+          }
+          // The prefix was enumerated under the same feasibility rules
+          // dfs enforces, so descending from its depth is sound.
+          if (s.sub.feasible()) s.dfs(static_cast<NodeId>(prefix.size()));
+          s.flush_and_poll();
+        });
+      }
+      group.wait();
+    } else {
+      std::vector<std::uint8_t> done(prefixes.size(), 0);
+      if (opts.resume != nullptr) {
+        BFLY_CHECK(opts.resume->prefix_done.size() == prefixes.size(),
+                   "resume state does not match the prefix enumeration "
+                   "(different graph, subset, or seed depth?)");
+        done = opts.resume->prefix_done;
+      }
+      std::mutex chk_mutex;  // serializes done[] updates + the sink
+      auto run_prefix = [&](std::size_t pi) {
+        if (shared.aborted.load(std::memory_order_relaxed)) return;
+        // Crash point between subtrees: everything before the last
+        // checkpoint survives, the in-flight subtree re-runs on resume.
+        BFLY_FAULT_POINT(kCrash);
         BitsetSearcher s(g, opts, order, shared);
-        for (std::size_t i = 0; i < prefix.size(); ++i) {
-          s.assign(order[i], prefix[i]);
+        for (std::size_t i = 0; i < prefixes[pi].size(); ++i) {
+          s.assign(order[i], prefixes[pi][i]);
         }
-        // The prefix was enumerated under the same feasibility rules
-        // dfs enforces, so descending from its depth is sound.
-        if (s.sub.feasible()) s.dfs(static_cast<NodeId>(prefix.size()));
+        if (s.sub.feasible()) s.dfs(static_cast<NodeId>(prefixes[pi].size()));
         s.flush_and_poll();
-      });
+        if (s.aborted || shared.aborted.load(std::memory_order_relaxed)) {
+          return;  // cut short — the subtree is NOT complete
+        }
+        const std::lock_guard<std::mutex> lock(chk_mutex);
+        done[pi] = 1;
+        if (opts.on_checkpoint) {
+          BranchBoundSearchState st;
+          st.seed_depth = depth_used;
+          st.prefix_done = done;
+          st.incumbent_capacity = shared.incumbent.capacity();
+          if (st.incumbent_capacity != SharedIncumbent::kUnset) {
+            st.incumbent_sides = shared.incumbent.sides();
+          }
+          // Serial runs record exactly the completed subtrees' nodes;
+          // parallel runs may include partial counts flushed by peers
+          // (telemetry only — never affects the proved capacity).
+          st.nodes_spent =
+              shared.pooled_visited.load(std::memory_order_relaxed);
+          opts.on_checkpoint(st);
+        }
+      };
+      if (threads <= 1) {
+        // Serial: a thrown SimulatedCrash (or real bad_alloc) abandons
+        // the remaining prefixes immediately, like a dying process.
+        for (std::size_t pi = 0; pi < prefixes.size(); ++pi) {
+          if (!done[pi]) run_prefix(pi);
+        }
+      } else {
+        TaskGroup group(threads);
+        for (std::size_t pi = 0; pi < prefixes.size(); ++pi) {
+          if (!done[pi]) {
+            group.add([&run_prefix, pi] { run_prefix(pi); });
+          }
+        }
+        group.wait();
+      }
     }
-    group.wait();
   }
 
   out.capacity = shared.incumbent.capacity();
@@ -648,6 +754,9 @@ BitsetRunOutcome run_bitset_search(const Graph& g,
 CutResult min_bisection_branch_bound(const Graph& g,
                                      const BranchBoundOptions& opts) {
   BFLY_CHECK(g.num_nodes() >= 2, "bisection needs at least two nodes");
+  // Allocation-failure fault point: the solver's up-front working-set
+  // allocations (order, bitsets, seeds) are modeled as failing here.
+  BFLY_FAULT_POINT(kAlloc);
   const bool packed_faithful = !g.has_parallel_edges();
   BranchBoundKernel kernel = opts.kernel;
   if (kernel == BranchBoundKernel::kAuto) {

@@ -35,13 +35,37 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <vector>
 
 #include "core/graph.hpp"
 #include "core/thread_pool.hpp"
 #include "cut/bisection.hpp"
 
 namespace bfly::cut {
+
+/// A consistent snapshot of the seed-prefix driver's search state, the
+/// unit of checkpoint/resume (robust/checkpoint.{hpp,cpp} serializes it
+/// to disk). The search tree is partitioned into the subtrees under
+/// every feasible assignment of the first seed_depth BFS-order nodes;
+/// prefix_done records which subtrees have been fully searched, and the
+/// incumbent plus the pooled node count carry everything else a resumed
+/// run needs to prove the identical optimum with the identical bound.
+struct BranchBoundSearchState {
+  /// BFS-prefix depth the seed prefixes were enumerated at. A resumed
+  /// run re-enumerates at exactly this depth, so prefix indices match.
+  unsigned seed_depth = 0;
+  /// One flag per seed prefix, in enumeration order: 1 = subtree fully
+  /// searched (never set for subtrees cut short by cancellation).
+  std::vector<std::uint8_t> prefix_done;
+  /// Best bisection found so far (SIZE_MAX / empty when none yet).
+  std::size_t incumbent_capacity = static_cast<std::size_t>(-1);
+  std::vector<std::uint8_t> incumbent_sides;
+  /// Pooled search-tree nodes spent so far; restored so node budgets
+  /// and nodes_visited telemetry span interruptions.
+  std::uint64_t nodes_spent = 0;
+};
 
 /// Which branch-and-bound search kernel to run.
 enum class BranchBoundKernel {
@@ -87,8 +111,26 @@ struct BranchBoundOptions {
   unsigned num_threads = 1;
   /// BFS-prefix depth used to enumerate parallel subproblem seeds
   /// (0 = auto: grow until there are several seeds per worker). Ignored
-  /// by serial runs.
+  /// by serial runs unless checkpointing forces the prefix driver.
   unsigned seed_depth = 0;
+  /// Live progress cell for an external watchdog: the kernels store the
+  /// pooled visited-node count here at their flush cadence, so a reader
+  /// that sees the value stop moving has found a stalled search.
+  std::atomic<std::uint64_t>* progress = nullptr;
+  /// Resume a previous run from its checkpointed search state: restores
+  /// the shared incumbent, skips completed seed prefixes, and continues
+  /// the pooled node count. The graph, subset constraint, and kernel
+  /// must match the run that produced the state (the serialized form in
+  /// robust/checkpoint carries a graph fingerprint to enforce this).
+  /// Bitset kernel only.
+  const BranchBoundSearchState* resume = nullptr;
+  /// Checkpoint sink: called with a consistent snapshot after every
+  /// seed-prefix subtree completes (calls are serialized; under the
+  /// parallel driver they arrive on worker threads). Setting this — or
+  /// resume — forces the seed-prefix driver even for serial runs, so a
+  /// serial checkpointed run and its resumed continuation replay the
+  /// identical publish sequence. Bitset kernel only.
+  std::function<void(const BranchBoundSearchState&)> on_checkpoint;
 };
 
 [[nodiscard]] CutResult min_bisection_branch_bound(

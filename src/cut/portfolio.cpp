@@ -11,6 +11,7 @@
 #include "core/thread_pool.hpp"
 #include "cut/incumbent.hpp"
 #include "io/table.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace bfly::cut {
 
@@ -42,6 +43,9 @@ PortfolioSeeds derive_portfolio_seeds(std::uint64_t master_seed) {
 PortfolioResult min_bisection_portfolio(const Graph& g,
                                         const PortfolioOptions& opts) {
   BFLY_CHECK(g.num_nodes() >= 2, "bisection needs at least two nodes");
+  // Allocation-failure fault point: the portfolio's task table, shared
+  // incumbent, and publisher pool are modeled as failing here.
+  BFLY_FAULT_POINT(kAlloc);
   const auto t_start = std::chrono::steady_clock::now();
   const PortfolioSeeds seeds = derive_portfolio_seeds(opts.master_seed);
 
@@ -62,6 +66,7 @@ PortfolioResult min_bisection_portfolio(const Graph& g,
   {
     SpectralBisectionOptions o = opts.spectral;
     o.seed = seeds.spectral;
+    o.cancel = &token;
     tasks.push_back({"spectral", 1, [&g, o](IncumbentPublisher& pub) {
                        auto r = min_bisection_spectral(g, o);
                        r.restarts_completed = 1;

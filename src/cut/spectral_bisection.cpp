@@ -15,6 +15,7 @@ CutResult min_bisection_spectral(const Graph& g,
   const NodeId n = g.num_nodes();
   algo::FiedlerOptions fo;
   fo.seed = opts.seed;
+  fo.cancel = opts.cancel;
   const auto fiedler = algo::fiedler_vector(g, fo);
 
   std::vector<NodeId> by_value(n);
@@ -27,7 +28,11 @@ CutResult min_bisection_spectral(const Graph& g,
   std::vector<std::uint8_t> sides(n, 0);
   for (NodeId i = n / 2; i < n; ++i) sides[by_value[i]] = 1;
 
-  if (opts.refine) {
+  // Phase boundary: a stop that fired during (or right after) the
+  // eigensolve skips the FM polish and returns the raw median split.
+  const bool stopped =
+      opts.cancel != nullptr && opts.cancel->stop_requested();
+  if (opts.refine && !stopped) {
     auto refined = refine_fiduccia_mattheyses(g, std::move(sides));
     refined.method = "spectral+fm";
     return refined;

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "core/graph.hpp"
+#include "core/thread_pool.hpp"
 #include "cut/bisection.hpp"
 
 namespace bfly::cut {
@@ -12,6 +13,11 @@ namespace bfly::cut {
 struct SpectralBisectionOptions {
   bool refine = true;  ///< run FM passes on the spectral split
   std::uint64_t seed = 0x5bec7ull;
+  /// Cooperative cancellation, polled per power iteration inside the
+  /// Fiedler solve and again at the refine boundary. A cancelled run
+  /// still returns a valid (median-split) bisection, just built from
+  /// whatever iterate the eigensolver had and without FM polish.
+  const CancelToken* cancel = nullptr;
 };
 
 [[nodiscard]] CutResult min_bisection_spectral(

@@ -7,6 +7,7 @@
 #include "core/error.hpp"
 #include "core/math_util.hpp"
 #include "core/thread_pool.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace bfly::expansion {
 
@@ -175,11 +176,17 @@ class ShardSweep {
   }
 
   void flush_and_poll() {
+    // Simulated-crash fault point, hit before the flush so a crashed
+    // shard never contributes a partial state count.
+    BFLY_FAULT_POINT(kCrash);
     shared_.pooled_visited.fetch_add(visited_ - last_flushed_,
                                      std::memory_order_relaxed);
     last_flushed_ = visited_;
     pool_at_flush_ =
         shared_.pooled_visited.load(std::memory_order_relaxed);
+    if (opts_.progress != nullptr) {
+      opts_.progress->store(pool_at_flush_, std::memory_order_relaxed);
+    }
     if (shared_.aborted.load(std::memory_order_relaxed)) {
       aborted_ = true;
       return;
@@ -215,6 +222,9 @@ ExactExpansionResult exact_expansion_full(const Graph& g,
                                           const ExactExpansionOptions& opts) {
   const NodeId n = g.num_nodes();
   BFLY_CHECK(n >= 1 && n < 63, "graph too large for exhaustive expansion");
+  // Allocation-failure fault point: the sweep's up-front working set
+  // (per-shard tables and counters) is modeled as failing here.
+  BFLY_FAULT_POINT(kAlloc);
   const std::uint64_t states = 1ull << n;
   BFLY_CHECK(states <= opts.max_states,
              "exhaustive expansion exceeds the configured state limit");

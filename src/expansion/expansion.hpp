@@ -13,6 +13,7 @@
 // the branch-and-bound bisection solver.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -62,6 +63,10 @@ struct ExactExpansionOptions {
   /// Sharding changes only the enumeration order — tabulated ee/ne
   /// values are identical; a witness may differ between ties.
   unsigned shard_bits = 0;
+  /// Live progress cell for an external watchdog (robust/supervisor):
+  /// the sweep stores its pooled visited-state count here at the flush
+  /// cadence, so a frozen value means a stalled sweep.
+  std::atomic<std::uint64_t>* progress = nullptr;
 };
 
 struct ExactExpansionResult {

@@ -1,0 +1,220 @@
+// Deterministic fault injection for the robustness test surface.
+//
+// A FaultPlan is a seeded schedule of injectable failure points: each
+// site carries a rule saying on which hit (a process-global, per-site
+// counter) the fault fires and what it does — throw std::bad_alloc,
+// throw FaultInjectedError / SimulatedCrash, or sleep to model a
+// stalled worker or delayed cancellation. The FaultInjector is armed
+// with a plan by tests (see ScopedFaultPlan) and consulted from
+// BFLY_FAULT_POINT(site) hooks compiled into core/thread_pool,
+// cut/branch_bound, cut/portfolio, and expansion/expansion.
+//
+// Builds configured with -DBFLY_FAULT_INJECTION=OFF (the default for
+// plain Release trees, see the top-level CMakeLists.txt) compile every
+// hook to ((void)0): the injector, its counters, and its branch all
+// vanish, so production binaries pay nothing. Everything here is
+// header-only so the lowest layer (bfly_core) can host hooks without
+// depending on the bfly_robust library.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "core/rng.hpp"
+
+namespace bfly::fault {
+
+/// Injectable failure points, one hit counter each.
+enum class Site : unsigned {
+  kAlloc = 0,     ///< allocation failure: throws std::bad_alloc
+  kTaskSpawn,     ///< worker/task spawn failure: throws FaultInjectedError
+  kCancelDelay,   ///< delayed cancellation: request_stop sleeps first
+  kWorkerStall,   ///< stalled worker: sleeps before running its task
+  kCrash,         ///< simulated crash: throws SimulatedCrash mid-search
+};
+inline constexpr unsigned kNumSites = 5;
+
+[[nodiscard]] inline const char* to_string(Site s) {
+  switch (s) {
+    case Site::kAlloc: return "alloc";
+    case Site::kTaskSpawn: return "task-spawn";
+    case Site::kCancelDelay: return "cancel-delay";
+    case Site::kWorkerStall: return "worker-stall";
+    case Site::kCrash: return "crash";
+  }
+  return "?";
+}
+
+/// True when BFLY_FAULT_POINT hooks are compiled into this build.
+[[nodiscard]] constexpr bool compiled_in() noexcept {
+#if BFLY_FAULT_INJECTION
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Thrown by a firing fault point (except kAlloc, which throws
+/// std::bad_alloc to exercise real allocation-failure handling).
+class FaultInjectedError : public std::runtime_error {
+ public:
+  FaultInjectedError(Site site, const std::string& what)
+      : std::runtime_error("injected fault [" + std::string(to_string(site)) +
+                           "]: " + what),
+        site_(site) {}
+
+  [[nodiscard]] Site site() const noexcept { return site_; }
+
+ private:
+  Site site_;
+};
+
+/// A kCrash fault: models the process dying mid-search. The supervisor
+/// treats it like any transient failure (retry + resume from the last
+/// checkpoint); tests use it to cut a solve short at a chosen point.
+class SimulatedCrash : public FaultInjectedError {
+ public:
+  explicit SimulatedCrash(const std::string& what)
+      : FaultInjectedError(Site::kCrash, what) {}
+};
+
+/// Per-site firing rule: fire on hits [fire_at_hit, fire_at_hit +
+/// fire_count) of that site's process-global counter (1-based;
+/// fire_at_hit 0 disables the site). Timing sites sleep delay_ms.
+struct SiteRule {
+  std::uint64_t fire_at_hit = 0;
+  std::uint32_t fire_count = 1;
+  std::uint32_t delay_ms = 0;
+};
+
+/// A deterministic schedule of faults: one rule per site. Identical
+/// plans armed over identical (serial) executions fire identically.
+struct FaultPlan {
+  std::array<SiteRule, kNumSites> rules{};
+
+  FaultPlan& set(Site site, std::uint64_t fire_at_hit,
+                 std::uint32_t fire_count = 1, std::uint32_t delay_ms = 0) {
+    rules[static_cast<unsigned>(site)] = {fire_at_hit, fire_count, delay_ms};
+    return *this;
+  }
+
+  [[nodiscard]] const SiteRule& rule(Site site) const {
+    return rules[static_cast<unsigned>(site)];
+  }
+
+  /// Seeded pseudo-random plan for the CI seed sweep: each site is
+  /// enabled with probability 1/2, firing within its first ~16 hits;
+  /// timing sites get short (<= 50 ms) delays so sweeps stay bounded.
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    FaultPlan plan;
+    for (unsigned i = 0; i < kNumSites; ++i) {
+      const std::uint64_t r = sm.next();
+      if ((r & 1u) == 0) continue;  // site stays quiet
+      SiteRule& rule = plan.rules[i];
+      rule.fire_at_hit = 1 + ((r >> 1) & 0xfu);
+      rule.fire_count = 1 + static_cast<std::uint32_t>((r >> 5) & 0x3u);
+      rule.delay_ms = 1 + static_cast<std::uint32_t>((r >> 7) & 0x1fu);
+    }
+    return plan;
+  }
+};
+
+/// Process-global injector: counts hits per site and fires the armed
+/// plan's rules. Thread-safe; counters reset on arm() so a plan's hit
+/// numbers always refer to the execution it was armed for.
+class FaultInjector {
+ public:
+  static FaultInjector& instance() {
+    static FaultInjector inj;
+    return inj;
+  }
+
+  void arm(const FaultPlan& plan) {
+    plan_ = plan;
+    for (auto& h : hits_) h.store(0, std::memory_order_relaxed);
+    for (auto& f : fired_) f.store(0, std::memory_order_relaxed);
+    armed_.store(true, std::memory_order_release);
+  }
+
+  void disarm() { armed_.store(false, std::memory_order_release); }
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_acquire);
+  }
+
+  /// Hits observed at this site since the last arm().
+  [[nodiscard]] std::uint64_t hits(Site site) const noexcept {
+    return hits_[static_cast<unsigned>(site)].load(std::memory_order_relaxed);
+  }
+
+  /// Faults actually fired at this site since the last arm().
+  [[nodiscard]] std::uint64_t fired(Site site) const noexcept {
+    return fired_[static_cast<unsigned>(site)].load(std::memory_order_relaxed);
+  }
+
+  /// The hook body behind BFLY_FAULT_POINT: count the hit and fire the
+  /// armed rule when the counter lands in its window. Only the timing
+  /// sites (kCancelDelay, kWorkerStall) are safe in noexcept contexts —
+  /// they sleep instead of throwing.
+  void on_point(Site site) {
+    if (!armed_.load(std::memory_order_acquire)) return;
+    const unsigned i = static_cast<unsigned>(site);
+    const SiteRule& rule = plan_.rules[i];
+    const std::uint64_t hit =
+        hits_[i].fetch_add(1, std::memory_order_relaxed) + 1;
+    if (rule.fire_at_hit == 0 || hit < rule.fire_at_hit ||
+        hit >= rule.fire_at_hit + rule.fire_count) {
+      return;
+    }
+    fired_[i].fetch_add(1, std::memory_order_relaxed);
+    switch (site) {
+      case Site::kAlloc:
+        throw std::bad_alloc();
+      case Site::kTaskSpawn:
+        throw FaultInjectedError(site, "task spawn failed");
+      case Site::kCancelDelay:
+      case Site::kWorkerStall:
+        std::this_thread::sleep_for(std::chrono::milliseconds(rule.delay_ms));
+        return;
+      case Site::kCrash:
+        throw SimulatedCrash("crash at " + std::string(to_string(site)) +
+                             " hit " + std::to_string(hit));
+    }
+  }
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  FaultPlan plan_{};  // written only while disarmed (arm is the publish)
+  std::array<std::atomic<std::uint64_t>, kNumSites> hits_{};
+  std::array<std::atomic<std::uint64_t>, kNumSites> fired_{};
+};
+
+/// RAII plan arming for tests: arms on construction, disarms on scope
+/// exit so a throwing test cannot leak an armed plan into its siblings.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) {
+    FaultInjector::instance().arm(plan);
+  }
+  ~ScopedFaultPlan() { FaultInjector::instance().disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace bfly::fault
+
+#if BFLY_FAULT_INJECTION
+#define BFLY_FAULT_POINT(site) \
+  ::bfly::fault::FaultInjector::instance().on_point(::bfly::fault::Site::site)
+#else
+#define BFLY_FAULT_POINT(site) ((void)0)
+#endif

@@ -1,0 +1,168 @@
+// Cancellation-propagation suite: the CancelToken deadline must be
+// armable and extendable on a LIVE token (concurrent pollers — the tsan
+// label makes the thread-sanitizer flavor prove it race-free), and
+// every heuristic solver must honor a tight deadline — returning within
+// a small multiple of it, reporting kHeuristic, never a stale kExact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "cut/multilevel.hpp"
+#include "cut/simulated_annealing.hpp"
+#include "cut/spectral_bisection.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// --- CancelToken deadline race-safety ---
+
+TEST(CancelTokenDeadline, ArmAndExtendOnLiveTokenWhilePolled) {
+  // Two armer threads repeatedly move the deadline while two poller
+  // threads hammer stop_requested(). Under -DBFLY_SANITIZE=thread this
+  // is the regression test for the deadline being a single atomic cell;
+  // in any build it checks the semantics: the last armed deadline (a
+  // few ms out) eventually fires.
+  CancelToken token;
+  std::atomic<bool> go{true};
+  std::vector<std::thread> pollers;
+  pollers.reserve(2);
+  for (int i = 0; i < 2; ++i) {
+    pollers.emplace_back([&] {
+      while (go.load(std::memory_order_relaxed)) {
+        (void)token.stop_requested();
+      }
+    });
+  }
+  {
+    std::vector<std::thread> armers;
+    armers.reserve(2);
+    for (int i = 0; i < 2; ++i) {
+      armers.emplace_back([&] {
+        for (int r = 0; r < 200; ++r) {
+          token.set_deadline(Clock::now() + std::chrono::seconds(60));
+          token.set_deadline_after(30.0);
+        }
+      });
+    }
+    for (auto& t : armers) t.join();
+  }
+  EXPECT_FALSE(token.stop_requested());  // every armed deadline is far out
+
+  token.set_deadline(Clock::now() + std::chrono::milliseconds(5));
+  const auto t0 = Clock::now();
+  while (!token.stop_requested() && seconds_since(t0) < 5.0) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(token.stop_requested());
+
+  go.store(false, std::memory_order_relaxed);
+  for (auto& t : pollers) t.join();
+}
+
+TEST(CancelTokenDeadline, FiredTokenNeverUnfires) {
+  CancelToken token;
+  token.request_stop();
+  ASSERT_TRUE(token.stop_requested());
+  // Extending the deadline after the fact must not resurrect the token.
+  token.set_deadline(Clock::now() + std::chrono::hours(1));
+  EXPECT_TRUE(token.stop_requested());
+}
+
+TEST(CancelTokenDeadline, ExtendingPostponesExpiry) {
+  CancelToken token;
+  token.set_deadline(Clock::now() + std::chrono::milliseconds(1));
+  token.set_deadline(Clock::now() + std::chrono::hours(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // The original 1 ms deadline was moved before it fired.
+  EXPECT_FALSE(token.stop_requested());
+}
+
+// --- Tight-deadline propagation through the heuristic solvers ---
+//
+// Each solver gets work sized to run for many seconds uncancelled and a
+// deadline far below that. The contract under test: return within 2x
+// the deadline plus one work-unit granule (restart / V-cycle / power
+// iteration — generous here so sanitizer-flavor slowdowns don't flake),
+// and report kHeuristic.
+
+constexpr double kDeadlineSeconds = 0.5;
+constexpr double kLatenessBudget = 2.0 * kDeadlineSeconds + 2.0;
+
+TEST(TightDeadline, SimulatedAnnealingStopsAndStaysHeuristic) {
+  const Graph g = topo::Butterfly(16).graph();  // 80 nodes
+  CancelToken token;
+  token.set_deadline_after(kDeadlineSeconds);
+  cut::SimulatedAnnealingOptions opts;
+  opts.restarts = 1000000;  // ~forever without the deadline
+  opts.cancel = &token;
+  const auto t0 = Clock::now();
+  const auto res = cut::min_bisection_simulated_annealing(g, opts);
+  EXPECT_LT(seconds_since(t0), kLatenessBudget);
+  EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+  EXPECT_LT(res.restarts_completed, opts.restarts);
+  if (!res.sides.empty()) {
+    cut::validate_cut(g, res, /*require_bisection=*/true);
+  }
+}
+
+TEST(TightDeadline, MultilevelStopsAndStaysHeuristic) {
+  const Graph g = topo::Butterfly(16).graph();
+  CancelToken token;
+  token.set_deadline_after(kDeadlineSeconds);
+  cut::MultilevelOptions opts;
+  opts.cycles = 1000000;
+  opts.cancel = &token;
+  const auto t0 = Clock::now();
+  const auto res = cut::min_bisection_multilevel(g, opts);
+  EXPECT_LT(seconds_since(t0), kLatenessBudget);
+  EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+  if (!res.sides.empty()) {
+    cut::validate_cut(g, res, /*require_bisection=*/true);
+  }
+}
+
+TEST(TightDeadline, SpectralStopsMidEigensolveAndStaysValid) {
+  // A pre-fired token is the tightest possible deadline: the eigensolve
+  // must bail on its first iteration poll, and the solver must still
+  // return a valid (unpolished median-split) bisection, not garbage.
+  const Graph g = topo::Butterfly(64).graph();  // 448 nodes
+  CancelToken token;
+  token.request_stop();
+  cut::SpectralBisectionOptions opts;
+  opts.cancel = &token;
+  const auto t0 = Clock::now();
+  const auto res = cut::min_bisection_spectral(g, opts);
+  EXPECT_LT(seconds_since(t0), kLatenessBudget);
+  EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+  EXPECT_EQ(res.method, "spectral");  // the FM-polish phase was skipped
+  ASSERT_FALSE(res.sides.empty());
+  cut::validate_cut(g, res, /*require_bisection=*/true);
+}
+
+TEST(TightDeadline, SpectralDeadlineDuringIterationIsHonored) {
+  const Graph g = topo::Butterfly(64).graph();
+  CancelToken token;
+  token.set_deadline_after(kDeadlineSeconds);
+  cut::SpectralBisectionOptions opts;
+  opts.cancel = &token;
+  const auto t0 = Clock::now();
+  const auto res = cut::min_bisection_spectral(g, opts);
+  EXPECT_LT(seconds_since(t0), kLatenessBudget);
+  EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+  ASSERT_FALSE(res.sides.empty());
+  cut::validate_cut(g, res, /*require_bisection=*/true);
+}
+
+}  // namespace
+}  // namespace bfly

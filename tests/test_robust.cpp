@@ -1,0 +1,476 @@
+// Robustness suite: deterministic fault injection, checkpoint/resume
+// of the exact bisection search, and the resilient solve supervisor
+// (watchdog, retry, graceful degradation). Carries the `fault` ctest
+// label — `ctest -L fault` is the CI fault-suite entry point. Tests
+// that need compiled-in BFLY_FAULT_POINT hooks skip themselves in
+// builds configured with -DBFLY_FAULT_INJECTION=OFF.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "cut/branch_bound.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/fault_injection.hpp"
+#include "robust/supervisor.hpp"
+#include "topology/butterfly.hpp"
+
+namespace bfly {
+namespace {
+
+std::filesystem::path temp_snapshot_path(const std::string& name) {
+  auto p = std::filesystem::path(testing::TempDir()) / (name + ".snap");
+  std::filesystem::remove(p);
+  return p;
+}
+
+cut::BranchBoundSearchState make_state() {
+  cut::BranchBoundSearchState st;
+  st.seed_depth = 7;
+  st.prefix_done = {1, 0, 1, 1, 0, 0, 1, 0};
+  st.incumbent_capacity = 8;
+  st.incumbent_sides = {0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 0, 1};
+  st.nodes_spent = 123456;
+  return st;
+}
+
+void expect_state_eq(const cut::BranchBoundSearchState& a,
+                     const cut::BranchBoundSearchState& b) {
+  EXPECT_EQ(a.seed_depth, b.seed_depth);
+  EXPECT_EQ(a.prefix_done, b.prefix_done);
+  EXPECT_EQ(a.incumbent_capacity, b.incumbent_capacity);
+  EXPECT_EQ(a.incumbent_sides, b.incumbent_sides);
+  EXPECT_EQ(a.nodes_spent, b.nodes_spent);
+}
+
+// --- Fault injection mechanics ---
+
+TEST(FaultInjection, DisarmedInjectorIsInert) {
+  // Whatever the build flavor, an unarmed injector must never fire.
+  const auto res =
+      cut::min_bisection_branch_bound(topo::Butterfly(4).graph());
+  EXPECT_EQ(res.exactness, cut::Exactness::kExact);
+}
+
+TEST(FaultInjection, ArmedPlanFiresDeterministically) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "BFLY_FAULT_INJECTION is off in this build";
+  }
+  const Graph g = topo::Butterfly(4).graph();
+  {
+    fault::ScopedFaultPlan plan(
+        fault::FaultPlan{}.set(fault::Site::kAlloc, /*fire_at_hit=*/1));
+    EXPECT_THROW((void)cut::min_bisection_branch_bound(g), std::bad_alloc);
+    auto& inj = fault::FaultInjector::instance();
+    EXPECT_EQ(inj.fired(fault::Site::kAlloc), 1u);
+    EXPECT_GE(inj.hits(fault::Site::kAlloc), 1u);
+  }
+  // Plan disarmed by scope exit: the same call now succeeds.
+  EXPECT_EQ(cut::min_bisection_branch_bound(g).exactness,
+            cut::Exactness::kExact);
+}
+
+TEST(FaultInjection, TaskSpawnFailureDoesNotLeakThreads) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "BFLY_FAULT_INJECTION is off in this build";
+  }
+  // The second spawn fails; TaskGroup must join the first worker and
+  // rethrow instead of destroying a joinable std::thread (which would
+  // terminate the process). Leak/race flavors of the suite double-check
+  // the cleanup.
+  fault::ScopedFaultPlan plan(
+      fault::FaultPlan{}.set(fault::Site::kTaskSpawn, /*fire_at_hit=*/2));
+  std::atomic<int> ran{0};
+  TaskGroup group(4);
+  for (int i = 0; i < 8; ++i) {
+    group.add([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  EXPECT_THROW(group.wait(), fault::FaultInjectedError);
+  EXPECT_LE(ran.load(std::memory_order_relaxed), 8);
+}
+
+TEST(FaultInjection, RandomPlansAreSeedDeterministic) {
+  const auto a = fault::FaultPlan::random(1234);
+  const auto b = fault::FaultPlan::random(1234);
+  const auto c = fault::FaultPlan::random(1235);
+  bool all_equal_ac = true;
+  for (unsigned i = 0; i < fault::kNumSites; ++i) {
+    const auto site = static_cast<fault::Site>(i);
+    EXPECT_EQ(a.rule(site).fire_at_hit, b.rule(site).fire_at_hit);
+    EXPECT_EQ(a.rule(site).fire_count, b.rule(site).fire_count);
+    EXPECT_EQ(a.rule(site).delay_ms, b.rule(site).delay_ms);
+    all_equal_ac = all_equal_ac &&
+                   a.rule(site).fire_at_hit == c.rule(site).fire_at_hit;
+  }
+  EXPECT_FALSE(all_equal_ac) << "different seeds produced identical plans";
+}
+
+// --- Snapshot wire format ---
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+  const robust::BisectionSnapshot snap{0xfeedfacecafef00dull, make_state()};
+  const auto bytes = robust::encode_snapshot(snap);
+  const auto back = robust::decode_snapshot(bytes);
+  EXPECT_EQ(back.fingerprint, snap.fingerprint);
+  expect_state_eq(back.state, snap.state);
+}
+
+TEST(Checkpoint, EmptyStateRoundTrips) {
+  // A snapshot before any incumbent exists: capacity SIZE_MAX, no sides.
+  robust::BisectionSnapshot snap;
+  snap.fingerprint = 7;
+  snap.state.seed_depth = 3;
+  snap.state.prefix_done = {0, 0, 0, 0};
+  const auto back = robust::decode_snapshot(robust::encode_snapshot(snap));
+  expect_state_eq(back.state, snap.state);
+}
+
+TEST(Checkpoint, EveryTruncationIsRejected) {
+  const auto bytes =
+      robust::encode_snapshot({0x1234ull, make_state()});
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(
+        (void)robust::decode_snapshot(
+            std::span<const std::uint8_t>(bytes.data(), len)),
+        robust::SnapshotError)
+        << "truncation to " << len << " bytes decoded";
+  }
+}
+
+TEST(Checkpoint, EveryByteFlipIsRejected) {
+  const auto bytes =
+      robust::encode_snapshot({0x1234ull, make_state()});
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto mutated = bytes;
+    mutated[i] ^= 0xff;
+    EXPECT_THROW((void)robust::decode_snapshot(mutated),
+                 robust::SnapshotError)
+        << "flipping byte " << i << " decoded";
+  }
+}
+
+TEST(Checkpoint, StructuredFaultsAreDistinguished) {
+  const auto bytes = robust::encode_snapshot({0x1234ull, make_state()});
+  {
+    auto m = bytes;
+    m[0] = 'X';  // magic
+    try {
+      (void)robust::decode_snapshot(m);
+      FAIL() << "bad magic decoded";
+    } catch (const robust::SnapshotError& e) {
+      EXPECT_EQ(e.fault(), robust::SnapshotFault::kBadMagic);
+    }
+  }
+  {
+    auto m = bytes;
+    m[8] = 99;  // version
+    try {
+      (void)robust::decode_snapshot(m);
+      FAIL() << "bad version decoded";
+    } catch (const robust::SnapshotError& e) {
+      EXPECT_EQ(e.fault(), robust::SnapshotFault::kBadVersion);
+    }
+  }
+  {
+    auto m = bytes;
+    m[m.size() - 1] ^= 0x01;  // checksum itself
+    try {
+      (void)robust::decode_snapshot(m);
+      FAIL() << "bad checksum decoded";
+    } catch (const robust::SnapshotError& e) {
+      EXPECT_EQ(e.fault(), robust::SnapshotFault::kBadChecksum);
+    }
+  }
+}
+
+TEST(Checkpoint, SaveLoadAndFingerprintGuard) {
+  const auto path = temp_snapshot_path("roundtrip");
+  const Graph g = topo::Butterfly(4).graph();
+  const std::uint64_t fp = robust::graph_fingerprint(g);
+  EXPECT_FALSE(robust::snapshot_exists(path));
+  robust::save_snapshot(path, {fp, make_state()});
+  ASSERT_TRUE(robust::snapshot_exists(path));
+  const auto back = robust::load_snapshot(path, fp);
+  expect_state_eq(back.state, make_state());
+  try {
+    (void)robust::load_snapshot(path, fp + 1);
+    FAIL() << "wrong-graph snapshot loaded";
+  } catch (const robust::SnapshotError& e) {
+    EXPECT_EQ(e.fault(), robust::SnapshotFault::kWrongGraph);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, FingerprintSeparatesGraphs) {
+  EXPECT_EQ(robust::graph_fingerprint(topo::Butterfly(8).graph()),
+            robust::graph_fingerprint(topo::Butterfly(8).graph()));
+  EXPECT_NE(robust::graph_fingerprint(topo::Butterfly(8).graph()),
+            robust::graph_fingerprint(topo::Butterfly(4).graph()));
+}
+
+// --- Checkpointed search: determinism and kill-and-resume ---
+
+TEST(CheckpointedSearch, CheckpointModeProvesTheSameOptimum) {
+  const Graph g = topo::Butterfly(4).graph();
+  const auto plain = cut::min_bisection_branch_bound(g);
+
+  unsigned checkpoints = 0;
+  cut::BranchBoundSearchState last;
+  cut::BranchBoundOptions opts;
+  opts.on_checkpoint = [&](const cut::BranchBoundSearchState& st) {
+    ++checkpoints;
+    last = st;
+  };
+  const auto chk = cut::min_bisection_branch_bound(g, opts);
+  EXPECT_EQ(chk.capacity, plain.capacity);
+  EXPECT_EQ(chk.exactness, cut::Exactness::kExact);
+  EXPECT_GT(checkpoints, 1u);
+  // The final checkpoint is the completed search: every prefix done,
+  // the incumbent equal to the returned optimum.
+  for (const auto d : last.prefix_done) EXPECT_EQ(d, 1);
+  EXPECT_EQ(last.incumbent_capacity, chk.capacity);
+  EXPECT_EQ(last.nodes_spent, chk.nodes_visited);
+}
+
+// The tentpole acceptance test: a serial checkpointed B8 solve killed
+// mid-search (simulated crash) and resumed from its snapshot file must
+// reach the IDENTICAL optimal cut, node count, and kExact tag as the
+// uninterrupted run.
+TEST(CheckpointedSearch, KillAndResumeReachesIdenticalOptimum) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "BFLY_FAULT_INJECTION is off in this build";
+  }
+  const Graph g = topo::Butterfly(8).graph();  // B8, 32 nodes
+  const std::uint64_t fp = robust::graph_fingerprint(g);
+  const auto path = temp_snapshot_path("kill_resume_b8");
+
+  // Uninterrupted reference, in checkpoint mode (the prefix driver) so
+  // the interrupted run partitions the search tree identically. The
+  // armed-but-quiet plan counts kCrash hits so the crash below can be
+  // planted mid-run instead of at a guessed position.
+  cut::CutResult reference;
+  std::uint64_t crash_hits = 0;
+  {
+    fault::ScopedFaultPlan quiet((fault::FaultPlan()));
+    cut::BranchBoundOptions opts;
+    opts.on_checkpoint = [](const cut::BranchBoundSearchState&) {};
+    reference = cut::min_bisection_branch_bound(g, opts);
+    crash_hits = fault::FaultInjector::instance().hits(fault::Site::kCrash);
+  }
+  ASSERT_EQ(reference.exactness, cut::Exactness::kExact);
+  EXPECT_EQ(reference.capacity, 8u);  // BW(B8) = 8 (paper Table 1)
+  ASSERT_GT(crash_hits, 4u);
+
+  // The doomed run: crash halfway through the kCrash hit sequence,
+  // checkpointing to disk as it goes.
+  {
+    fault::ScopedFaultPlan crash(
+        fault::FaultPlan{}.set(fault::Site::kCrash, crash_hits / 2));
+    cut::BranchBoundOptions opts;
+    opts.on_checkpoint = [&](const cut::BranchBoundSearchState& st) {
+      robust::save_snapshot(path, {fp, st});
+    };
+    EXPECT_THROW((void)cut::min_bisection_branch_bound(g, opts),
+                 fault::SimulatedCrash);
+  }
+  ASSERT_TRUE(robust::snapshot_exists(path));
+
+  // "New process": restore from disk and finish the search.
+  const auto snap = robust::load_snapshot(path, fp);
+  bool some_done = false, all_done = true;
+  for (const auto d : snap.state.prefix_done) {
+    some_done = some_done || d != 0;
+    all_done = all_done && d != 0;
+  }
+  EXPECT_TRUE(some_done);
+  EXPECT_FALSE(all_done);
+
+  cut::BranchBoundOptions opts;
+  opts.resume = &snap.state;
+  opts.on_checkpoint = [&](const cut::BranchBoundSearchState& st) {
+    robust::save_snapshot(path, {fp, st});
+  };
+  const auto resumed = cut::min_bisection_branch_bound(g, opts);
+  EXPECT_EQ(resumed.exactness, cut::Exactness::kExact);
+  EXPECT_EQ(resumed.capacity, reference.capacity);
+  EXPECT_EQ(resumed.sides, reference.sides);
+  EXPECT_EQ(resumed.nodes_visited, reference.nodes_visited);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointedSearch, ResumeRejectsForeignState) {
+  const Graph g = topo::Butterfly(4).graph();
+  cut::BranchBoundSearchState st;
+  st.seed_depth = 5;
+  st.prefix_done = {1, 0};  // cannot match the re-enumerated prefixes
+  cut::BranchBoundOptions opts;
+  opts.resume = &st;
+  EXPECT_THROW((void)cut::min_bisection_branch_bound(g, opts),
+               PreconditionError);
+}
+
+// --- Supervisor ---
+
+TEST(Supervisor, CleanSolveIsExactWithUntouchedLadder) {
+  const Graph g = topo::Butterfly(4).graph();
+  robust::Supervisor sup;
+  const auto rep = sup.solve_bisection(g);
+  EXPECT_EQ(rep.status, robust::SolveStatus::kExactOptimal);
+  EXPECT_EQ(rep.degradation_step, 0u);
+  EXPECT_EQ(rep.retries, 0u);
+  EXPECT_EQ(rep.faults_survived, 0u);
+  EXPECT_EQ(rep.best.method, "supervisor/branch-and-bound-bitset");
+  cut::validate_cut(g, rep.best, /*require_bisection=*/true);
+}
+
+TEST(Supervisor, CrashRetryResumesFromCheckpointAndProvesOptimal) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "BFLY_FAULT_INJECTION is off in this build";
+  }
+  const Graph g = topo::Butterfly(4).graph();
+  const auto reference = cut::min_bisection_branch_bound(g);
+
+  robust::SupervisorOptions so;
+  so.checkpoint_path = temp_snapshot_path("supervisor_crash");
+  so.backoff_initial_ms = 1.0;
+  robust::Supervisor sup(so);
+
+  fault::ScopedFaultPlan crash(
+      fault::FaultPlan{}.set(fault::Site::kCrash, /*fire_at_hit=*/5));
+  const auto rep = sup.solve_bisection(g);
+  EXPECT_EQ(rep.status, robust::SolveStatus::kExactOptimal);
+  EXPECT_EQ(rep.best.capacity, reference.capacity);
+  EXPECT_EQ(rep.faults_survived, 1u);
+  EXPECT_EQ(rep.retries, 1u);
+  EXPECT_TRUE(rep.resumed);  // the retry picked up the crashed attempt's file
+  EXPECT_EQ(rep.degradation_step, 0u);
+  // A completed exact solve cleans its snapshot up.
+  EXPECT_FALSE(robust::snapshot_exists(so.checkpoint_path));
+}
+
+TEST(Supervisor, DegradationLadderAlwaysReturnsAValidCut) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "BFLY_FAULT_INJECTION is off in this build";
+  }
+  const Graph g = topo::Butterfly(4).graph();
+  robust::SupervisorOptions so;
+  so.max_retries = 1;
+  so.backoff_initial_ms = 1.0;
+  robust::Supervisor sup(so);
+
+  // Allocation failure on EVERY exact-solver entry: both exact rungs
+  // exhaust their retries and the ladder degrades to multilevel.
+  fault::ScopedFaultPlan alloc(fault::FaultPlan{}.set(
+      fault::Site::kAlloc, /*fire_at_hit=*/1, /*fire_count=*/1u << 20));
+  const auto rep = sup.solve_bisection(g);
+  EXPECT_EQ(rep.status, robust::SolveStatus::kDegradedHeuristic);
+  EXPECT_EQ(rep.degradation_step, 2u);
+  EXPECT_EQ(rep.best.exactness, cut::Exactness::kHeuristic);
+  EXPECT_EQ(rep.best.method, "supervisor/multilevel");
+  EXPECT_EQ(rep.faults_survived, 4u);  // 2 attempts x 2 exact rungs
+  EXPECT_EQ(rep.retries, 2u);
+  ASSERT_EQ(rep.degradation_path.size(), 3u);
+  EXPECT_EQ(rep.degradation_path[2], "multilevel");
+  cut::validate_cut(g, rep.best, /*require_bisection=*/true);
+}
+
+TEST(Supervisor, WatchdogReplacesStalledWorkers) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "BFLY_FAULT_INJECTION is off in this build";
+  }
+  const Graph g = topo::Butterfly(8).graph();
+  robust::SupervisorOptions so;
+  so.num_threads = 2;
+  so.heartbeat_interval_ms = 25.0;
+  so.stall_timeout_ms = 250.0;
+  so.backoff_initial_ms = 1.0;
+  robust::Supervisor sup(so);
+
+  // Both workers' first task pulls sleep for 2 s: the progress cell
+  // freezes, the watchdog cancels the attempt at ~250 ms, and the retry
+  // (whose pulls are quiet again) proves the optimum.
+  fault::ScopedFaultPlan stall(fault::FaultPlan{}.set(
+      fault::Site::kWorkerStall, /*fire_at_hit=*/1, /*fire_count=*/2,
+      /*delay_ms=*/2000));
+  const auto rep = sup.solve_bisection(g);
+  EXPECT_EQ(rep.status, robust::SolveStatus::kExactOptimal);
+  EXPECT_EQ(rep.best.capacity, 8u);  // BW(B8) = 8
+  EXPECT_GE(rep.stalls_detected, 1u);
+  EXPECT_GE(rep.retries, 1u);
+}
+
+TEST(Supervisor, ExpansionLadderDegradesToPerSizeEnumeration) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "BFLY_FAULT_INJECTION is off in this build";
+  }
+  const Graph g = topo::Butterfly(4).graph();  // 12 nodes
+  // Reference entries, computed clean.
+  const auto clean = expansion::exact_expansion(g);
+
+  robust::SupervisorOptions so;
+  so.max_retries = 1;
+  so.backoff_initial_ms = 1.0;
+  robust::Supervisor sup(so);
+  fault::ScopedFaultPlan alloc(fault::FaultPlan{}.set(
+      fault::Site::kAlloc, /*fire_at_hit=*/1, /*fire_count=*/1u << 20));
+  const auto rep = sup.solve_expansion(g);
+  EXPECT_EQ(rep.status, robust::SolveStatus::kDegradedHeuristic);
+  EXPECT_EQ(rep.degradation_step, 2u);
+  ASSERT_GE(rep.result.table.size(), 5u);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_EQ(rep.result.table[k].ee, clean[k].ee) << "k=" << k;
+    EXPECT_EQ(rep.result.table[k].ne, clean[k].ne) << "k=" << k;
+    expansion::validate_expansion_entry(g, k, rep.result.table[k]);
+  }
+}
+
+TEST(Supervisor, ExpansionCleanSolveIsExact) {
+  const Graph g = topo::Butterfly(4).graph();
+  robust::Supervisor sup;
+  const auto rep = sup.solve_expansion(g);
+  EXPECT_EQ(rep.status, robust::SolveStatus::kExactOptimal);
+  EXPECT_EQ(rep.degradation_step, 0u);
+  EXPECT_EQ(rep.result.exactness, cut::Exactness::kExact);
+}
+
+// --- Seeded fault sweep (CI drives BFLY_FAULT_SEED through a range) ---
+
+TEST(FaultSweep, RandomPlanNeverCorruptsTheSolve) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "BFLY_FAULT_INJECTION is off in this build";
+  }
+  std::uint64_t seed = 42;
+  if (const char* env = std::getenv("BFLY_FAULT_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  SCOPED_TRACE(testing::Message() << "BFLY_FAULT_SEED=" << seed);
+
+  const Graph g = topo::Butterfly(4).graph();
+  const auto reference = cut::min_bisection_branch_bound(g);
+
+  robust::SupervisorOptions so;
+  so.num_threads = 2;
+  // Every random rule fires within its first ~16 hits for at most 4
+  // hits; 24 retries out-lasts any combination of firing windows, so a
+  // surviving supervisor must end the ladder at the exact rung.
+  so.max_retries = 24;
+  so.backoff_initial_ms = 1.0;
+  so.backoff_multiplier = 1.0;
+  so.checkpoint_path = temp_snapshot_path("fault_sweep");
+  robust::Supervisor sup(so);
+
+  fault::ScopedFaultPlan plan(fault::FaultPlan::random(seed));
+  const auto rep = sup.solve_bisection(g);
+  EXPECT_EQ(rep.status, robust::SolveStatus::kExactOptimal);
+  EXPECT_EQ(rep.best.capacity, reference.capacity);
+  cut::validate_cut(g, rep.best, /*require_bisection=*/true);
+  std::filesystem::remove(so.checkpoint_path);
+}
+
+}  // namespace
+}  // namespace bfly
