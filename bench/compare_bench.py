@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff fresh bench JSON against committed baselines.
+
+Usage:
+    compare_bench.py [--baseline-dir bench/baselines] FRESH.json [FRESH2.json ...]
+    compare_bench.py --update-baseline FRESH.json [...]
+
+Two input formats are recognized by content:
+
+  * the exact-kernel bench (``{"bench": "exact_kernels", "rows": [...]}``):
+    rows are keyed by (instance, kernel, threads). Serial rows carry
+    deterministic ``visited_nodes`` counts, so ANY increase over the
+    baseline fails the gate — that is the strong, noise-free signal that
+    a search-kernel change regressed its pruning. Rows with threads > 1
+    are exempt from the node gate (parallel node counts race on the
+    incumbent) but still face the wall-clock gate.
+  * google-benchmark output (``{"benchmarks": [...]}``, e.g.
+    BENCH_solvers.json): entries are keyed by name and face the
+    wall-clock gate only.
+
+The wall-clock gate fails a row when it is both >25% slower than the
+baseline AND slower by more than the absolute noise floor (0.1 s) —
+micro-rows flap by multiples under CI jitter, and for them the
+node-count gate is the meaningful one anyway.
+
+A baseline row missing from the fresh output fails (a silently dropped
+instance is a regression too); fresh rows absent from the baseline are
+reported but pass, so adding instances does not require a lockstep
+baseline update. ``--update-baseline`` rewrites the committed files from
+the fresh ones.
+
+Exit status: 0 clean, 1 regression (or malformed input), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+REL_TOLERANCE = 0.25  # >25% slower fails...
+ABS_FLOOR_SECONDS = 0.1  # ...but only beyond CI timing noise
+
+_TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def load(path: pathlib.Path) -> dict:
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def rows_by_key(doc: dict) -> dict[tuple, dict]:
+    """Normalizes either format to {key: {"seconds": s, "nodes": n|None}}."""
+    out: dict[tuple, dict] = {}
+    if "rows" in doc:  # exact-kernel format
+        for r in doc["rows"]:
+            key = (r["instance"], r["kernel"], r["threads"])
+            nodes = r.get("visited_nodes")
+            if r["threads"] > 1:
+                nodes = None  # racy under the shared incumbent
+            out[key] = {"seconds": float(r["seconds"]), "nodes": nodes}
+    elif "benchmarks" in doc:  # google-benchmark format
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            unit = _TIME_UNITS.get(b.get("time_unit", "ns"), 1e-9)
+            out[(b["name"],)] = {
+                "seconds": float(b["real_time"]) * unit,
+                "nodes": None,
+            }
+    else:
+        raise ValueError("unrecognized bench JSON (neither rows nor benchmarks)")
+    return out
+
+
+def compare(fresh: dict[tuple, dict], base: dict[tuple, dict],
+            label: str) -> list[str]:
+    failures = []
+    for key, b in sorted(base.items()):
+        name = "/".join(str(k) for k in key)
+        f = fresh.get(key)
+        if f is None:
+            failures.append(f"{label}: row {name} vanished from the fresh run")
+            continue
+        if b["nodes"] is not None and f["nodes"] is not None \
+                and f["nodes"] > b["nodes"]:
+            failures.append(
+                f"{label}: {name} visited {f['nodes']} nodes"
+                f" (baseline {b['nodes']}) — search-kernel regression")
+        slower = f["seconds"] - b["seconds"]
+        if slower > ABS_FLOOR_SECONDS and \
+                f["seconds"] > b["seconds"] * (1.0 + REL_TOLERANCE):
+            failures.append(
+                f"{label}: {name} took {f['seconds']:.3f}s"
+                f" (baseline {b['seconds']:.3f}s, +{slower:.3f}s)")
+    for key in sorted(set(fresh) - set(base)):
+        name = "/".join(str(k) for k in key)
+        print(f"note: {label}: new row {name} has no baseline"
+              " (run --update-baseline to pin it)")
+    return failures
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", nargs="+", type=pathlib.Path,
+                    help="fresh bench JSON files to gate")
+    ap.add_argument("--baseline-dir", type=pathlib.Path,
+                    default=pathlib.Path(__file__).parent / "baselines")
+    ap.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the committed baselines from the fresh files")
+    args = ap.parse_args()
+
+    if args.update_baseline:
+        args.baseline_dir.mkdir(parents=True, exist_ok=True)
+        for path in args.fresh:
+            dest = args.baseline_dir / path.name
+            shutil.copyfile(path, dest)
+            print(f"baseline updated: {dest}")
+        return 0
+
+    failures: list[str] = []
+    for path in args.fresh:
+        base_path = args.baseline_dir / path.name
+        if not base_path.exists():
+            failures.append(f"no committed baseline {base_path} for {path}"
+                            " (run --update-baseline once)")
+            continue
+        try:
+            fresh_rows = rows_by_key(load(path))
+            base_rows = rows_by_key(load(base_path))
+        except (ValueError, KeyError, json.JSONDecodeError) as e:
+            failures.append(f"{path}: {e}")
+            continue
+        failures.extend(compare(fresh_rows, base_rows, path.name))
+
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"bench gate clean ({len(args.fresh)} file(s))")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

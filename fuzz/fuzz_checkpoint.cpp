@@ -30,7 +30,8 @@ bool states_equal(const bfly::cut::BranchBoundSearchState& a,
   return a.seed_depth == b.seed_depth && a.prefix_done == b.prefix_done &&
          a.incumbent_capacity == b.incumbent_capacity &&
          a.incumbent_sides == b.incumbent_sides &&
-         a.nodes_spent == b.nodes_spent;
+         a.nodes_spent == b.nodes_spent && a.symmetry_mode == b.symmetry_mode &&
+         a.tt_hits == b.tt_hits && a.tt_stores == b.tt_stores;
 }
 
 /// Deterministically derives a structurally valid snapshot from the
@@ -59,6 +60,11 @@ BisectionSnapshot derive_snapshot(const std::uint8_t* data,
     }
   }
   st.nodes_spent = mix >> 3;
+  st.symmetry_mode = static_cast<std::uint8_t>((mix >> 5) & 1u);
+  if (st.symmetry_mode != 0) {
+    st.tt_hits = (mix >> 11) % 100000u;
+    st.tt_stores = (mix >> 21) % 100000u;
+  }
   return snap;
 }
 

@@ -1,5 +1,6 @@
 #include "cut/fiduccia_mattheyses.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <numeric>
 #include <queue>
@@ -14,19 +15,109 @@ namespace bfly::cut {
 
 namespace {
 
+// Classic FM gain-bucket array: one doubly-linked list of nodes per gain
+// value (gain is bounded by the maximum degree), intrusive links indexed
+// by node, plus a high-water bucket pointer. Insert, erase, and gain
+// update are O(1); extracting the best candidate walks the pointer down
+// to the first nonempty bucket. Within that bucket ties break toward
+// the HIGHEST node id — exactly the order the lazy priority queues pop
+// (their entries compare (gain, node)), so the two structures yield
+// bit-identical passes and either can differentially validate the
+// other.
+class GainBuckets {
+ public:
+  GainBuckets(NodeId n, std::int64_t max_abs_gain)
+      : offset_(max_abs_gain),
+        heads_(2 * static_cast<std::size_t>(max_abs_gain) + 1, kNil),
+        next_(n, kNil),
+        prev_(n, kNil),
+        bucket_(n, kNil) {}
+
+  void insert(NodeId v, std::int64_t gain) {
+    const std::size_t b = static_cast<std::size_t>(gain + offset_);
+    BFLY_ASSERT(b < heads_.size());
+    next_[v] = heads_[b];
+    prev_[v] = kNil;
+    if (heads_[b] != kNil) prev_[heads_[b]] = v;
+    heads_[b] = v;
+    bucket_[v] = static_cast<NodeId>(b);
+    if (static_cast<std::ptrdiff_t>(b) > max_bucket_) {
+      max_bucket_ = static_cast<std::ptrdiff_t>(b);
+    }
+  }
+
+  void erase(NodeId v) {
+    const NodeId b = bucket_[v];
+    BFLY_ASSERT(b != kNil);
+    if (prev_[v] != kNil) {
+      next_[prev_[v]] = next_[v];
+    } else {
+      heads_[b] = next_[v];
+    }
+    if (next_[v] != kNil) prev_[next_[v]] = prev_[v];
+    bucket_[v] = kNil;
+  }
+
+  void update(NodeId v, std::int64_t gain) {
+    erase(v);
+    insert(v, gain);
+  }
+
+  /// Best unlocked node (max gain, then max id), kNil when empty. Does
+  /// not remove it.
+  [[nodiscard]] NodeId top() {
+    while (max_bucket_ >= 0 &&
+           heads_[static_cast<std::size_t>(max_bucket_)] == kNil) {
+      --max_bucket_;
+    }
+    if (max_bucket_ < 0) return kInvalidNode;
+    NodeId best = kNil;
+    for (NodeId v = heads_[static_cast<std::size_t>(max_bucket_)]; v != kNil;
+         v = next_[v]) {
+      if (best == kNil || v > best) best = v;
+    }
+    return best;
+  }
+
+ private:
+  static constexpr NodeId kNil = kInvalidNode;
+  std::int64_t offset_;
+  std::vector<NodeId> heads_;
+  std::vector<NodeId> next_, prev_;
+  std::vector<NodeId> bucket_;  ///< bucket index a node currently sits in
+  std::ptrdiff_t max_bucket_ = -1;
+};
+
 // One FM pass: every node moves exactly once, chosen greedily by gain from
 // the side currently at or above half; the best balanced prefix is kept.
-// Lazy priority queues tolerate stale gain entries (validated on pop).
-bool fm_pass(Partition& part) {
+// Candidate selection runs on the gain-bucket array by default; the
+// original lazy priority queues (which tolerate stale entries, validated
+// on pop) are retained as the differential reference. Both produce the
+// identical move sequence.
+bool fm_pass(Partition& part, bool gain_buckets) {
   const Graph& g = part.graph();
   const NodeId n = g.num_nodes();
   const std::size_t start_cap = part.cut_capacity();
 
+  std::int64_t max_deg = 1;
+  for (NodeId v = 0; v < n; ++v) {
+    max_deg = std::max(max_deg, static_cast<std::int64_t>(g.degree(v)));
+  }
+
   using Entry = std::pair<std::int64_t, NodeId>;  // (gain, node)
   std::priority_queue<Entry> pq[2];
+  std::vector<GainBuckets> gb;
   std::vector<std::uint8_t> locked(n, 0);
+  if (gain_buckets) {
+    gb.emplace_back(n, max_deg);
+    gb.emplace_back(n, max_deg);
+  }
   for (NodeId v = 0; v < n; ++v) {
-    pq[part.side(v)].emplace(part.gain(v), v);
+    if (gain_buckets) {
+      gb[part.side(v)].insert(v, part.gain(v));
+    } else {
+      pq[part.side(v)].emplace(part.gain(v), v);
+    }
   }
 
   std::vector<NodeId> moves;
@@ -43,37 +134,52 @@ bool fm_pass(Partition& part) {
     } else {
       from = 0;
     }
-    // Pop until a fresh, unlocked entry appears; fall back to the other
-    // side when this one is exhausted.
     NodeId v = kInvalidNode;
-    for (int attempt = 0; attempt < 2 && v == kInvalidNode; ++attempt) {
-      auto& q = pq[from];
-      while (!q.empty()) {
-        const auto [gain, cand] = q.top();
-        if (locked[cand] || part.side(cand) != from) {
-          q.pop();
-          continue;
-        }
-        if (gain != part.gain(cand)) {
-          q.pop();
-          q.emplace(part.gain(cand), cand);
-          continue;
-        }
-        v = cand;
-        break;
+    if (gain_buckets) {
+      v = gb[from].top();
+      if (v == kInvalidNode) {
+        from = 1 - from;
+        v = gb[from].top();
       }
-      if (v == kInvalidNode) from = 1 - from;
+      if (v == kInvalidNode) break;
+      gb[from].erase(v);
+    } else {
+      // Pop until a fresh, unlocked entry appears; fall back to the other
+      // side when this one is exhausted.
+      for (int attempt = 0; attempt < 2 && v == kInvalidNode; ++attempt) {
+        auto& q = pq[from];
+        while (!q.empty()) {
+          const auto [gain, cand] = q.top();
+          if (locked[cand] || part.side(cand) != from) {
+            q.pop();
+            continue;
+          }
+          if (gain != part.gain(cand)) {
+            q.pop();
+            q.emplace(part.gain(cand), cand);
+            continue;
+          }
+          v = cand;
+          break;
+        }
+        if (v == kInvalidNode) from = 1 - from;
+      }
+      if (v == kInvalidNode) break;
+      pq[from].pop();
     }
-    if (v == kInvalidNode) break;
 
-    pq[from].pop();
     part.move(v);
     locked[v] = 1;
     moves.push_back(v);
-    // Neighbors' gains changed; push fresh entries (stale ones remain and
-    // are skipped on pop).
+    // Neighbors' gains changed; refresh them (buckets relink in place,
+    // the queues push fresh entries and skip stale ones on pop).
     for (const NodeId w : g.neighbors(v)) {
-      if (!locked[w]) pq[part.side(w)].emplace(part.gain(w), w);
+      if (locked[w]) continue;
+      if (gain_buckets) {
+        gb[part.side(w)].update(w, part.gain(w));
+      } else {
+        pq[part.side(w)].emplace(part.gain(w), w);
+      }
     }
     if (part.is_bisection() && part.cut_capacity() < best_cap) {
       best_cap = part.cut_capacity();
@@ -124,7 +230,7 @@ CutResult min_bisection_fiduccia_mattheyses(
     Rng rng(sm.next());
     Partition part(g, random_balanced_sides(n, rng));
     for (std::uint32_t pass = 0; pass < opts.max_passes; ++pass) {
-      if (!fm_pass(part)) break;
+      if (!fm_pass(part, opts.gain_buckets)) break;
     }
     results[r].capacity = part.cut_capacity();
     results[r].sides = part.sides();
@@ -162,7 +268,7 @@ CutResult refine_fiduccia_mattheyses(const Graph& g,
   BFLY_CHECK(is_bisection(sides), "FM refinement needs a bisection start");
   Partition part(g, sides);
   for (std::uint32_t pass = 0; pass < max_passes; ++pass) {
-    if (!fm_pass(part)) break;
+    if (!fm_pass(part, /*gain_buckets=*/true)) break;
   }
   CutResult res;
   res.capacity = part.cut_capacity();

@@ -30,6 +30,12 @@ struct FiducciaMattheysesOptions {
   /// shared incumbent (one-way; never read back, so the result stays
   /// deterministic).
   IncumbentPublisher* incumbent = nullptr;
+  /// Candidate selection structure. true (default) = the classic FM
+  /// gain-bucket array with O(1) relinks per gain change; false = the
+  /// original lazy max-heaps, kept as the differential reference. Both
+  /// select max gain with ties to the highest node id, so the move
+  /// sequence — and therefore every capacity and witness — is identical.
+  bool gain_buckets = true;
 };
 
 [[nodiscard]] CutResult min_bisection_fiduccia_mattheyses(

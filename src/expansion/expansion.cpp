@@ -1,5 +1,6 @@
 #include "expansion/expansion.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <limits>
@@ -105,6 +106,7 @@ class ShardSweep {
     return best_ne_;
   }
   [[nodiscard]] std::vector<ExpansionEntry>& table() { return table_; }
+  [[nodiscard]] std::uint64_t visited() const { return visited_; }
 
  private:
   void toggle(NodeId v) {
@@ -216,6 +218,80 @@ class ShardSweep {
   bool aborted_ = false;
 };
 
+// One shard of the sweep: its fixed top-p-bit pattern and how many
+// patterns its orbit stands in for (1 without symmetry reduction).
+struct ShardJob {
+  std::uint64_t pattern = 0;
+  std::uint64_t weight = 1;
+};
+
+// Orbit-representative shard enumeration (DESIGN.md §10). Group
+// elements that map the top-p node block {n-p .. n-1} onto itself act
+// on the 2^p shard patterns by permuting the p bits; two shards in the
+// same pattern orbit enumerate automorphic images of each other's
+// subsets and tabulate identical per-size minima. Keep the
+// lexicographically smallest pattern of every orbit, weighted by the
+// orbit size. The induced permutations form a group (the image of the
+// block stabilizer), so each orbit is one pass over the element list —
+// no closure needed.
+std::vector<ShardJob> enumerate_shard_jobs(
+    const algo::PermutationGroup* symmetry, NodeId n, unsigned p) {
+  const std::uint64_t num_shards = 1ull << p;
+  std::vector<std::vector<std::uint8_t>> bit_perms;
+  if (symmetry != nullptr && p > 0 && symmetry->elements() != nullptr) {
+    const NodeId low = static_cast<NodeId>(n - p);
+    for (const algo::Perm& perm : *symmetry->elements()) {
+      std::vector<std::uint8_t> bp(p);
+      bool stabilizes = true;
+      for (unsigned b = 0; b < p && stabilizes; ++b) {
+        const NodeId img = perm[low + b];
+        if (img < low) {
+          stabilizes = false;
+        } else {
+          bp[b] = static_cast<std::uint8_t>(img - low);
+        }
+      }
+      if (!stabilizes) continue;
+      bool known = false;
+      for (const auto& seen : bit_perms) {
+        if (seen == bp) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) bit_perms.push_back(std::move(bp));
+    }
+  }
+  std::vector<ShardJob> jobs;
+  if (bit_perms.size() <= 1) {
+    jobs.reserve(num_shards);
+    for (std::uint64_t h = 0; h < num_shards; ++h) jobs.push_back({h, 1});
+    return jobs;
+  }
+  for (std::uint64_t h = 0; h < num_shards; ++h) {
+    bool representative = true;
+    std::vector<std::uint64_t> images;
+    images.reserve(bit_perms.size());
+    for (const auto& bp : bit_perms) {
+      std::uint64_t img = 0;
+      for (unsigned b = 0; b < p; ++b) {
+        if ((h >> b) & 1u) img |= std::uint64_t{1} << bp[b];
+      }
+      if (img < h) {  // a smaller pattern represents this orbit
+        representative = false;
+        break;
+      }
+      images.push_back(img);
+    }
+    if (!representative) continue;
+    std::sort(images.begin(), images.end());
+    const auto distinct = static_cast<std::uint64_t>(
+        std::unique(images.begin(), images.end()) - images.begin());
+    jobs.push_back({h, distinct});
+  }
+  return jobs;
+}
+
 }  // namespace
 
 ExactExpansionResult exact_expansion_full(const Graph& g,
@@ -240,20 +316,21 @@ ExactExpansionResult exact_expansion_full(const Graph& g,
     while ((1ull << p) < 4ull * threads) ++p;
   }
   p = std::min<unsigned>(p, n > 0 ? n - 1 : 0);
-  const std::uint64_t num_shards = 1ull << p;
+
+  const std::vector<ShardJob> jobs = enumerate_shard_jobs(opts.symmetry, n, p);
 
   SweepShared shared;
   std::vector<ShardSweep> shards;
-  shards.reserve(num_shards);
-  for (std::uint64_t h = 0; h < num_shards; ++h) {
+  shards.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
     shards.emplace_back(g, opts, max_k, shared);
   }
-  if (num_shards == 1) {
-    shards[0].run(p, 0);
+  if (jobs.size() == 1) {
+    shards[0].run(p, jobs[0].pattern);
   } else {
     TaskGroup group(threads);
-    for (std::uint64_t h = 0; h < num_shards; ++h) {
-      group.add([&shards, h, p] { shards[h].run(p, h); });
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      group.add([&shards, &jobs, i, p] { shards[i].run(p, jobs[i].pattern); });
     }
     group.wait();
   }
@@ -281,14 +358,19 @@ ExactExpansionResult exact_expansion_full(const Graph& g,
       }
     }
   }
-  res.visited_states = shared.pooled_visited.load(std::memory_order_relaxed);
+  res.scanned_states = shared.pooled_visited.load(std::memory_order_relaxed);
+  res.visited_states = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    res.visited_states += jobs[i].weight * shards[i].visited();
+  }
   res.exactness = shared.aborted.load(std::memory_order_relaxed)
                       ? cut::Exactness::kHeuristic
                       : cut::Exactness::kExact;
   BFLY_ASSERT_MSG(
       res.exactness == cut::Exactness::kHeuristic ||
           res.visited_states == states,
-      "a completed sweep must have visited every subset exactly once");
+      "a completed sweep must have (weighted) coverage of every subset "
+      "exactly once — an incorrect symmetry group shows up here");
 
   if (checked_build() && opts.keep_witnesses &&
       res.exactness == cut::Exactness::kExact) {

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "algo/automorphism.hpp"
 #include "core/graph.hpp"
 #include "core/thread_pool.hpp"
 #include "core/types.hpp"
@@ -67,6 +68,19 @@ struct ExactExpansionOptions {
   /// the sweep stores its pooled visited-state count here at the flush
   /// cadence, so a frozen value means a stalled sweep.
   std::atomic<std::uint64_t>* progress = nullptr;
+  /// Automorphism group of the graph for symmetry-reduced sharding
+  /// (nullptr = off, the default). When set and the sweep is sharded,
+  /// group elements that setwise-stabilize the top-p node block induce
+  /// permutations of the p pattern bits; only one shard per pattern
+  /// orbit is scanned and its states count with the orbit size as
+  /// weight, so a completed sweep still proves (weighted) coverage of
+  /// all 2^N subsets. Tabulated ee/ne values are identical to the
+  /// unreduced sweep — an automorphism preserves both boundaries — but
+  /// witnesses may be any orbit representative. Ignored for unsharded
+  /// sweeps and when the group exceeds the enumeration cap. The group
+  /// must consist of automorphisms of g; a wrong group silently breaks
+  /// the tabulated minima.
+  const algo::PermutationGroup* symmetry = nullptr;
 };
 
 struct ExactExpansionResult {
@@ -74,8 +88,15 @@ struct ExactExpansionResult {
   /// reached have ee == ne == SIZE_MAX and empty witnesses.
   std::vector<ExpansionEntry> table;
   cut::Exactness exactness = cut::Exactness::kExact;
-  /// Subset states actually visited (2^N for a completed sweep).
+  /// Subset states covered, counting each scanned state with its shard's
+  /// orbit weight (2^N for a completed sweep, symmetric or not — the
+  /// weighted-coverage identity doubles as a check on the orbit math).
   std::uint64_t visited_states = 0;
+  /// Subset states actually enumerated. Equal to visited_states for
+  /// unreduced sweeps; smaller under symmetry-reduced sharding, where
+  /// the ratio is the realized orbit compression. The state budget and
+  /// progress cell track this count (it is the real work done).
+  std::uint64_t scanned_states = 0;
 };
 
 /// Exact EE(G, k) and NE(G, k) for every k in [1, max_k] by exhaustive

@@ -13,7 +13,11 @@ namespace {
 
 constexpr std::array<std::uint8_t, 8> kMagic = {'B', 'F', 'L', 'Y',
                                                 'S', 'N', 'P', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2 appends the symmetry-pruning mode byte and the transposition-table
+// counters; v1 snapshots (from pre-symmetry builds) still decode, with
+// those fields zero — i.e. they resume as plain-mode runs.
+constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kMinVersion = 1;
 constexpr std::uint64_t kNoIncumbent =
     std::numeric_limits<std::uint64_t>::max();
 // Plausibility ceiling on every count field: far above any graph this
@@ -62,6 +66,11 @@ class Reader {
 
   [[nodiscard]] std::size_t remaining() const noexcept {
     return bytes_.size() - pos_;
+  }
+
+  std::uint8_t u8(const char* field) {
+    need(1, field);
+    return bytes_[pos_++];
   }
 
   std::uint32_t u32(const char* field) {
@@ -175,6 +184,9 @@ std::vector<std::uint8_t> encode_snapshot(const BisectionSnapshot& snap) {
   put_u64(out, st.incumbent_sides.size());
   out.insert(out.end(), st.incumbent_sides.begin(), st.incumbent_sides.end());
   put_u64(out, st.nodes_spent);
+  out.push_back(st.symmetry_mode);
+  put_u64(out, st.tt_hits);
+  put_u64(out, st.tt_stores);
   put_u64(out, fnv1a(kFnvOffset, out.data(), out.size()));
   return out;
 }
@@ -187,7 +199,7 @@ BisectionSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
                         "file does not start with the snapshot magic");
   }
   const std::uint32_t version = r.u32("version");
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     throw SnapshotError(SnapshotFault::kBadVersion,
                         "unknown snapshot version " + std::to_string(version));
   }
@@ -203,6 +215,11 @@ BisectionSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
                               : static_cast<std::size_t>(cap);
   st.incumbent_sides = r.sized_bytes("incumbent_sides");
   st.nodes_spent = r.u64("nodes_spent");
+  if (version >= 2) {
+    st.symmetry_mode = r.u8("symmetry_mode");
+    st.tt_hits = r.u64("tt_hits");
+    st.tt_stores = r.u64("tt_stores");
+  }
 
   // The checksum covers every byte before it; verify before trusting
   // the semantic checks' conclusions (a flipped length byte would have
@@ -229,6 +246,11 @@ BisectionSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
   }
   require_binary(st.prefix_done, "prefix_done");
   require_binary(st.incumbent_sides, "incumbent_sides");
+  if (st.symmetry_mode > 1) {
+    throw SnapshotError(SnapshotFault::kMalformed,
+                        "symmetry_mode " + std::to_string(st.symmetry_mode) +
+                            " is neither plain (0) nor pruned (1)");
+  }
   const bool has_incumbent =
       st.incumbent_capacity != static_cast<std::size_t>(-1);
   if (has_incumbent != !st.incumbent_sides.empty()) {

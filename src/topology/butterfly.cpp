@@ -1,6 +1,7 @@
 #include "topology/butterfly.hpp"
 
 #include "core/math_util.hpp"
+#include "topology/generators.hpp"
 
 namespace bfly::topo {
 
@@ -78,6 +79,26 @@ std::vector<NodeId> Butterfly::component_nodes(std::uint32_t comp,
     for (const std::uint32_t c : cols) nodes.push_back(node(c, lvl));
   }
   return nodes;
+}
+
+std::vector<algo::Perm> Butterfly::automorphism_generators() const {
+  const NodeId nn = num_nodes();
+  const auto tabulate = [nn](auto&& f) {
+    algo::Perm p(nn);
+    for (NodeId v = 0; v < nn; ++v) p[v] = f(v);
+    return p;
+  };
+  std::vector<algo::Perm> gens;
+  gens.reserve(2 * dims_ + 1);
+  for (std::uint32_t b = 0; b < dims_; ++b) {
+    const ButterflyAutomorphism xo(*this, 1u << b, 0);
+    gens.push_back(tabulate([&xo](NodeId v) { return xo.apply(v); }));
+    const ButterflyAutomorphism twist(*this, 0, 1u << b);
+    gens.push_back(tabulate([&twist](NodeId v) { return twist.apply(v); }));
+  }
+  gens.push_back(
+      tabulate([this](NodeId v) { return level_reversal(*this, v); }));
+  return verified_generators(graph_, std::move(gens));
 }
 
 NodeId ButterflyAutomorphism::apply(NodeId v) const {

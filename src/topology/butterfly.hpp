@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/automorphism.hpp"
 #include "core/graph.hpp"
 #include "core/types.hpp"
 #include "topology/labels.hpp"
@@ -99,6 +100,12 @@ class Butterfly {
   [[nodiscard]] std::vector<NodeId> component_nodes(std::uint32_t comp,
                                                     std::uint32_t lo,
                                                     std::uint32_t hi) const;
+
+  /// Generators of an automorphism group of Bn: the per-bit column-XOR
+  /// and boundary-twist translations (Lemma 2.2's (c0, flips) family)
+  /// plus the level reversal of Lemma 2.1 — group order 2 * 4^dims.
+  /// Verified by algo::is_automorphism under checked builds.
+  [[nodiscard]] std::vector<algo::Perm> automorphism_generators() const;
 
  private:
   std::uint32_t n_;

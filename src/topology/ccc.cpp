@@ -1,6 +1,7 @@
 #include "topology/ccc.hpp"
 
 #include "core/math_util.hpp"
+#include "topology/generators.hpp"
 
 namespace bfly::topo {
 
@@ -21,6 +22,40 @@ CubeConnectedCycles::CubeConnectedCycles(std::uint32_t n)
     }
   }
   graph_ = std::move(gb).build();
+}
+
+std::vector<algo::Perm> CubeConnectedCycles::automorphism_generators() const {
+  const NodeId nn = num_nodes();
+  const auto tabulate = [nn](auto&& f) {
+    algo::Perm p(nn);
+    for (NodeId v = 0; v < nn; ++v) p[v] = f(v);
+    return p;
+  };
+  std::vector<algo::Perm> gens;
+  gens.reserve(dims_ + 2);
+  // Position rotation: the cube dimension used at position i is paper
+  // bit i+1, so rotating positions by one must rotate the bits with it.
+  gens.push_back(tabulate([this](NodeId v) {
+    return node(rotate_positions(cycle(v), dims_, 1),
+                (position(v) + 1) % dims_);
+  }));
+  for (std::uint32_t b = 0; b < dims_; ++b) {
+    gens.push_back(tabulate([this, b](NodeId v) {
+      return node(cycle(v) ^ (1u << b), position(v));
+    }));
+  }
+  // Position reflection i -> -i mod d: position i uses paper bit i+1,
+  // so bit 1 (machine bit d-1) is fixed and paper bit p >= 2 maps to
+  // d+2-p, i.e. machine bit j in [0, d-2] maps to d-2-j.
+  gens.push_back(tabulate([this](NodeId v) {
+    const std::uint32_t w = cycle(v);
+    std::uint32_t r = w & (1u << (dims_ - 1));
+    for (std::uint32_t j = 0; j + 1 < dims_; ++j) {
+      if ((w >> j) & 1u) r |= 1u << (dims_ - 2 - j);
+    }
+    return node(r, (dims_ - position(v)) % dims_);
+  }));
+  return verified_generators(graph_, std::move(gens));
 }
 
 }  // namespace bfly::topo

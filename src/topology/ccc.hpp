@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/automorphism.hpp"
 #include "core/graph.hpp"
 #include "core/types.hpp"
 #include "topology/labels.hpp"
@@ -51,6 +52,14 @@ class CubeConnectedCycles {
   }
 
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  /// Generators of an automorphism group of CCCn: the position rotation
+  /// <w, i> -> <rot(w), i+1 mod d> (cube dimensions follow the cycle
+  /// positions), the per-bit cycle XORs, and the position reflection
+  /// i -> -i mod d with its matching bit reflection — group order
+  /// 2 * dims * 2^dims. Verified by algo::is_automorphism under
+  /// checked builds.
+  [[nodiscard]] std::vector<algo::Perm> automorphism_generators() const;
 
  private:
   std::uint32_t n_;

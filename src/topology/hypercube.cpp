@@ -1,6 +1,7 @@
 #include "topology/hypercube.hpp"
 
 #include "core/error.hpp"
+#include "topology/generators.hpp"
 
 namespace bfly::topo {
 
@@ -13,6 +14,28 @@ Hypercube::Hypercube(std::uint32_t dims) : dims_(dims) {
     }
   }
   graph_ = std::move(gb).build();
+}
+
+std::vector<algo::Perm> Hypercube::automorphism_generators() const {
+  const NodeId nn = num_nodes();
+  const auto tabulate = [nn](auto&& f) {
+    algo::Perm p(nn);
+    for (NodeId v = 0; v < nn; ++v) p[v] = f(v);
+    return p;
+  };
+  std::vector<algo::Perm> gens;
+  gens.reserve(2 * dims_ - 1);
+  for (std::uint32_t b = 0; b < dims_; ++b) {
+    gens.push_back(tabulate([b](NodeId v) { return v ^ (1u << b); }));
+  }
+  for (std::uint32_t b = 0; b + 1 < dims_; ++b) {
+    gens.push_back(tabulate([b](NodeId v) {
+      const std::uint32_t lo = (v >> b) & 1u;
+      const std::uint32_t hi = (v >> (b + 1)) & 1u;
+      return lo == hi ? v : v ^ (1u << b) ^ (1u << (b + 1));
+    }));
+  }
+  return verified_generators(graph_, std::move(gens));
 }
 
 }  // namespace bfly::topo

@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "algo/automorphism.hpp"
 #include "core/graph.hpp"
 #include "core/types.hpp"
 
@@ -15,6 +17,11 @@ class Hypercube {
   [[nodiscard]] std::uint32_t dims() const noexcept { return dims_; }
   [[nodiscard]] NodeId num_nodes() const noexcept { return 1u << dims_; }
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  /// Generators of Aut(Qd) = Z_2^d x S_d (order 2^d * d!): the per-bit
+  /// XOR translations and the adjacent coordinate transpositions.
+  /// Verified by algo::is_automorphism under checked builds.
+  [[nodiscard]] std::vector<algo::Perm> automorphism_generators() const;
 
  private:
   std::uint32_t dims_;

@@ -1,6 +1,7 @@
 #include "topology/mesh_of_stars.hpp"
 
 #include "core/error.hpp"
+#include "topology/generators.hpp"
 
 namespace bfly::topo {
 
@@ -14,6 +15,69 @@ MeshOfStars::MeshOfStars(std::uint32_t j, std::uint32_t k) : j_(j), k_(k) {
     }
   }
   graph_ = std::move(gb).build();
+}
+
+std::vector<algo::Perm> MeshOfStars::automorphism_generators() const {
+  const NodeId nn = num_nodes();
+  const auto tabulate = [nn](auto&& f) {
+    algo::Perm p(nn);
+    for (NodeId v = 0; v < nn; ++v) p[v] = f(v);
+    return p;
+  };
+  const auto row_of = [this](NodeId v) { return (v - j_) / k_; };
+  const auto col_of = [this](NodeId v) { return (v - j_) % k_; };
+  std::vector<algo::Perm> gens;
+  // Adjacent M1-row swaps: exchange rows a and a+1 of M2 along with the
+  // two M1 endpoints.
+  for (std::uint32_t a = 0; a + 1 < j_; ++a) {
+    gens.push_back(tabulate([&, a](NodeId v) -> NodeId {
+      switch (level_of(v)) {
+        case 1:
+          if (v == m1_node(a)) return m1_node(a + 1);
+          if (v == m1_node(a + 1)) return m1_node(a);
+          return v;
+        case 2: {
+          const std::uint32_t r = row_of(v);
+          if (r == a) return m2_node(a + 1, col_of(v));
+          if (r == a + 1) return m2_node(a, col_of(v));
+          return v;
+        }
+        default:
+          return v;
+      }
+    }));
+  }
+  // Adjacent M3-column swaps, symmetric to the row swaps.
+  for (std::uint32_t b = 0; b + 1 < k_; ++b) {
+    gens.push_back(tabulate([&, b](NodeId v) -> NodeId {
+      switch (level_of(v)) {
+        case 3:
+          if (v == m3_node(b)) return m3_node(b + 1);
+          if (v == m3_node(b + 1)) return m3_node(b);
+          return v;
+        case 2: {
+          const std::uint32_t c = col_of(v);
+          if (c == b) return m2_node(row_of(v), b + 1);
+          if (c == b + 1) return m2_node(row_of(v), b);
+          return v;
+        }
+        default:
+          return v;
+      }
+    }));
+  }
+  // The square mesh also has the M1 <-> M3 transpose.
+  if (j_ == k_) {
+    gens.push_back(tabulate([&](NodeId v) -> NodeId {
+      switch (level_of(v)) {
+        case 1: return m3_node(static_cast<std::uint32_t>(v));
+        case 2: return m2_node(col_of(v), row_of(v));
+        default: return m1_node(static_cast<std::uint32_t>(
+            v - j_ - static_cast<NodeId>(j_) * k_));
+      }
+    }));
+  }
+  return verified_generators(graph_, std::move(gens));
 }
 
 std::vector<NodeId> MeshOfStars::m1_nodes() const {

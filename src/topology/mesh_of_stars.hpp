@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/automorphism.hpp"
 #include "core/graph.hpp"
 #include "core/types.hpp"
 
@@ -54,6 +55,12 @@ class MeshOfStars {
   [[nodiscard]] std::vector<NodeId> m3_nodes() const;
 
   [[nodiscard]] const Graph& graph() const noexcept { return graph_; }
+
+  /// Generators of an automorphism group of MOS_{j,k}: adjacent M1-row
+  /// swaps, adjacent M3-column swaps, and — when j == k — the
+  /// transpose exchanging M1 with M3; group order j! * k! (doubled for
+  /// j == k). Verified by algo::is_automorphism under checked builds.
+  [[nodiscard]] std::vector<algo::Perm> automorphism_generators() const;
 
  private:
   std::uint32_t j_;

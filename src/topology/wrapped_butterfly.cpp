@@ -1,6 +1,7 @@
 #include "topology/wrapped_butterfly.hpp"
 
 #include "core/math_util.hpp"
+#include "topology/generators.hpp"
 
 namespace bfly::topo {
 
@@ -30,6 +31,29 @@ std::vector<NodeId> WrappedButterfly::level_nodes(std::uint32_t lvl) const {
 NodeId WrappedButterfly::level_shift(NodeId v, std::uint32_t s) const {
   const std::uint32_t lvl = (level(v) + s) % dims_;
   return node(rotate_positions(column(v), dims_, s), lvl);
+}
+
+std::vector<algo::Perm> WrappedButterfly::automorphism_generators() const {
+  const NodeId nn = num_nodes();
+  const auto tabulate = [nn](auto&& f) {
+    algo::Perm p(nn);
+    for (NodeId v = 0; v < nn; ++v) p[v] = f(v);
+    return p;
+  };
+  std::vector<algo::Perm> gens;
+  gens.reserve(dims_ + 2);
+  gens.push_back(tabulate([this](NodeId v) { return level_shift(v, 1); }));
+  for (std::uint32_t b = 0; b < dims_; ++b) {
+    gens.push_back(
+        tabulate([this, b](NodeId v) { return column_xor(v, 1u << b); }));
+  }
+  // Level reflection: boundary i (flipping paper position i+1) maps to
+  // boundary d-1-i (flipping position d-i), so the column bits reverse.
+  gens.push_back(tabulate([this](NodeId v) {
+    return node(reverse_bits(column(v), dims_),
+                (dims_ - level(v)) % dims_);
+  }));
+  return verified_generators(graph_, std::move(gens));
 }
 
 }  // namespace bfly::topo

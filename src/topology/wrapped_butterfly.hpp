@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/automorphism.hpp"
 #include "core/graph.hpp"
 #include "core/types.hpp"
 #include "topology/labels.hpp"
@@ -65,6 +66,13 @@ class WrappedButterfly {
   [[nodiscard]] NodeId column_xor(NodeId v, std::uint32_t c) const {
     return node(column(v) ^ (c & (n_ - 1)), level(v));
   }
+
+  /// Generators of an automorphism group of Wn: the level-shift
+  /// rotation, the per-bit column XORs, and the level reflection
+  /// <w, i> -> <reverse(w), -i mod log n> — group order
+  /// 2 * dims * 2^dims. Verified by algo::is_automorphism under
+  /// checked builds.
+  [[nodiscard]] std::vector<algo::Perm> automorphism_generators() const;
 
  private:
   std::uint32_t n_;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/thread_pool.hpp"
+#include "algo/automorphism.hpp"
 #include "cut/branch_bound.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/fault_injection.hpp"
@@ -36,6 +37,9 @@ cut::BranchBoundSearchState make_state() {
   st.incumbent_capacity = 8;
   st.incumbent_sides = {0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 0, 1};
   st.nodes_spent = 123456;
+  st.symmetry_mode = 1;
+  st.tt_hits = 77;
+  st.tt_stores = 5501;
   return st;
 }
 
@@ -46,6 +50,29 @@ void expect_state_eq(const cut::BranchBoundSearchState& a,
   EXPECT_EQ(a.incumbent_capacity, b.incumbent_capacity);
   EXPECT_EQ(a.incumbent_sides, b.incumbent_sides);
   EXPECT_EQ(a.nodes_spent, b.nodes_spent);
+  EXPECT_EQ(a.symmetry_mode, b.symmetry_mode);
+  EXPECT_EQ(a.tt_hits, b.tt_hits);
+  EXPECT_EQ(a.tt_stores, b.tt_stores);
+}
+
+// FNV-1a as the snapshot format uses it, for tests that re-seal a
+// deliberately damaged payload behind a VALID checksum — the semantic
+// validators, not the checksum, must reject those.
+std::uint64_t test_fnv1a(const std::uint8_t* data, std::size_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void reseal_checksum(std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t h = test_fnv1a(bytes.data(), bytes.size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(h >> (8 * i));
+  }
 }
 
 // --- Fault injection mechanics ---
@@ -188,6 +215,40 @@ TEST(Checkpoint, StructuredFaultsAreDistinguished) {
   }
 }
 
+TEST(Checkpoint, HostileSymmetryModeIsRejectedBehindAValidChecksum) {
+  // Corrupt the symmetry_mode byte to an undefined value and re-seal the
+  // stream with a correct checksum: only the semantic validator can
+  // catch it, and it must answer kMalformed, not kBadChecksum.
+  auto bytes = robust::encode_snapshot({0x1234ull, make_state()});
+  // Layout from the end: checksum u64, tt_stores u64, tt_hits u64,
+  // symmetry_mode u8.
+  const std::size_t mode_at = bytes.size() - 8 - 8 - 8 - 1;
+  bytes[mode_at] = 2;
+  reseal_checksum(bytes);
+  try {
+    (void)robust::decode_snapshot(bytes);
+    FAIL() << "undefined symmetry mode decoded";
+  } catch (const robust::SnapshotError& e) {
+    EXPECT_EQ(e.fault(), robust::SnapshotFault::kMalformed);
+  }
+}
+
+TEST(Checkpoint, Version1SnapshotsStillDecodeAsPlainMode) {
+  // A v1 stream (pre-symmetry build) is a v2 stream minus the trailing
+  // mode byte and table counters, with the version field at 1. It must
+  // decode with those fields zero — i.e. resume as a plain-mode run.
+  auto st = make_state();
+  st.symmetry_mode = 0;
+  st.tt_hits = 0;
+  st.tt_stores = 0;
+  auto bytes = robust::encode_snapshot({0x1234ull, st});
+  bytes.erase(bytes.end() - 8 - 8 - 8 - 1, bytes.end() - 8);
+  bytes[8] = 1;  // version field (little-endian u32 after the magic)
+  reseal_checksum(bytes);
+  const auto back = robust::decode_snapshot(bytes);
+  expect_state_eq(back.state, st);
+}
+
 TEST(Checkpoint, SaveLoadAndFingerprintGuard) {
   const auto path = temp_snapshot_path("roundtrip");
   const Graph g = topo::Butterfly(4).graph();
@@ -312,6 +373,60 @@ TEST(CheckpointedSearch, ResumeRejectsForeignState) {
   opts.resume = &st;
   EXPECT_THROW((void)cut::min_bisection_branch_bound(g, opts),
                PreconditionError);
+}
+
+TEST(CheckpointedSearch, ResumeRefusesAcrossSymmetryModes) {
+  const topo::Butterfly b4(4);
+  const Graph& g = b4.graph();
+  const algo::PermutationGroup grp(g.num_nodes(),
+                                   b4.automorphism_generators());
+
+  cut::BranchBoundSearchState plain_final, sym_final;
+  {
+    cut::BranchBoundOptions opts;
+    opts.on_checkpoint = [&](const cut::BranchBoundSearchState& st) {
+      plain_final = st;
+    };
+    (void)cut::min_bisection_branch_bound(g, opts);
+  }
+  {
+    cut::BranchBoundOptions opts;
+    opts.symmetry = &grp;
+    opts.on_checkpoint = [&](const cut::BranchBoundSearchState& st) {
+      sym_final = st;
+    };
+    (void)cut::min_bisection_branch_bound(g, opts);
+  }
+  EXPECT_EQ(plain_final.symmetry_mode, 0);
+  EXPECT_EQ(sym_final.symmetry_mode, 1);
+
+  // Rewind both states so a resume would have real work left.
+  for (auto& d : plain_final.prefix_done) d = 0;
+  for (auto& d : sym_final.prefix_done) d = 0;
+  plain_final.nodes_spent = 0;
+  sym_final.nodes_spent = 0;
+
+  {
+    cut::BranchBoundOptions opts;  // sym snapshot into a plain run
+    opts.resume = &sym_final;
+    EXPECT_THROW((void)cut::min_bisection_branch_bound(g, opts),
+                 PreconditionError);
+  }
+  {
+    cut::BranchBoundOptions opts;  // plain snapshot into a sym run
+    opts.symmetry = &grp;
+    opts.resume = &plain_final;
+    EXPECT_THROW((void)cut::min_bisection_branch_bound(g, opts),
+                 PreconditionError);
+  }
+  {
+    cut::BranchBoundOptions opts;  // matched modes resume fine
+    opts.symmetry = &grp;
+    opts.resume = &sym_final;
+    const auto res = cut::min_bisection_branch_bound(g, opts);
+    EXPECT_EQ(res.exactness, cut::Exactness::kExact);
+    EXPECT_EQ(res.capacity, cut::min_bisection_branch_bound(g).capacity);
+  }
 }
 
 // --- Supervisor ---
