@@ -1,0 +1,67 @@
+#include "cut/vertex_bisection.hpp"
+
+#include <algorithm>
+
+#include "cert/expansion_certificate.hpp"
+#include "core/error.hpp"
+
+namespace bfly::cut {
+
+std::size_t vertex_boundary_width(const Graph& g,
+                                  const std::vector<std::uint8_t>& sides,
+                                  std::uint8_t side) {
+  BFLY_CHECK(sides.size() == g.num_nodes(), "sides size mismatch");
+  std::size_t width = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (sides[v] == side) continue;
+    for (const NodeId u : g.neighbors(v)) {
+      if (sides[u] == side) {
+        ++width;
+        break;
+      }
+    }
+  }
+  return width;
+}
+
+VertexBisectionResult vertex_bisection_portfolio(
+    const Graph& g, const PortfolioOptions& opts) {
+  const PortfolioResult pr = min_bisection_portfolio(g, opts);
+  BFLY_CHECK(!pr.best.sides.empty(),
+             "portfolio produced no vertex-bisection witness");
+  VertexBisectionResult r;
+  r.sides = pr.best.sides;
+  const std::size_t w0 = vertex_boundary_width(g, r.sides, 0);
+  const std::size_t w1 = vertex_boundary_width(g, r.sides, 1);
+  r.boundary_side = w1 < w0 ? 1 : 0;
+  r.width = std::min(w0, w1);
+  r.method = "vertex/" + pr.best.method;
+  std::vector<NodeId> s_nodes;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (r.sides[v] == r.boundary_side) s_nodes.push_back(v);
+  }
+  const cert::NodeBoundaryCertificate nb = cert::certify_node_boundary(
+      g, s_nodes, static_cast<std::int64_t>(r.width));
+  r.certified_lower = nb.flow;
+  r.flow_certified = nb.certified && nb.tight;
+  return r;
+}
+
+void validate_vertex_bisection(const Graph& g,
+                               const VertexBisectionResult& result) {
+  BFLY_CHECK(is_bisection(result.sides), "sides are not a bisection");
+  BFLY_CHECK(result.sides.size() == g.num_nodes(), "sides size mismatch");
+  BFLY_CHECK(result.width == vertex_boundary_width(g, result.sides,
+                                                   result.boundary_side),
+             "recorded width does not recount");
+  BFLY_CHECK(result.certified_lower >= 0 &&
+                 result.certified_lower <=
+                     static_cast<std::int64_t>(result.width),
+             "flow bound must lower-bound the width");
+  BFLY_CHECK(!result.flow_certified ||
+                 result.certified_lower ==
+                     static_cast<std::int64_t>(result.width),
+             "certified results must meet their flow bound");
+}
+
+}  // namespace bfly::cut

@@ -1,0 +1,53 @@
+#include "topology/random_regular.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+
+namespace bfly::topo {
+
+Graph random_regular(NodeId n, std::uint32_t degree, std::uint64_t seed,
+                     const RandomRegularOptions& opts) {
+  BFLY_CHECK(degree >= 1, "degree must be positive");
+  BFLY_CHECK(n > degree, "need n > degree");
+  const std::uint64_t stubs =
+      static_cast<std::uint64_t>(n) * degree;
+  BFLY_CHECK(stubs % 2 == 0, "n * degree must be even");
+  Rng rng(seed);
+  std::vector<NodeId> stub(stubs);
+  std::vector<std::uint64_t> keys;
+  for (std::uint32_t attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    for (std::uint64_t i = 0; i < stubs; ++i) {
+      stub[i] = static_cast<NodeId>(i / degree);
+    }
+    shuffle(stub, rng);
+    keys.clear();
+    keys.reserve(stubs / 2);
+    bool ok = true;
+    for (std::uint64_t i = 0; i < stubs && ok; i += 2) {
+      const NodeId u = std::min(stub[i], stub[i + 1]);
+      const NodeId v = std::max(stub[i], stub[i + 1]);
+      ok = u != v;  // self-loops always retry
+      keys.push_back((static_cast<std::uint64_t>(u) << 32) | v);
+    }
+    if (ok && !opts.allow_multigraph) {
+      std::sort(keys.begin(), keys.end());
+      ok = std::adjacent_find(keys.begin(), keys.end()) == keys.end();
+    }
+    if (!ok) continue;
+    GraphBuilder gb(n);
+    for (const std::uint64_t key : keys) {
+      gb.add_edge(static_cast<NodeId>(key >> 32),
+                  static_cast<NodeId>(key & 0xffffffffu));
+    }
+    return std::move(gb).build();
+  }
+  BFLY_CHECK(false, "pairing-model rejection budget exhausted");
+  // Unreachable; BFLY_CHECK(false, ...) always throws.
+  return GraphBuilder(0).build();
+}
+
+}  // namespace bfly::topo

@@ -1,0 +1,37 @@
+// Random d-regular graphs by the pairing (configuration) model.
+//
+// The comparison family of arXiv 2211.03206 ("On Vertex Bisection Width
+// of Random d-Regular Graphs"): n·d stubs are shuffled and paired;
+// pairings with self-loops (which the Graph type rejects) are always
+// retried, pairings with parallel edges are retried unless the
+// multigraph flag accepts them. Conditioned on simplicity the result is
+// uniform over simple d-regular graphs, and for fixed d the acceptance
+// probability tends to exp(-(d^2 - 1) / 4) > 0, so the expected number
+// of retries is O(1). Fully deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace bfly::topo {
+
+struct RandomRegularOptions {
+  /// Accept parallel edges (self-loops are always rejected — the Graph
+  /// type has no representation for them). The degree sequence is then
+  /// still exactly d with multiplicity.
+  bool allow_multigraph = false;
+  /// Retry budget for the rejection loop; exceeding it throws. The
+  /// default is astronomically above the O(1) expected retries for the
+  /// d <= 8 instances the corpus uses.
+  std::uint32_t max_attempts = 1000;
+};
+
+/// A uniformly random d-regular (multi)graph on n nodes. Requires
+/// n > d >= 1 and n * d even.
+[[nodiscard]] Graph random_regular(NodeId n, std::uint32_t degree,
+                                   std::uint64_t seed,
+                                   const RandomRegularOptions& opts = {});
+
+}  // namespace bfly::topo
