@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Audit sanitizers/*.supp against the built binaries.
+
+Suppression entries rot: a symbol gets renamed, a third-party library is
+dropped, and the stale pattern silently keeps masking a whole class of
+reports. This script fails (exit 1) when a suppression names a symbol or
+library that no binary in the build directory can match, so CI notices
+the rot instead of shipping it.
+
+Matching rules, per non-comment `kind:pattern` line:
+
+  * patterns naming a shared object (contain `.so`) must match a library
+    in some executable's dynamic dependencies (ldd);
+  * other patterns are symbol/path globs: the longest literal fragment
+    (split on `*`) must appear in some executable's demangled symbol
+    table (nm -C), falling back to a raw `strings` scan for binaries nm
+    cannot read.
+
+All four .supp files are currently comment-only, so the normal outcome
+is "0 entries — nothing to audit"; the teeth only bite once someone adds
+an entry.
+
+Usage: audit_suppressions.py --build-dir build [--supp-dir sanitizers]
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+ENTRY_RE = re.compile(r"^(?P<kind>[A-Za-z_][\w-]*):(?P<pattern>.+)$")
+
+
+def parse_entries(supp_path):
+    entries = []
+    with open(supp_path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            m = ENTRY_RE.match(line)
+            if m is None:
+                entries.append((lineno, "malformed", line))
+                continue
+            entries.append((lineno, m.group("kind"), m.group("pattern")))
+    return entries
+
+
+def find_executables(build_dir):
+    exes = []
+    for root, dirs, files in os.walk(build_dir):
+        dirs[:] = [d for d in dirs if d != "CMakeFiles"]
+        for name in files:
+            path = os.path.join(root, name)
+            if not os.access(path, os.X_OK) or os.path.isdir(path):
+                continue
+            try:
+                with open(path, "rb") as fh:
+                    if fh.read(4) == b"\x7fELF":
+                        exes.append(path)
+            except OSError:
+                continue
+    return exes
+
+
+def run_tool(args):
+    try:
+        out = subprocess.run(
+            args, capture_output=True, text=True, errors="replace", check=False
+        )
+        return out.stdout
+    except FileNotFoundError:
+        return ""
+
+
+def longest_literal(pattern):
+    fragments = [f for f in pattern.split("*") if f]
+    return max(fragments, key=len) if fragments else ""
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--supp-dir", default=os.path.dirname(os.path.abspath(__file__)))
+    args = ap.parse_args()
+
+    supp_files = sorted(
+        os.path.join(args.supp_dir, f)
+        for f in os.listdir(args.supp_dir)
+        if f.endswith(".supp")
+    )
+    if not supp_files:
+        print("audit_suppressions: no .supp files found", file=sys.stderr)
+        return 1
+
+    all_entries = []
+    for supp in supp_files:
+        for lineno, kind, pattern in parse_entries(supp):
+            all_entries.append((supp, lineno, kind, pattern))
+
+    if not all_entries:
+        print(
+            f"audit_suppressions: {len(supp_files)} suppression files, "
+            "0 entries — nothing to audit"
+        )
+        return 0
+
+    exes = find_executables(args.build_dir)
+    if not exes:
+        print(
+            f"audit_suppressions: no executables under {args.build_dir}; "
+            "build before auditing",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Corpora are built lazily: most audits have few entries.
+    ldd_corpus = None
+    sym_corpus = None
+
+    def libraries():
+        nonlocal ldd_corpus
+        if ldd_corpus is None:
+            ldd_corpus = "\n".join(run_tool(["ldd", e]) for e in exes)
+        return ldd_corpus
+
+    def symbols():
+        nonlocal sym_corpus
+        if sym_corpus is None:
+            parts = []
+            for e in exes:
+                text = run_tool(["nm", "-C", e])
+                if not text:
+                    text = run_tool(["strings", e])
+                parts.append(text)
+            sym_corpus = "\n".join(parts)
+        return sym_corpus
+
+    stale = []
+    for supp, lineno, kind, pattern in all_entries:
+        if kind == "malformed":
+            stale.append((supp, lineno, pattern, "not a kind:pattern line"))
+            continue
+        if ".so" in pattern:
+            needle = longest_literal(pattern)
+            if needle and needle not in libraries():
+                stale.append(
+                    (supp, lineno, f"{kind}:{pattern}",
+                     "library not in any binary's dependencies")
+                )
+        else:
+            needle = longest_literal(pattern)
+            if not needle:
+                # A bare `kind:*` suppresses everything; always flag it.
+                stale.append(
+                    (supp, lineno, f"{kind}:{pattern}",
+                     "pattern has no literal fragment (matches everything)")
+                )
+            elif needle not in symbols():
+                stale.append(
+                    (supp, lineno, f"{kind}:{pattern}",
+                     "no binary defines a matching symbol")
+                )
+
+    checked = len(all_entries)
+    if stale:
+        print(
+            f"audit_suppressions: {len(stale)}/{checked} entries are stale:",
+            file=sys.stderr,
+        )
+        for supp, lineno, entry, reason in stale:
+            rel = os.path.relpath(supp)
+            print(f"  {rel}:{lineno}: {entry} — {reason}", file=sys.stderr)
+        return 1
+
+    print(
+        f"audit_suppressions: {checked} entries across {len(supp_files)} "
+        f"files all match {len(exes)} binaries"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+// Capability-annotated synchronization layer (Clang Thread Safety
+// Analysis, DESIGN.md §12).
+//
+// Every mutex-protected protocol in the concurrent core goes through the
+// wrappers in this header so that which-lock-guards-what is stated in
+// the type system and checked at compile time: a `-DBFLY_THREAD_SAFETY=ON`
+// Clang build promotes -Wthread-safety (and the -beta extensions) to hard
+// errors over the whole tree, turning a guarded field touched without its
+// mutex — or a lock released on the wrong path — into a build break
+// instead of a tsan roll of the dice. Under non-Clang compilers every
+// attribute macro expands to nothing and the wrappers are exactly their
+// std:: counterparts; the dynamic twin of these static guarantees is the
+// tsan-labeled stress suite (tests/test_sync_stress.cpp).
+//
+// Vocabulary (mirroring the Clang attribute names):
+//
+//   BFLY_CAPABILITY("mutex")   the class is a lockable capability
+//   BFLY_GUARDED_BY(mu)        field may only be touched holding mu
+//   BFLY_REQUIRES(mu)          function may only be called holding mu
+//   BFLY_ACQUIRE/RELEASE(...)  function takes/drops the capability
+//   BFLY_SCOPED_CAPABILITY     RAII type that holds one for its lifetime
+//
+// The analysis is intraprocedural and lexical: it cannot see through a
+// join barrier (TaskGroup::wait publishing worker-private state), through
+// std::call_once, or through a condition variable's internal
+// release-reacquire. Those protocols keep their atomics / once_flags and
+// are documented at their declaration; every deliberate
+// BFLY_NO_THREAD_SAFETY_ANALYSIS escape in the tree states the invariant
+// that makes it sound.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+
+// Attribute plumbing: real attributes under Clang (any version with TSA,
+// i.e. all supported ones), no-ops elsewhere. GCC parses but ignores
+// these attribute names with a warning, so they must vanish entirely.
+#if defined(__clang__)
+#define BFLY_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BFLY_THREAD_ANNOTATION(x)
+#endif
+
+#define BFLY_CAPABILITY(x) BFLY_THREAD_ANNOTATION(capability(x))
+#define BFLY_SCOPED_CAPABILITY BFLY_THREAD_ANNOTATION(scoped_lockable)
+#define BFLY_GUARDED_BY(x) BFLY_THREAD_ANNOTATION(guarded_by(x))
+#define BFLY_PT_GUARDED_BY(x) BFLY_THREAD_ANNOTATION(pt_guarded_by(x))
+#define BFLY_ACQUIRE(...) \
+  BFLY_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BFLY_ACQUIRE_SHARED(...) \
+  BFLY_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define BFLY_RELEASE(...) \
+  BFLY_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BFLY_RELEASE_SHARED(...) \
+  BFLY_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+// Generic release: the legacy spelling releases exclusive OR shared
+// holds, which is exactly what a scoped reader's destructor needs.
+#define BFLY_RELEASE_GENERIC(...) \
+  BFLY_THREAD_ANNOTATION(unlock_function(__VA_ARGS__))
+#define BFLY_TRY_ACQUIRE(...) \
+  BFLY_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define BFLY_TRY_ACQUIRE_SHARED(...) \
+  BFLY_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+#define BFLY_REQUIRES(...) \
+  BFLY_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BFLY_REQUIRES_SHARED(...) \
+  BFLY_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define BFLY_EXCLUDES(...) BFLY_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define BFLY_ASSERT_CAPABILITY(x) BFLY_THREAD_ANNOTATION(assert_capability(x))
+#define BFLY_RETURN_CAPABILITY(x) BFLY_THREAD_ANNOTATION(lock_returned(x))
+#define BFLY_NO_THREAD_SAFETY_ANALYSIS \
+  BFLY_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bfly::sync {
+
+class CondVar;
+
+/// std::mutex carrying the capability attribute. Prefer MutexLock over
+/// calling lock()/unlock() directly; the raw pair exists for protocols
+/// (hand-over-hand, adopt) that RAII cannot express.
+class BFLY_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BFLY_ACQUIRE() { mu_.lock(); }
+  void unlock() BFLY_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() BFLY_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// std::shared_mutex with the capability attribute: one writer or many
+/// readers. Reader side via ReaderLock, writer side via lock()/MutexLock-
+/// style manual pairing.
+class BFLY_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() BFLY_ACQUIRE() { mu_.lock(); }
+  void unlock() BFLY_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() BFLY_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+  void lock_shared() BFLY_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() BFLY_RELEASE_SHARED() { mu_.unlock_shared(); }
+  [[nodiscard]] bool try_lock_shared() BFLY_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+/// RAII exclusive hold on a Mutex for the enclosing scope.
+class BFLY_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BFLY_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() BFLY_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// RAII shared (reader) hold on a SharedMutex.
+class BFLY_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) BFLY_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() BFLY_RELEASE_GENERIC() { mu_.unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII exclusive (writer) hold on a SharedMutex.
+class BFLY_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) BFLY_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() BFLY_RELEASE() { mu_.unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. The wait members
+/// carry BFLY_NO_THREAD_SAFETY_ANALYSIS: the analysis cannot model a
+/// wait's internal release-and-reacquire of the caller's mutex.
+/// Invariant justifying the escape: the caller holds `lock`'s mutex on
+/// entry and again on return (std::condition_variable guarantees the
+/// reacquire), so the capability state the analysis tracks across the
+/// call — "mutex held" — is true at both boundaries; only the interior,
+/// where no caller code runs, disagrees. Guarded state must be re-read
+/// after every wake, which the wait-loop idiom in the callers does.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Blocks until notified (or spuriously woken); callers loop on their
+  /// guarded predicate.
+  void wait(MutexLock& lock) BFLY_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();  // the caller's MutexLock still owns the hold
+  }
+
+  /// Timed wait; true when notified before the timeout elapsed.
+  template <typename Rep, typename Period>
+  bool wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& timeout)
+      BFLY_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(ul, timeout);
+    ul.release();
+    return st == std::cv_status::no_timeout;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// One value behind one mutex, with the GUARDED_BY relation stated once
+/// here instead of at every ad-hoc pairing. load/store are for cold-path
+/// flags and snapshots (the hot-path heartbeat cells stay relaxed
+/// atomics — see DESIGN.md §12); with() runs a functor on the guarded
+/// value under the lock for read-modify-write.
+template <typename T>
+class GuardedCell {
+ public:
+  GuardedCell() = default;
+  explicit GuardedCell(T initial) : value_(std::move(initial)) {}
+  GuardedCell(const GuardedCell&) = delete;
+  GuardedCell& operator=(const GuardedCell&) = delete;
+
+  [[nodiscard]] T load() const {
+    const MutexLock lock(mu_);
+    return value_;
+  }
+
+  void store(T v) {
+    const MutexLock lock(mu_);
+    value_ = std::move(v);
+  }
+
+  /// Applies f to the guarded value under the lock and returns f's
+  /// result. The reference handed to f must not escape the call — the
+  /// analysis cannot track aliases, so an escaped reference would be an
+  /// unguarded back door.
+  template <typename F>
+  auto with(F&& f) {
+    const MutexLock lock(mu_);
+    return std::forward<F>(f)(value_);
+  }
+
+  template <typename F>
+  auto with(F&& f) const {
+    const MutexLock lock(mu_);
+    return std::forward<F>(f)(value_);
+  }
+
+ private:
+  mutable Mutex mu_;
+  T value_ BFLY_GUARDED_BY(mu_){};
+};
+
+}  // namespace bfly::sync

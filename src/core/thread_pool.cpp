@@ -2,11 +2,35 @@
 
 #include <algorithm>
 #include <exception>
-#include <mutex>
 
+#include "core/sync.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace bfly {
+namespace {
+
+// First exception observed across a fork-join region. capture() is
+// called from worker threads racing on the cell; rethrow_if_set() only
+// after they have all been joined, so the join barrier (not the mutex)
+// is what publishes the pointer to the caller.
+class ErrorCollector {
+ public:
+  void capture() noexcept {
+    const sync::MutexLock lock(mu_);
+    if (!first_) first_ = std::current_exception();
+  }
+
+  void rethrow_if_set() {
+    const sync::MutexLock lock(mu_);
+    if (first_) std::rethrow_exception(first_);
+  }
+
+ private:
+  sync::Mutex mu_;
+  std::exception_ptr first_ BFLY_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 unsigned default_thread_count() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -25,8 +49,7 @@ void parallel_for_blocked(
     return;
   }
 
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ErrorCollector errors;
   std::vector<std::thread> workers;
   workers.reserve(t);
   const std::size_t chunk = (n + t - 1) / t;
@@ -38,13 +61,12 @@ void parallel_for_blocked(
       try {
         fn(begin, end);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        errors.capture();
       }
     });
   }
   for (auto& w : workers) w.join();
-  if (first_error) std::rethrow_exception(first_error);
+  errors.rethrow_if_set();
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
@@ -61,12 +83,16 @@ TaskGroup::TaskGroup(unsigned max_concurrency)
     : max_(max_concurrency == 0 ? default_thread_count() : max_concurrency) {}
 
 void TaskGroup::add(std::function<void()> task) {
+  const sync::MutexLock lock(mu_);
   tasks_.push_back(std::move(task));
 }
 
 void TaskGroup::wait() {
   std::vector<std::function<void()>> tasks;
-  tasks.swap(tasks_);
+  {
+    const sync::MutexLock lock(mu_);
+    tasks.swap(tasks_);
+  }
   if (tasks.empty()) return;
 
   const unsigned workers =
@@ -77,8 +103,7 @@ void TaskGroup::wait() {
   }
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  ErrorCollector errors;
   std::vector<std::thread> pool;
   pool.reserve(workers);
   // Spawning can fail (std::system_error from the runtime, or the
@@ -97,8 +122,7 @@ void TaskGroup::wait() {
           try {
             tasks[i]();
           } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
+            errors.capture();
           }
         }
       });
@@ -109,7 +133,7 @@ void TaskGroup::wait() {
     throw;
   }
   for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  errors.rethrow_if_set();
 }
 
 }  // namespace bfly

@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/sync.hpp"
+
 namespace bfly {
 
 /// Number of worker threads used by default (>= 1).
@@ -100,6 +102,12 @@ class CancelToken {
 /// wait() blocks until every task finished and rethrows the first
 /// exception observed (remaining tasks still run to completion — solvers
 /// are expected to fail only on precondition violations).
+///
+/// The queue is guarded by its own capability, so add() may be called
+/// from any thread between waits; tasks added after a wait() has drained
+/// the queue run on the next wait(). Calling add() concurrently WITH an
+/// in-flight wait() is still unsupported — wait() snapshots the queue
+/// once at entry.
 class TaskGroup {
  public:
   /// max_concurrency 0 = default_thread_count().
@@ -118,7 +126,8 @@ class TaskGroup {
 
  private:
   unsigned max_;
-  std::vector<std::function<void()>> tasks_;
+  sync::Mutex mu_;
+  std::vector<std::function<void()>> tasks_ BFLY_GUARDED_BY(mu_);
 };
 
 }  // namespace bfly

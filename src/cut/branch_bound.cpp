@@ -1,11 +1,9 @@
 #include "cut/branch_bound.hpp"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <bit>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <unordered_set>
 #include <utility>
@@ -13,7 +11,9 @@
 
 #include "core/bitset64.hpp"
 #include "core/error.hpp"
+#include "core/sync.hpp"
 #include "cut/incumbent.hpp"
+#include "cut/transposition.hpp"
 #include "robust/fault_injection.hpp"
 
 namespace bfly::cut {
@@ -81,25 +81,11 @@ struct SubsetState {
 };
 
 // ---------------------------------------------------------------------------
-// Canonical transposition table for symmetry pruning (DESIGN.md §10).
-// Restricted to n <= 64 so a search state's side masks fit one word
-// each; the scalar kernel and subset mode never use it.
+// Canonical keys for the shared transposition table
+// (cut/transposition.hpp). Symmetry pruning is restricted to n <= 64 so
+// a search state's side masks fit one word each; the scalar kernel and
+// subset mode never use it.
 // ---------------------------------------------------------------------------
-
-struct TtKeyHash {
-  std::size_t operator()(
-      const std::pair<std::uint64_t, std::uint64_t>& k) const noexcept {
-    // splitmix64-style finisher over both words; also used to pick the
-    // table stripe.
-    std::uint64_t x = k.first ^ (k.second * 0x9e3779b97f4a7c15ull);
-    x ^= x >> 30;
-    x *= 0xbf58476d1ce4e5b9ull;
-    x ^= x >> 27;
-    x *= 0x94d049bb133111ebull;
-    x ^= x >> 31;
-    return static_cast<std::size_t>(x);
-  }
-};
 
 // Lexicographically smallest image of the (side-0, side-1) mask pair
 // over every enumerated group element, composed with the global side
@@ -127,78 +113,6 @@ std::pair<std::uint64_t, std::uint64_t> canonical_mask_pair(
   }
   return {b0, b1};
 }
-
-// Lock-striped set of fully-searched canonical states, shared by every
-// worker of one search. Membership alone is the prune certificate:
-// entries are inserted only after a subtree was exhaustively expanded
-// (never on node-limit or cancellation aborts), and the prune threshold
-// is monotone non-increasing over a run, so any completion of an
-// equivalent subtree that could beat the *current* threshold had
-// already been published when the stored subtree was searched.
-class TranspositionTable {
- public:
-  using Key = std::pair<std::uint64_t, std::uint64_t>;
-
-  explicit TranspositionTable(std::size_t max_entries)
-      : stripe_cap_(std::max<std::size_t>(1, max_entries / kStripes)) {}
-
-  // True (and counted as a hit) iff an equivalent subtree was already
-  // fully searched.
-  [[nodiscard]] bool probe(const Key& key) {
-    Stripe& s = stripe_for(key);
-    bool hit;
-    {
-      const std::lock_guard<std::mutex> lock(s.mu);
-      hit = s.set.contains(key);
-    }
-    if (hit) hits_.fetch_add(1, std::memory_order_relaxed);
-    return hit;
-  }
-
-  // Records a fully-searched subtree. Drops the entry once the stripe is
-  // full: the table is a pruning cache, so dropping only costs future
-  // hits, never correctness.
-  void insert(const Key& key) {
-    Stripe& s = stripe_for(key);
-    {
-      const std::lock_guard<std::mutex> lock(s.mu);
-      if (s.set.size() >= stripe_cap_ || !s.set.insert(key).second) return;
-    }
-    stores_.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  [[nodiscard]] std::uint64_t hits() const {
-    return hits_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::uint64_t stores() const {
-    return stores_.load(std::memory_order_relaxed);
-  }
-
-  // Seeds the telemetry counters from a resumed run so reported counts
-  // are cumulative across interruptions. The entries themselves are not
-  // checkpointed — the table is rebuilt from scratch, which only costs
-  // re-derived prunes.
-  void seed_counters(std::uint64_t hits, std::uint64_t stores) {
-    hits_.store(hits, std::memory_order_relaxed);
-    stores_.store(stores, std::memory_order_relaxed);
-  }
-
- private:
-  static constexpr std::size_t kStripes = 64;
-  struct Stripe {
-    std::mutex mu;
-    std::unordered_set<Key, TtKeyHash> set;
-  };
-
-  Stripe& stripe_for(const Key& key) {
-    return stripes_[TtKeyHash{}(key) % kStripes];
-  }
-
-  std::size_t stripe_cap_;
-  std::array<Stripe, kStripes> stripes_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> stores_{0};
-};
 
 // ---------------------------------------------------------------------------
 // Scalar reference kernel: the original byte-array walker. Retained
@@ -964,6 +878,17 @@ std::vector<std::vector<std::uint8_t>> enumerate_seed_prefixes(
   return cur;
 }
 
+// Prefix-completion bookkeeping for checkpointed runs. One capability
+// serializes both the done[] flags and the checkpoint sink behind them:
+// a snapshot must pair each done bit with an incumbent at least as good
+// as the one that subtree proved, which holds exactly because the flag
+// flip and the state capture happen under the same lock, after the
+// subtree's publishes.
+struct PrefixLedger {
+  sync::Mutex mu;
+  std::vector<std::uint8_t> done BFLY_GUARDED_BY(mu);
+};
+
 struct BitsetRunOutcome {
   std::size_t capacity = kNoCapacity;
   std::vector<std::uint8_t> sides;
@@ -1073,14 +998,17 @@ BitsetRunOutcome run_bitset_search(const Graph& g,
       }
       group.wait();
     } else {
-      std::vector<std::uint8_t> done(prefixes.size(), 0);
-      if (opts.resume != nullptr) {
-        BFLY_CHECK(opts.resume->prefix_done.size() == prefixes.size(),
-                   "resume state does not match the prefix enumeration "
-                   "(different graph, subset, or seed depth?)");
-        done = opts.resume->prefix_done;
+      PrefixLedger ledger;
+      {
+        const sync::MutexLock lock(ledger.mu);
+        ledger.done.assign(prefixes.size(), 0);
+        if (opts.resume != nullptr) {
+          BFLY_CHECK(opts.resume->prefix_done.size() == prefixes.size(),
+                     "resume state does not match the prefix enumeration "
+                     "(different graph, subset, or seed depth?)");
+          ledger.done = opts.resume->prefix_done;
+        }
       }
-      std::mutex chk_mutex;  // serializes done[] updates + the sink
       auto run_prefix = [&](std::size_t pi) {
         if (shared.aborted.load(std::memory_order_relaxed)) return;
         // Crash point between subtrees: everything before the last
@@ -1095,12 +1023,12 @@ BitsetRunOutcome run_bitset_search(const Graph& g,
         if (s.aborted || shared.aborted.load(std::memory_order_relaxed)) {
           return;  // cut short — the subtree is NOT complete
         }
-        const std::lock_guard<std::mutex> lock(chk_mutex);
-        done[pi] = 1;
+        const sync::MutexLock lock(ledger.mu);
+        ledger.done[pi] = 1;
         if (opts.on_checkpoint) {
           BranchBoundSearchState st;
           st.seed_depth = depth_used;
-          st.prefix_done = done;
+          st.prefix_done = ledger.done;
           st.incumbent_capacity = shared.incumbent.capacity();
           if (st.incumbent_capacity != SharedIncumbent::kUnset) {
             st.incumbent_sides = shared.incumbent.sides();
@@ -1118,16 +1046,23 @@ BitsetRunOutcome run_bitset_search(const Graph& g,
           opts.on_checkpoint(st);
         }
       };
+      // Snapshot of the resume flags before any worker starts: a prefix
+      // pending here can only be completed by its own run_prefix call.
+      std::vector<std::uint8_t> pending_skip;
+      {
+        const sync::MutexLock lock(ledger.mu);
+        pending_skip = ledger.done;
+      }
       if (threads <= 1) {
         // Serial: a thrown SimulatedCrash (or real bad_alloc) abandons
         // the remaining prefixes immediately, like a dying process.
         for (std::size_t pi = 0; pi < prefixes.size(); ++pi) {
-          if (!done[pi]) run_prefix(pi);
+          if (!pending_skip[pi]) run_prefix(pi);
         }
       } else {
         TaskGroup group(threads);
         for (std::size_t pi = 0; pi < prefixes.size(); ++pi) {
-          if (!done[pi]) {
+          if (!pending_skip[pi]) {
             group.add([&run_prefix, pi] { run_prefix(pi); });
           }
         }

@@ -4,17 +4,18 @@
 // they find here; the exact branch-and-bound engine reads the capacity
 // cell as a live pruning bound. The capacity is a relaxed atomic (a
 // monotone watermark — stale reads only cost pruning opportunities, never
-// correctness) while the side vector snapshot lives under a mutex.
+// correctness) while the authoritative capacity and the side vector
+// snapshot live under the annotated mutex (DESIGN.md §12).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/sync.hpp"
 
 namespace bfly::cut {
 
@@ -36,7 +37,7 @@ class SharedIncumbent {
     // stale read can only let a soon-to-lose candidate through to the
     // authoritative check below.
     if (capacity >= capacity_.load(std::memory_order_relaxed)) return false;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     if (capacity >= best_capacity_) return false;
     // All solvers in one portfolio race the same graph, so every
     // published side vector must agree on the node count.
@@ -62,15 +63,18 @@ class SharedIncumbent {
 
   /// Snapshot of the incumbent side vector (empty when unset).
   [[nodiscard]] std::vector<std::uint8_t> sides() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const sync::MutexLock lock(mutex_);
     return sides_;
   }
 
  private:
   std::atomic<std::size_t> capacity_{kUnset};
-  mutable std::mutex mutex_;
-  std::size_t best_capacity_ = kUnset;  // authoritative, under mutex_
-  std::vector<std::uint8_t> sides_;
+  mutable sync::Mutex mutex_;
+  // Authoritative copies: the atomic cell above is the lock-free shadow
+  // published last, so readers of the cell never see a capacity without
+  // a matching side vector already stored here.
+  std::size_t best_capacity_ BFLY_GUARDED_BY(mutex_) = kUnset;
+  std::vector<std::uint8_t> sides_ BFLY_GUARDED_BY(mutex_);
 };
 
 /// Per-solver handle onto a SharedIncumbent: forwards publishes and

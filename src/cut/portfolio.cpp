@@ -8,6 +8,7 @@
 
 #include "core/error.hpp"
 #include "core/rng.hpp"
+#include "core/sync.hpp"
 #include "core/thread_pool.hpp"
 #include "cut/incumbent.hpp"
 #include "io/table.hpp"
@@ -119,7 +120,10 @@ PortfolioResult min_bisection_portfolio(const Graph& g,
                        return min_bisection_simulated_annealing(g, local);
                      }});
   }
-  bool bb_completed = false;  // written by the bb task, read after wait()
+  // Written by the bb task on its own thread, read after wait(); the
+  // cell's lock makes that explicit rather than leaning on the join
+  // barrier alone (the analysis cannot see through joins).
+  sync::GuardedCell<bool> bb_completed;
   if (opts.run_branch_bound) {
     tasks.push_back(
         {"branch-bound", 1,
@@ -132,7 +136,7 @@ PortfolioResult min_bisection_portfolio(const Graph& g,
            auto r = min_bisection_branch_bound(g, o);
            if (!r.sides.empty()) pub.publish(r.capacity, r.sides);
            if (r.exactness == Exactness::kExact) {
-             bb_completed = true;
+             bb_completed.store(true);
              // Optimality is proven: no further heuristic work can
              // change the winning capacity.
              token.request_stop();
@@ -152,6 +156,9 @@ PortfolioResult min_bisection_portfolio(const Graph& g,
 
   TaskGroup group(opts.num_threads);
   for (std::size_t i = 0; i < num_tasks; ++i) {
+    // Each task writes only its own slot of results[]/wall[] (disjoint
+    // indices, published to this thread by the wait() join), so the
+    // vectors need no lock of their own.
     group.add([&, i] {
       const auto t0 = std::chrono::steady_clock::now();
       results[i] = tasks[i].run(publishers[i]);
@@ -159,13 +166,14 @@ PortfolioResult min_bisection_portfolio(const Graph& g,
     });
   }
   group.wait();
+  const bool proved_optimal = bb_completed.load();
   // request_stop is idempotent and must be visible once the tasks have
   // been joined: a bb-completed run always leaves the token fired.
-  BFLY_ASSERT_MSG(!bb_completed || token.stop_requested(),
+  BFLY_ASSERT_MSG(!proved_optimal || token.stop_requested(),
                   "cancel token lost the branch-and-bound stop request");
 
   PortfolioResult out;
-  out.proved_optimal = bb_completed;
+  out.proved_optimal = proved_optimal;
   out.telemetry.reserve(num_tasks);
   for (std::size_t i = 0; i < num_tasks; ++i) {
     SolverTelemetry t;
@@ -206,7 +214,7 @@ PortfolioResult min_bisection_portfolio(const Graph& g,
     out.winner = tasks[win].name;
   }
   out.best.exactness =
-      bb_completed ? Exactness::kExact : Exactness::kHeuristic;
+      proved_optimal ? Exactness::kExact : Exactness::kHeuristic;
   out.best.method = "portfolio/" + out.winner;
   out.wall_seconds = seconds_since(t_start);
   if (checked_build()) {

@@ -1,0 +1,130 @@
+// Lock-striped canonical transposition table for symmetry pruning
+// (DESIGN.md §10; capability annotations §12).
+//
+// Shared by every worker of one branch-and-bound search. Membership
+// alone is the prune certificate: entries are inserted only after a
+// subtree was exhaustively expanded (never on node-limit or cancellation
+// aborts), and the prune threshold is monotone non-increasing over a
+// run, so any completion of an equivalent subtree that could beat the
+// *current* threshold had already been published when the stored subtree
+// was searched.
+//
+// Concurrency: the table is 64 independent stripes, each a distinct
+// capability — Stripe::mu guards exactly that stripe's set, stated with
+// BFLY_GUARDED_BY and enforced by probe_locked/insert_locked carrying
+// BFLY_REQUIRES(s.mu). No path ever holds two stripes (stripe_for is a
+// pure hash), so stripe locks are leaves of the lock order. The hit and
+// store counters are relaxed atomics bumped outside the stripe lock:
+// they are telemetry totals whose final values are read after the
+// workers have been joined.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+
+#include "core/sync.hpp"
+
+namespace bfly::cut {
+
+struct TtKeyHash {
+  std::size_t operator()(
+      const std::pair<std::uint64_t, std::uint64_t>& k) const noexcept {
+    // splitmix64-style finisher over both words; also used to pick the
+    // table stripe.
+    std::uint64_t x = k.first ^ (k.second * 0x9e3779b97f4a7c15ull);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+class TranspositionTable {
+ public:
+  using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+  explicit TranspositionTable(std::size_t max_entries)
+      : stripe_cap_(std::max<std::size_t>(1, max_entries / kStripes)) {}
+
+  TranspositionTable(const TranspositionTable&) = delete;
+  TranspositionTable& operator=(const TranspositionTable&) = delete;
+
+  // True (and counted as a hit) iff an equivalent subtree was already
+  // fully searched.
+  [[nodiscard]] bool probe(const Key& key) {
+    Stripe& s = stripe_for(key);
+    bool hit;
+    {
+      const sync::MutexLock lock(s.mu);
+      hit = probe_locked(s, key);
+    }
+    if (hit) hits_.fetch_add(1, std::memory_order_relaxed);
+    return hit;
+  }
+
+  // Records a fully-searched subtree. Drops the entry once the stripe is
+  // full: the table is a pruning cache, so dropping only costs future
+  // hits, never correctness.
+  void insert(const Key& key) {
+    Stripe& s = stripe_for(key);
+    bool stored;
+    {
+      const sync::MutexLock lock(s.mu);
+      stored = insert_locked(s, key);
+    }
+    if (stored) stores_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t stores() const {
+    return stores_.load(std::memory_order_relaxed);
+  }
+
+  // Seeds the telemetry counters from a resumed run so reported counts
+  // are cumulative across interruptions. The entries themselves are not
+  // checkpointed — the table is rebuilt from scratch, which only costs
+  // re-derived prunes.
+  void seed_counters(std::uint64_t hits, std::uint64_t stores) {
+    hits_.store(hits, std::memory_order_relaxed);
+    stores_.store(stores, std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 64;
+  struct Stripe {
+    sync::Mutex mu;
+    std::unordered_set<Key, TtKeyHash> set BFLY_GUARDED_BY(mu);
+  };
+
+  [[nodiscard]] static bool probe_locked(const Stripe& s, const Key& key)
+      BFLY_REQUIRES(s.mu) {
+    return s.set.contains(key);
+  }
+
+  // True iff the key was newly stored (false: duplicate or full stripe).
+  [[nodiscard]] bool insert_locked(Stripe& s, const Key& key)
+      BFLY_REQUIRES(s.mu) {
+    if (s.set.size() >= stripe_cap_) return false;
+    return s.set.insert(key).second;
+  }
+
+  Stripe& stripe_for(const Key& key) {
+    return stripes_[TtKeyHash{}(key) % kStripes];
+  }
+
+  std::size_t stripe_cap_;
+  std::array<Stripe, kStripes> stripes_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> stores_{0};
+};
+
+}  // namespace bfly::cut

@@ -7,6 +7,7 @@
 
 #include "core/error.hpp"
 #include "core/math_util.hpp"
+#include "core/sync.hpp"
 #include "core/thread_pool.hpp"
 #include "robust/fault_injection.hpp"
 
@@ -218,6 +219,81 @@ class ShardSweep {
   bool aborted_ = false;
 };
 
+// Deterministic reduction of per-shard sweep results. Each worker
+// absorbs its shard under the merger's mutex as soon as the shard
+// finishes, so the shard's tables die with the worker instead of every
+// ShardSweep staying alive until a global post-join merge. Ties on
+// equal minima are broken toward the smaller job index, which
+// reproduces exactly the witness the old fixed-order serial merge
+// selected — the merged result is independent of thread count and
+// absorb schedule.
+class ShardMerger {
+ public:
+  explicit ShardMerger(std::size_t max_k)
+      : best_ee_(max_k + 1, kUnseen),
+        best_ne_(max_k + 1, kUnseen),
+        ee_from_(max_k + 1, kNoJob),
+        ne_from_(max_k + 1, kNoJob),
+        table_(max_k + 1) {
+    for (std::size_t k = 1; k < table_.size(); ++k) {
+      table_[k].ee = kUnseen;
+      table_[k].ne = kUnseen;
+    }
+  }
+
+  ShardMerger(const ShardMerger&) = delete;
+  ShardMerger& operator=(const ShardMerger&) = delete;
+
+  // Folds one finished (possibly aborted-partial) shard into the merged
+  // tables; steals its witnesses. `weight` is the shard's orbit size.
+  void absorb(std::size_t job_index, std::uint64_t weight,
+              ShardSweep& shard) {
+    const sync::MutexLock lock(mu_);
+    for (std::size_t k = 1; k < table_.size(); ++k) {
+      const std::size_t ee = shard.best_ee()[k];
+      if (ee != kUnseen &&
+          (ee < best_ee_[k] ||
+           (ee == best_ee_[k] && job_index < ee_from_[k]))) {
+        best_ee_[k] = ee;
+        ee_from_[k] = job_index;
+        table_[k].ee = ee;
+        table_[k].ee_witness = std::move(shard.table()[k].ee_witness);
+      }
+      const std::size_t ne = shard.best_ne()[k];
+      if (ne != kUnseen &&
+          (ne < best_ne_[k] ||
+           (ne == best_ne_[k] && job_index < ne_from_[k]))) {
+        best_ne_[k] = ne;
+        ne_from_[k] = job_index;
+        table_[k].ne = ne;
+        table_[k].ne_witness = std::move(shard.table()[k].ne_witness);
+      }
+    }
+    visited_weighted_ += weight * shard.visited();
+  }
+
+  // Moves the merged tables out. Called once, after the sweep workers
+  // have been joined (the lock is for the analysis; the join already
+  // ordered every absorb before this read).
+  void finalize(ExactExpansionResult& res) {
+    const sync::MutexLock lock(mu_);
+    res.table = std::move(table_);
+    res.visited_states = visited_weighted_;
+  }
+
+ private:
+  static constexpr std::size_t kNoJob =
+      std::numeric_limits<std::size_t>::max();
+
+  sync::Mutex mu_;
+  std::vector<std::size_t> best_ee_ BFLY_GUARDED_BY(mu_);
+  std::vector<std::size_t> best_ne_ BFLY_GUARDED_BY(mu_);
+  std::vector<std::size_t> ee_from_ BFLY_GUARDED_BY(mu_);
+  std::vector<std::size_t> ne_from_ BFLY_GUARDED_BY(mu_);
+  std::vector<ExpansionEntry> table_ BFLY_GUARDED_BY(mu_);
+  std::uint64_t visited_weighted_ BFLY_GUARDED_BY(mu_) = 0;
+};
+
 // One shard of the sweep: its fixed top-p-bit pattern and how many
 // patterns its orbit stands in for (1 without symmetry reduction).
 struct ShardJob {
@@ -320,49 +396,30 @@ ExactExpansionResult exact_expansion_full(const Graph& g,
   const std::vector<ShardJob> jobs = enumerate_shard_jobs(opts.symmetry, n, p);
 
   SweepShared shared;
-  std::vector<ShardSweep> shards;
-  shards.reserve(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    shards.emplace_back(g, opts, max_k, shared);
-  }
+  ShardMerger merger(max_k);
+  // Each worker owns its ShardSweep (membership vectors, per-size
+  // tables) for exactly as long as the shard runs, then folds it into
+  // the merger — peak memory is one sweep per live thread, not one per
+  // job. A shard that throws (the kCrash fault point) is never
+  // absorbed; the exception propagates through the group join below.
+  auto run_shard = [&](std::size_t i) {
+    ShardSweep shard(g, opts, max_k, shared);
+    shard.run(p, jobs[i].pattern);
+    merger.absorb(i, jobs[i].weight, shard);
+  };
   if (jobs.size() == 1) {
-    shards[0].run(p, jobs[0].pattern);
+    run_shard(0);
   } else {
     TaskGroup group(threads);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      group.add([&shards, &jobs, i, p] { shards[i].run(p, jobs[i].pattern); });
+      group.add([&run_shard, i] { run_shard(i); });
     }
     group.wait();
   }
 
-  // Merge in fixed shard order: the tabulated minima are independent of
-  // thread count and schedule; only which tying witness survives depends
-  // on the shard order, which is itself deterministic.
   ExactExpansionResult res;
-  res.table.resize(max_k + 1);
-  std::vector<std::size_t> best_ee(max_k + 1, kUnseen);
-  std::vector<std::size_t> best_ne(max_k + 1, kUnseen);
-  for (std::size_t k = 1; k <= max_k; ++k) {
-    res.table[k].ee = kUnseen;
-    res.table[k].ne = kUnseen;
-    for (auto& shard : shards) {
-      if (shard.best_ee()[k] < best_ee[k]) {
-        best_ee[k] = shard.best_ee()[k];
-        res.table[k].ee = shard.best_ee()[k];
-        res.table[k].ee_witness = std::move(shard.table()[k].ee_witness);
-      }
-      if (shard.best_ne()[k] < best_ne[k]) {
-        best_ne[k] = shard.best_ne()[k];
-        res.table[k].ne = shard.best_ne()[k];
-        res.table[k].ne_witness = std::move(shard.table()[k].ne_witness);
-      }
-    }
-  }
+  merger.finalize(res);
   res.scanned_states = shared.pooled_visited.load(std::memory_order_relaxed);
-  res.visited_states = 0;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    res.visited_states += jobs[i].weight * shards[i].visited();
-  }
   res.exactness = shared.aborted.load(std::memory_order_relaxed)
                       ? cut::Exactness::kHeuristic
                       : cut::Exactness::kExact;

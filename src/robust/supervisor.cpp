@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/error.hpp"
+#include "core/sync.hpp"
 #include "robust/checkpoint.hpp"
 #include "robust/fault_injection.hpp"
 
@@ -28,6 +29,12 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
 // freezes for stall_ms the watchdog cancels the attempt's token. The
 // supervisor's retry (resuming from the last checkpoint) then replaces
 // whatever was stalled.
+//
+// Control protocol: quit_ and fired_ live under mu_ (GUARDED_BY), and
+// the poll loop sleeps in a CondVar timed wait instead of sleep_for —
+// so stop() wakes the thread immediately rather than waiting out the
+// rest of a poll period. The progress cell itself stays a relaxed
+// atomic: it is the engines' hot-path heartbeat, not watchdog state.
 class Watchdog {
  public:
   Watchdog(CancelToken& token, const std::atomic<std::uint64_t>& progress,
@@ -46,13 +53,19 @@ class Watchdog {
     thread_ = std::thread([this] { run(); });
   }
 
+  // Idempotent (the dtor calls it again after an explicit stop()).
   void stop() {
-    quit_.store(true, std::memory_order_relaxed);
+    {
+      const sync::MutexLock lock(mu_);
+      quit_ = true;
+    }
+    cv_.notify_all();
     if (thread_.joinable()) thread_.join();
   }
 
-  [[nodiscard]] bool fired() const noexcept {
-    return fired_.load(std::memory_order_relaxed);
+  [[nodiscard]] bool fired() const {
+    const sync::MutexLock lock(mu_);
+    return fired_;
   }
 
  private:
@@ -60,8 +73,10 @@ class Watchdog {
     std::uint64_t last = progress_.load(std::memory_order_relaxed);
     Clock::time_point last_change = Clock::now();
     const auto poll = std::chrono::duration<double, std::milli>(poll_ms_);
-    while (!quit_.load(std::memory_order_relaxed)) {
-      std::this_thread::sleep_for(poll);
+    sync::MutexLock lock(mu_);
+    while (!quit_) {
+      cv_.wait_for(lock, poll);  // early wake only ever means stop()
+      if (quit_) return;
       const std::uint64_t cur = progress_.load(std::memory_order_relaxed);
       if (cur != last) {
         last = cur;
@@ -77,7 +92,7 @@ class Watchdog {
         // engines must still wind down correctly.
         BFLY_FAULT_POINT(kCancelDelay);
         token_.request_stop();
-        fired_.store(true, std::memory_order_relaxed);
+        fired_ = true;
         return;
       }
     }
@@ -87,8 +102,10 @@ class Watchdog {
   const std::atomic<std::uint64_t>& progress_;
   double poll_ms_;
   double stall_ms_;
-  std::atomic<bool> quit_{false};
-  std::atomic<bool> fired_{false};
+  mutable sync::Mutex mu_;
+  sync::CondVar cv_;
+  bool quit_ BFLY_GUARDED_BY(mu_) = false;
+  bool fired_ BFLY_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };
 

@@ -1,0 +1,205 @@
+// Dynamic twin of the static capability annotations (DESIGN.md §12):
+// hammers the annotated primitives — the lock-striped transposition
+// table, GuardedCell, and SharedIncumbent — from many threads and
+// asserts schedule-independent invariants against serial ground truth.
+// Runs in every flavor; under -DBFLY_SANITIZE=thread (`ctest -L tsan`)
+// tsan additionally checks the lock discipline the annotations promise.
+//
+// The invariants are chosen to be exact under any interleaving:
+//
+//   * N threads inserting the SAME distinct-key set: insert-if-absent
+//     counts only the winner of each per-key race, so stores == |keys|
+//     no matter who wins.
+//   * N threads then probing every key: each probe of a present key is
+//     a hit, so hits == N * |keys| — N times the serial count.
+//   * N threads bumping a GuardedCell counter K times each: the final
+//     value is exactly N * K iff no increment was lost.
+//   * N threads publishing capacities into a SharedIncumbent: the final
+//     capacity is the global minimum, and the surviving side vector is
+//     the one published with it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/sync.hpp"
+#include "core/thread_pool.hpp"
+#include "cut/incumbent.hpp"
+#include "cut/transposition.hpp"
+
+namespace bfly {
+namespace {
+
+using cut::TranspositionTable;
+using Key = TranspositionTable::Key;
+
+constexpr unsigned kThreads = 8;
+
+// Deterministic distinct keys; SplitMix64 is a bijection on 64-bit
+// words, so pairing consecutive outputs never repeats a pair.
+std::vector<Key> make_keys(std::size_t count, std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  std::vector<Key> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t a = sm.next();
+    const std::uint64_t b = sm.next();
+    keys.emplace_back(a, b);
+  }
+  return keys;
+}
+
+TEST(SyncStress, StripedTableCountersMatchSerial) {
+  const std::vector<Key> keys = make_keys(4096, 0xb15ec7ull);
+
+  // Serial ground truth.
+  std::uint64_t serial_hits = 0;
+  {
+    TranspositionTable serial(1 << 20);
+    for (const Key& k : keys) serial.insert(k);
+    ASSERT_EQ(serial.stores(), keys.size());
+    for (const Key& k : keys) {
+      if (serial.probe(k)) ++serial_hits;
+    }
+    ASSERT_EQ(serial_hits, keys.size());
+    ASSERT_EQ(serial.hits(), serial_hits);
+  }
+
+  // Concurrent run: every thread inserts the same key set (maximal
+  // same-stripe contention), then probes all of it.
+  TranspositionTable tt(1 << 20);
+  {
+    TaskGroup group(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      group.add([&tt, &keys] {
+        for (const Key& k : keys) tt.insert(k);
+      });
+    }
+    group.wait();
+  }
+  EXPECT_EQ(tt.stores(), keys.size());
+
+  {
+    TaskGroup group(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      group.add([&tt, &keys] {
+        for (const Key& k : keys) {
+          // Present keys must always hit; a miss would mean a torn or
+          // lost insert.
+          ASSERT_TRUE(tt.probe(k));
+        }
+      });
+    }
+    group.wait();
+  }
+  EXPECT_EQ(tt.hits(), kThreads * serial_hits);
+}
+
+TEST(SyncStress, StripedTableRespectsCapacityUnderContention) {
+  // max_entries 64 over 64 stripes = one slot per stripe: almost every
+  // insert races a full stripe, exercising the drop path.
+  const std::vector<Key> keys = make_keys(2048, 0xf0011ull);
+  TranspositionTable tt(64);
+  TaskGroup group(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    group.add([&tt, &keys] {
+      for (const Key& k : keys) tt.insert(k);
+    });
+  }
+  group.wait();
+  // Exactly one store per non-empty stripe, at most one per stripe.
+  EXPECT_GE(tt.stores(), 1u);
+  EXPECT_LE(tt.stores(), 64u);
+  // Everything stored must still probe as present.
+  std::uint64_t present = 0;
+  for (const Key& k : keys) {
+    if (tt.probe(k)) ++present;
+  }
+  EXPECT_EQ(present, tt.stores());
+}
+
+TEST(SyncStress, GuardedCellLosesNoIncrements) {
+  constexpr std::uint64_t kIncrements = 20000;
+  sync::GuardedCell<std::uint64_t> cell;
+  std::atomic<bool> done{false};
+
+  std::thread reader([&cell, &done] {
+    // Concurrent snapshots must be monotone partial sums, never torn.
+    std::uint64_t last = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const std::uint64_t v = cell.load();
+      ASSERT_GE(v, last);
+      ASSERT_LE(v, kThreads * kIncrements);
+      last = v;
+    }
+  });
+
+  TaskGroup group(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    group.add([&cell] {
+      for (std::uint64_t i = 0; i < kIncrements; ++i) {
+        cell.with([](std::uint64_t& v) { ++v; });
+      }
+    });
+  }
+  group.wait();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  EXPECT_EQ(cell.load(), kThreads * kIncrements);
+}
+
+TEST(SyncStress, SharedIncumbentConvergesToGlobalMinimum) {
+  // Thread t publishes a deterministic capacity schedule; the side
+  // vector encodes the capacity so the winner's snapshot is checkable.
+  constexpr std::size_t kNodes = 16;
+  constexpr std::size_t kRounds = 500;
+  cut::SharedIncumbent incumbent;
+
+  auto sides_for = [](std::size_t capacity) {
+    std::vector<std::uint8_t> s(kNodes, 0);
+    for (std::size_t b = 0; b < kNodes; ++b) {
+      s[b] = static_cast<std::uint8_t>((capacity >> b) & 1u);
+    }
+    return s;
+  };
+
+  std::size_t global_min = cut::SharedIncumbent::kUnset;
+  std::vector<std::vector<std::size_t>> schedules(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    SplitMix64 sm(0xabcdull * (t + 1));
+    auto& sched = schedules[t];
+    sched.reserve(kRounds);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      // Capacities in [1, 2^20]: strictly positive so kUnset never wins.
+      const std::size_t cap =
+          static_cast<std::size_t>(sm.next() % (1u << 20)) + 1;
+      sched.push_back(cap);
+      global_min = std::min(global_min, cap);
+    }
+  }
+
+  TaskGroup group(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    group.add([&incumbent, &schedules, &sides_for, t] {
+      for (const std::size_t cap : schedules[t]) {
+        incumbent.publish(cap, sides_for(cap));
+      }
+    });
+  }
+  group.wait();
+
+  EXPECT_EQ(incumbent.capacity(), global_min);
+  // The surviving snapshot must be the one published WITH the winning
+  // capacity — publish() swaps capacity and sides under one lock.
+  EXPECT_EQ(incumbent.sides(), sides_for(global_min));
+}
+
+}  // namespace
+}  // namespace bfly
