@@ -4,15 +4,25 @@
 //
 // Emits one machine-readable JSON file (BENCH_exact_kernels.json in the
 // working directory, overridable with --out=<path>) with rows
-//   {instance, kernel, threads, seconds, visited_nodes, capacity}
+//   {instance, kernel, threads, seconds, visited_nodes, capacity,
+//    nodes_per_sec, ws_spawned, ws_steals, ws_idle_seconds}
 // where `capacity` is the proved bisection width for bisection rows and
 // EE(G, floor(N/2)) for expansion rows (the full tables are compared
 // internally). The binary exits nonzero if any new kernel disagrees
 // with its scalar reference — CI runs `bench_exact_kernels --smoke`
 // (small instance set, < 60 s even in Debug) as a correctness gate and
 // uploads the JSON as an artifact. Without --smoke the full instance
-// set runs, sized for Release timing (W16/CCC16 bisection, a 26-node
-// exhaustive expansion).
+// set runs, sized for Release timing (W16/CCC16 bisection, exact B16
+// closure, a 26-node exhaustive expansion).
+//
+// E23 — SIMD dispatch trajectory: node-budgeted bitset B&B rows named
+// `bb-bitset@<level>` run the identical search at each pinned dispatch
+// level (scalar, avx2; avx512 in full mode when detected). The node
+// budget makes visited counts level-invariant — any divergence is a
+// kernel bug and fails the run — so the wall-clock ratio IS the
+// nodes/s ratio. The W32 rows define `bb_simd_speedup` in the JSON
+// (avx2 over scalar), which compare_bench.py gates. `--dispatch=<level>`
+// pins the whole run (clamped to what the CPU supports, loudly).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -20,8 +30,10 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "core/simd.hpp"
 #include "core/thread_pool.hpp"
 #include "cut/branch_bound.hpp"
+#include "cut/constructive.hpp"
 #include "expansion/expansion.hpp"
 #include "topology/butterfly.hpp"
 #include "topology/ccc.hpp"
@@ -38,10 +50,31 @@ struct Row {
   double seconds = 0.0;
   std::uint64_t visited_nodes = 0;
   std::size_t capacity = 0;
+  double nodes_per_sec = 0.0;
+  std::uint64_t ws_spawned = 0;
+  std::uint64_t ws_steals = 0;
+  double ws_idle_seconds = 0.0;
 };
 
 std::vector<Row> g_rows;
 int g_failures = 0;
+// AVX2-over-scalar nodes/s ratio from the W32 budgeted rows; 0 until
+// measured (or when the machine / --dispatch pin rules AVX2 out).
+double g_bb_simd_speedup = 0.0;
+
+void push_row(Row r) {
+  r.nodes_per_sec = r.seconds > 0.0
+                        ? static_cast<double>(r.visited_nodes) / r.seconds
+                        : 0.0;
+  std::printf(
+      "%-10s %-18s threads=%u  %10.4fs  visited=%llu  capacity=%zu"
+      "  (%.0f nodes/s, steals %llu/%llu)\n",
+      r.instance.c_str(), r.kernel.c_str(), r.threads, r.seconds,
+      static_cast<unsigned long long>(r.visited_nodes), r.capacity,
+      r.nodes_per_sec, static_cast<unsigned long long>(r.ws_steals),
+      static_cast<unsigned long long>(r.ws_spawned));
+  g_rows.push_back(std::move(r));
+}
 
 Graph random_graph(NodeId n, double p, std::uint64_t seed) {
   Rng rng(seed);
@@ -70,13 +103,77 @@ cut::CutResult run_bisection(const std::string& instance, const Graph& g,
   const auto t0 = std::chrono::steady_clock::now();
   const auto res = cut::min_bisection_branch_bound(g, opts);
   const double secs = seconds_since(t0);
-  g_rows.push_back({instance, kernel_name, threads, secs, res.nodes_visited,
-                    res.capacity});
-  std::printf("%-10s %-18s threads=%u  %10.4fs  visited=%llu  capacity=%zu\n",
-              instance.c_str(), kernel_name, threads, secs,
-              static_cast<unsigned long long>(res.nodes_visited),
-              res.capacity);
+  push_row({instance, kernel_name, threads, secs, res.nodes_visited,
+            res.capacity, 0.0, res.ws_spawned, res.ws_steals,
+            res.ws_idle_seconds});
   return res;
+}
+
+// E23: the same node-budgeted bitset search at each pinned dispatch
+// level. Budgeting decouples the measurement from closure — B16/W32 are
+// exact-frontier instances — while keeping the visited count a
+// deterministic level-invariant (the kernels are bit-identical by
+// contract, so the search trace is too). Returns the avx2/scalar
+// nodes-per-second ratio, or 0 when no AVX2 row ran.
+double dispatch_case(const std::string& instance, const Graph& g,
+                     std::uint64_t node_budget, bool include_avx512) {
+  using simd::DispatchLevel;
+  const DispatchLevel cap = simd::active_level();  // honors --dispatch pin
+  const DispatchLevel restore = cap;
+  double secs_by_level[3] = {0.0, 0.0, 0.0};
+  std::uint64_t ref_nodes = 0;
+  std::size_t ref_capacity = 0;
+  for (const DispatchLevel level :
+       {DispatchLevel::kScalar, DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+    if (level > cap) continue;
+    if (level == DispatchLevel::kAvx512 && !include_avx512) continue;
+    simd::set_active_level(level);
+    cut::BranchBoundOptions opts;
+    opts.kernel = cut::BranchBoundKernel::kBitset;
+    opts.node_limit = node_budget;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = cut::min_bisection_branch_bound(g, opts);
+    const double secs = seconds_since(t0);
+    const std::string name = "bb-bitset@" + std::string(simd::to_string(level));
+    push_row({instance, name, 1, secs, res.nodes_visited, res.capacity, 0.0,
+              res.ws_spawned, res.ws_steals, res.ws_idle_seconds});
+    secs_by_level[static_cast<int>(level)] = secs;
+    if (level == DispatchLevel::kScalar) {
+      ref_nodes = res.nodes_visited;
+      ref_capacity = res.capacity;
+    } else if (res.nodes_visited != ref_nodes ||
+               res.capacity != ref_capacity) {
+      std::fprintf(stderr,
+                   "MISMATCH %s: %s visited %llu nodes / capacity %zu, "
+                   "scalar dispatch visited %llu / capacity %zu\n",
+                   instance.c_str(), name.c_str(),
+                   static_cast<unsigned long long>(res.nodes_visited),
+                   res.capacity, static_cast<unsigned long long>(ref_nodes),
+                   ref_capacity);
+      ++g_failures;
+    }
+  }
+  simd::set_active_level(restore);
+  const double scalar = secs_by_level[static_cast<int>(DispatchLevel::kScalar)];
+  const double avx2 = secs_by_level[static_cast<int>(DispatchLevel::kAvx2)];
+  return (scalar > 0.0 && avx2 > 0.0) ? scalar / avx2 : 0.0;
+}
+
+// Work-stealing telemetry row: the budgeted bitset search fanned out
+// over more workers than this machine may have cores — steal counters
+// land in the JSON either way, and threads>1 rows are exempt from the
+// node-count gate (the shared incumbent races).
+void steal_telemetry_case(const std::string& instance, const Graph& g,
+                          std::uint64_t node_budget) {
+  cut::BranchBoundOptions opts;
+  opts.kernel = cut::BranchBoundKernel::kBitset;
+  opts.node_limit = node_budget;
+  opts.num_threads = 4;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto res = cut::min_bisection_branch_bound(g, opts);
+  const double secs = seconds_since(t0);
+  push_row({instance, "bb-bitset-ws", 4, secs, res.nodes_visited, res.capacity,
+            0.0, res.ws_spawned, res.ws_steals, res.ws_idle_seconds});
 }
 
 void bisection_case(const std::string& instance, const Graph& g,
@@ -154,13 +251,9 @@ void expansion_case(const std::string& instance, const Graph& g,
     const double secs = seconds_since(t0);
     // Symmetry-reduced rows record the states actually enumerated (the
     // real work); visited_states is the weighted coverage, 2^N always.
-    g_rows.push_back({instance, kernel_name, threads, secs,
-                      res.scanned_states, res.table[mid].ee});
-    std::printf(
-        "%-10s %-18s threads=%u  %10.4fs  visited=%llu  capacity=%zu\n",
-        instance.c_str(), kernel_name, threads, secs,
-        static_cast<unsigned long long>(res.scanned_states),
-        res.table[mid].ee);
+    push_row({instance, kernel_name, threads, secs, res.scanned_states,
+              res.table[mid].ee, 0.0, res.ws_spawned, res.ws_steals,
+              res.ws_idle_seconds});
     return res;
   };
 
@@ -200,16 +293,26 @@ void write_json(const std::string& path, bool smoke) {
   std::fprintf(f, "{\n  \"bench\": \"exact_kernels\",\n");
   std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
   std::fprintf(f, "  \"mismatches\": %d,\n", g_failures);
+  std::fprintf(f, "  \"dispatch_detected\": \"%s\",\n",
+               simd::to_string(simd::detected_level()));
+  std::fprintf(f, "  \"dispatch_active\": \"%s\",\n",
+               simd::to_string(simd::active_level()));
+  std::fprintf(f, "  \"bb_simd_speedup\": %.3f,\n", g_bb_simd_speedup);
   std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t i = 0; i < g_rows.size(); ++i) {
     const Row& r = g_rows[i];
     std::fprintf(f,
                  "    {\"instance\": \"%s\", \"kernel\": \"%s\", "
                  "\"threads\": %u, \"seconds\": %.6f, "
-                 "\"visited_nodes\": %llu, \"capacity\": %zu}%s\n",
+                 "\"visited_nodes\": %llu, \"capacity\": %zu, "
+                 "\"nodes_per_sec\": %.1f, \"ws_spawned\": %llu, "
+                 "\"ws_steals\": %llu, \"ws_idle_seconds\": %.6f}%s\n",
                  r.instance.c_str(), r.kernel.c_str(), r.threads, r.seconds,
                  static_cast<unsigned long long>(r.visited_nodes), r.capacity,
-                 i + 1 < g_rows.size() ? "," : "");
+                 r.nodes_per_sec,
+                 static_cast<unsigned long long>(r.ws_spawned),
+                 static_cast<unsigned long long>(r.ws_steals),
+                 r.ws_idle_seconds, i + 1 < g_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -226,15 +329,38 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
       out = argv[i] + 6;
+    } else if (std::strncmp(argv[i], "--dispatch=", 11) == 0) {
+      simd::DispatchLevel level = simd::DispatchLevel::kScalar;
+      if (!simd::parse_level(argv[i] + 11, level)) {
+        std::fprintf(stderr,
+                     "unknown dispatch level '%s' "
+                     "(want scalar, avx2, or avx512)\n",
+                     argv[i] + 11);
+        return 2;
+      }
+      if (!simd::set_active_level(level)) {
+        std::fprintf(stderr,
+                     "warning: --dispatch=%s exceeds this CPU's detected "
+                     "level %s; keeping %s\n",
+                     simd::to_string(level),
+                     simd::to_string(simd::detected_level()),
+                     simd::to_string(simd::active_level()));
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out=<path>]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--out=<path>] "
+                   "[--dispatch=scalar|avx2|avx512]\n",
+                   argv[0]);
       return 2;
     }
   }
   const unsigned hw = default_thread_count();
   const unsigned max_threads = hw > 1 ? hw : 1;
-  std::printf("exact-kernel bench (%s mode, %u hardware threads)\n",
-              smoke ? "smoke" : "full", hw);
+  std::printf(
+      "exact-kernel bench (%s mode, %u hardware threads, "
+      "simd detected=%s active=%s)\n",
+      smoke ? "smoke" : "full", hw, simd::to_string(simd::detected_level()),
+      simd::to_string(simd::active_level()));
 
   // Automorphism groups for the symmetry-pruned rows (E21). Random
   // instances get none — their generic graphs have trivial groups.
@@ -268,6 +394,40 @@ int main(int argc, char** argv) {
     bisection_case("rand24", random_graph(24, 0.3, 11), max_threads);
     bisection_case("W16", w16.graph(), max_threads, &gw16);
     bisection_case("CCC16", c16.graph(), max_threads, &gc16);
+  }
+
+  // --- E23: dispatch trajectory + work-stealing telemetry on the exact
+  // frontier (B16: 80 nodes, W32: 160 nodes). Node-budgeted so the rows
+  // measure kernel throughput, not closure. W32 is the speedup metric —
+  // at 160 nodes (3 mask words) the vector sweeps dominate; B16 rides
+  // along to show the trajectory on the paper's own family.
+  const topo::Butterfly b16(16);
+  const topo::WrappedButterfly w32(32);
+  const std::uint64_t budget = smoke ? 1'500'000ull : 8'000'000ull;
+  dispatch_case("B16", b16.graph(), budget, !smoke);
+  g_bb_simd_speedup = dispatch_case("W32", w32.graph(), budget, !smoke);
+  if (g_bb_simd_speedup > 0.0) {
+    std::printf("bb_simd_speedup (W32, avx2/scalar nodes/s): %.2fx\n",
+                g_bb_simd_speedup);
+  }
+  steal_telemetry_case("W32", w32.graph(), budget);
+  if (!smoke) {
+    // Exact B16 closure: seeded with the constructive column-split
+    // incumbent (the paper's upper bound, capacity 16) the bitset
+    // kernel proves B16's bisection width within the full-bench budget.
+    cut::BranchBoundOptions exact_opts;
+    exact_opts.kernel = cut::BranchBoundKernel::kBitset;
+    exact_opts.initial_bound = cut::column_split_bisection(b16).capacity + 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = cut::min_bisection_branch_bound(b16.graph(), exact_opts);
+    const double secs = seconds_since(t0);
+    push_row({"B16", "bb-bitset-exact", 1, secs, res.nodes_visited,
+              res.capacity, 0.0, res.ws_spawned, res.ws_steals,
+              res.ws_idle_seconds});
+    if (res.exactness != cut::Exactness::kExact) {
+      std::fprintf(stderr, "MISMATCH B16: bb-bitset-exact did not close\n");
+      ++g_failures;
+    }
   }
 
   // --- exhaustive expansion sweep, serial vs sharded vs symmetry ---

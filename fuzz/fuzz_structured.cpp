@@ -19,6 +19,7 @@
 
 #include "core/error.hpp"
 #include "core/graph.hpp"
+#include "core/simd.hpp"
 #include "cut/bisection.hpp"
 #include "cut/branch_bound.hpp"
 #include "cut/fiduccia_mattheyses.hpp"
@@ -105,6 +106,60 @@ std::size_t exact_capacity(std::uint8_t family, std::uint8_t size_sel,
   return exact.capacity;
 }
 
+/// SIMD kernel differential on fuzz-shaped inputs: every dispatch level
+/// this machine supports must agree with the scalar reference bit for
+/// bit on the branching scan and the bound histogram — the two kernels
+/// with internal tier gates (packed vs wide keys, field-accumulator vs
+/// movemask vs sparse-delegation) that byte-driven sizes and densities
+/// are good at straddling.
+void check_simd_differential(std::uint64_t seed, std::uint8_t shape) {
+  const std::size_t nbits = 1u + (static_cast<std::size_t>(shape) * 7u) % 300u;
+  // One value bound per histogram tier: field accumulator (<= 4),
+  // movemask (5..16), scalar fallback / wide select keys (> 1023).
+  const std::uint32_t kBounds[] = {4u, 13u, 1500u};
+  const std::uint32_t max_value = kBounds[shape % 3u];
+  const std::size_t words = (nbits + 63) / 64;
+  std::vector<std::uint64_t> mask(words, 0);
+  std::vector<std::uint32_t> a0(nbits), a1(nbits), deg(nbits);
+  std::uint64_t x = seed | 1u;  // splitmix64 stream from the fuzz seed
+  const auto next = [&x] {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if ((next() & 3u) != 0) mask[i / 64] |= std::uint64_t{1} << (i % 64);
+    a0[i] = static_cast<std::uint32_t>(next() % (max_value + 1));
+    a1[i] = static_cast<std::uint32_t>(next() % (max_value + 1));
+    deg[i] = static_cast<std::uint32_t>(next() % (max_value + 1));
+  }
+  using bfly::simd::DispatchLevel;
+  const auto& ref = bfly::simd::kernels_for(DispatchLevel::kScalar);
+  const std::size_t want_sel =
+      ref.select_max_key(mask.data(), nbits, a0.data(), a1.data(), deg.data(),
+                         max_value);
+  std::vector<std::uint32_t> wp(2, 0), wb0(max_value + 1, 0),
+      wb1(max_value + 1, 0);
+  ref.diff_histogram(mask.data(), nbits, a0.data(), a1.data(), max_value,
+                     wp.data(), wb0.data(), wb1.data());
+  for (const DispatchLevel level : {DispatchLevel::kAvx2,
+                                    DispatchLevel::kAvx512}) {
+    if (bfly::simd::detected_level() < level) break;
+    const auto& kt = bfly::simd::kernels_for(level);
+    if (kt.select_max_key(mask.data(), nbits, a0.data(), a1.data(), deg.data(),
+                          max_value) != want_sel) {
+      std::abort();
+    }
+    std::vector<std::uint32_t> gp(2, 0), gb0(max_value + 1, 0),
+        gb1(max_value + 1, 0);
+    kt.diff_histogram(mask.data(), nbits, a0.data(), a1.data(), max_value,
+                      gp.data(), gb0.data(), gb1.data());
+    if (gp != wp || gb0 != wb0 || gb1 != wb1) std::abort();
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -132,5 +187,10 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   const std::size_t opt = exact_capacity(family, size_sel, g,
                                          heuristic.capacity);
   if (heuristic.capacity < opt) std::abort();
+
+  // Contract 3: the dispatched SIMD kernels are level-invariant on this
+  // input's derived masks and counters.
+  check_simd_differential(seed, static_cast<std::uint8_t>(family ^ size_sel ^
+                                                          which));
   return 0;
 }

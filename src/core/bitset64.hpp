@@ -3,7 +3,11 @@
 // Used by the exact solvers to represent node subsets; sized at runtime,
 // supports popcount, word-level iteration, and the fused set-algebra
 // kernels (and_count, or/and/andnot assignment) that the bitset-parallel
-// branch-and-bound and expansion sweeps are built on.
+// branch-and-bound and expansion sweeps are built on. The bulk word
+// kernels route through the runtime SIMD dispatch (core/simd.hpp):
+// scalar on any machine, AVX2/AVX-512 where detected, bit-identical by
+// contract. Bits above size() are always zero — the invariant the
+// whole-word kernels rely on.
 #pragma once
 
 #include <bit>
@@ -12,6 +16,7 @@
 #include <vector>
 
 #include "core/error.hpp"
+#include "core/simd.hpp"
 
 namespace bfly {
 
@@ -49,9 +54,8 @@ class Bitset64 {
   }
 
   [[nodiscard]] std::size_t count() const noexcept {
-    std::size_t c = 0;
-    for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
-    return c;
+    return static_cast<std::size_t>(
+        simd::kernels().count(words_.data(), words_.size()));
   }
 
   [[nodiscard]] bool any() const noexcept {
@@ -79,36 +83,29 @@ class Bitset64 {
   /// neighbor counts are popcounts of adj[v] & side_mask).
   [[nodiscard]] std::size_t and_count(const Bitset64& other) const {
     BFLY_ASSERT(nbits_ == other.nbits_);
-    std::size_t c = 0;
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      c += static_cast<std::size_t>(
-          std::popcount(words_[wi] & other.words_[wi]));
-    }
-    return c;
+    return static_cast<std::size_t>(simd::kernels().and_count(
+        words_.data(), other.words_.data(), words_.size()));
   }
 
   /// *this |= other.
   void or_assign(const Bitset64& other) {
     BFLY_ASSERT(nbits_ == other.nbits_);
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      words_[wi] |= other.words_[wi];
-    }
+    simd::kernels().or_assign(words_.data(), other.words_.data(),
+                              words_.size());
   }
 
   /// *this &= other.
   void and_assign(const Bitset64& other) {
     BFLY_ASSERT(nbits_ == other.nbits_);
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      words_[wi] &= other.words_[wi];
-    }
+    simd::kernels().and_assign(words_.data(), other.words_.data(),
+                               words_.size());
   }
 
   /// *this &= ~other.
   void andnot_assign(const Bitset64& other) {
     BFLY_ASSERT(nbits_ == other.nbits_);
-    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
-      words_[wi] &= ~other.words_[wi];
-    }
+    simd::kernels().andnot_assign(words_.data(), other.words_.data(),
+                                  words_.size());
   }
 
   /// Sets every bit in [0, size()).

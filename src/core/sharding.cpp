@@ -1,0 +1,167 @@
+#include "core/sharding.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/sync.hpp"
+#include "core/thread_pool.hpp"
+#include "robust/fault_injection.hpp"
+
+namespace bfly {
+
+namespace {
+
+// One worker's shard deque. The owner takes from the front (preserving
+// its seeded order), thieves take from the back (the work the owner
+// would reach last, so contention on the same end is rare even though
+// one capability guards both — the annotated stand-in for Chase-Lev).
+struct ShardDeque {
+  sync::Mutex mu;
+  std::deque<std::size_t> q BFLY_GUARDED_BY(mu);
+};
+
+struct PopResult {
+  std::size_t shard = 0;
+  bool got = false;
+  bool stolen = false;
+};
+
+}  // namespace
+
+StealStats WorkStealingScheduler::run(std::size_t num_shards,
+                                      const ShardFn& fn) {
+  return run(num_shards, fn, Options());
+}
+
+StealStats WorkStealingScheduler::run(std::size_t num_shards,
+                                      const ShardFn& fn,
+                                      const Options& opts) {
+  StealStats stats;
+  stats.spawned = num_shards;
+  if (num_shards == 0) return stats;
+
+  const unsigned workers =
+      opts.num_workers == 0 ? default_thread_count() : opts.num_workers;
+  if (workers <= 1 || num_shards == 1) {
+    // Inline serial drain in index order: byte-identical scheduling to
+    // the pre-scheduler serial drivers (checkpoint replay relies on it).
+    for (std::size_t i = 0; i < num_shards; ++i) fn(i, 0);
+    return stats;
+  }
+
+  std::vector<ShardDeque> deques(workers);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    const std::size_t owner =
+        opts.seed_to_first ? 0 : i % static_cast<std::size_t>(workers);
+    const sync::MutexLock lock(deques[owner].mu);
+    deques[owner].q.push_back(i);
+  }
+
+  // Termination protocol: `queued` counts shards sitting in deques,
+  // `inflight` counts shards between claim and completion. No shard
+  // ever re-enqueues work, so once a worker observes queued == 0 then
+  // inflight == 0 (in that order) nothing is left to steal and it may
+  // exit; a racing claimant that already popped the last shard still
+  // runs it to completion before its own exit check.
+  std::atomic<std::size_t> queued{num_shards};
+  std::atomic<std::size_t> inflight{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> idle_ns{0};
+
+  sync::Mutex err_mu;
+  std::exception_ptr first_error BFLY_GUARDED_BY(err_mu);
+
+  auto worker_loop = [&](unsigned id) {
+    for (;;) {
+      PopResult pop;
+      {
+        const sync::MutexLock lock(deques[id].mu);
+        if (!deques[id].q.empty()) {
+          pop.shard = deques[id].q.front();
+          deques[id].q.pop_front();
+          pop.got = true;
+        }
+      }
+      if (!pop.got) {
+        for (unsigned k = 1; k < workers && !pop.got; ++k) {
+          ShardDeque& victim = deques[(id + k) % workers];
+          const sync::MutexLock lock(victim.mu);
+          if (!victim.q.empty()) {
+            pop.shard = victim.q.back();
+            victim.q.pop_back();
+            pop.got = true;
+            pop.stolen = true;
+          }
+        }
+      }
+      if (pop.got) {
+        queued.fetch_sub(1, std::memory_order_relaxed);
+        inflight.fetch_add(1, std::memory_order_acquire);
+        // A stalled worker (fault-injected here, as in TaskGroup) sleeps
+        // before running its shard; the Supervisor's watchdog is what
+        // notices the frozen progress cell.
+        BFLY_FAULT_POINT(kWorkerStall);
+        try {
+          fn(pop.shard, id);
+        } catch (...) {
+          const sync::MutexLock lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        inflight.fetch_sub(1, std::memory_order_release);
+        if (pop.stolen) steals.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (queued.load(std::memory_order_relaxed) == 0 &&
+          inflight.load(std::memory_order_acquire) == 0) {
+        return;
+      }
+      // Every deque was empty but a peer still runs a shard (which, on
+      // an oversubscribed machine, may need this core): yield, charge
+      // the wait to the idle counter.
+      const auto t0 = std::chrono::steady_clock::now();
+      std::this_thread::yield();
+      idle_ns.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count()),
+          std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  // Spawning can fail (std::system_error from the runtime, or the
+  // kTaskSpawn fault point in checked builds). Whatever did spawn plus
+  // the calling thread can still drain every shard — the deques were
+  // seeded before any thread started — so run the pool down before
+  // propagating; no thread may outlive its captured stack frame.
+  std::exception_ptr spawn_error;
+  try {
+    for (unsigned id = 1; id < workers; ++id) {
+      BFLY_FAULT_POINT(kTaskSpawn);
+      pool.emplace_back(worker_loop, id);
+    }
+  } catch (...) {
+    spawn_error = std::current_exception();
+  }
+  worker_loop(0);
+  for (auto& t : pool) t.join();
+
+  stats.steals = steals.load(std::memory_order_relaxed);
+  stats.idle_seconds =
+      static_cast<double>(idle_ns.load(std::memory_order_relaxed)) * 1e-9;
+  {
+    const sync::MutexLock lock(err_mu);
+    if (first_error) std::rethrow_exception(first_error);
+  }
+  if (spawn_error) std::rethrow_exception(spawn_error);
+  return stats;
+}
+
+}  // namespace bfly

@@ -1,0 +1,67 @@
+// Work-stealing shard scheduler (DESIGN.md §13).
+//
+// One abstraction behind every sharded exact search in the tree: the
+// branch-and-bound seed-prefix subtrees and the top-p-bit expansion
+// sub-sweeps are both "N independent shards, run them all, merge as you
+// go" workloads, previously dispatched by pushing every shard through
+// one TaskGroup queue. This scheduler gives each worker its own
+// capability-annotated deque (the Chase-Lev shape with the PR 7 sync
+// layer standing in for the lock-free version: owner pops the front,
+// thieves steal from the back, so the owner drains shards in seeding
+// order while thieves take the coldest work). Shards are distributed
+// round-robin at start; a worker whose deque runs dry scans the others
+// and steals, so one slow shard never idles the rest of the pool.
+//
+// Determinism contract: the scheduler only changes WHICH worker runs a
+// shard, never the shard set. Callers that merge through order-
+// insensitive reductions (SharedIncumbent's strict-improvement publish,
+// ShardMerger's job-index tie break) therefore produce thread-count-
+// independent results — the same contract the TaskGroup drivers had.
+// With num_workers <= 1 (or a single shard) everything runs inline on
+// the calling thread in index order, which is byte-identical to the old
+// serial drivers and keeps checkpointed runs replayable.
+//
+// Exception contract (mirrors TaskGroup): a shard that throws does not
+// stop the remaining shards; the first exception (by completion order)
+// is rethrown from run() after every worker has drained.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace bfly {
+
+/// Steal-efficiency telemetry for one run(): how many shards existed,
+/// how many were executed by a thief rather than their seeded owner,
+/// and how long workers spent scanning for work with every deque empty.
+/// bench_exact_kernels reports steals/spawned and idle_seconds per row.
+struct StealStats {
+  std::uint64_t spawned = 0;   ///< shards enqueued (== shards executed)
+  std::uint64_t steals = 0;    ///< shards executed by a non-owner worker
+  double idle_seconds = 0.0;   ///< summed per-worker empty-scan time
+};
+
+class WorkStealingScheduler {
+ public:
+  struct Options {
+    /// Worker threads (0 = default_thread_count(), 1 = inline serial).
+    unsigned num_workers = 0;
+    /// Seed every shard into worker 0's deque instead of round-robin:
+    /// all parallelism then comes from stealing. Used by the stress
+    /// tests to force nonzero steal counters deterministically; also
+    /// the right mode when shard costs are wildly front-loaded.
+    bool seed_to_first = false;
+  };
+
+  /// fn(shard_index, worker_index) — worker_index in [0, num_workers).
+  using ShardFn = std::function<void(std::size_t, unsigned)>;
+
+  /// Runs shards 0..num_shards-1 to completion and returns the steal
+  /// telemetry. Blocking; rethrows the first shard exception after all
+  /// workers drain (remaining shards still run, TaskGroup semantics).
+  static StealStats run(std::size_t num_shards, const ShardFn& fn,
+                        const Options& opts);
+  static StealStats run(std::size_t num_shards, const ShardFn& fn);
+};
+
+}  // namespace bfly

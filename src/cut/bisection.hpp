@@ -44,6 +44,12 @@ struct CutResult {
   /// equivalent state had already been searched, and states stored.
   std::uint64_t tt_hits = 0;
   std::uint64_t tt_stores = 0;
+  /// Work-stealing scheduler telemetry (parallel seed-prefix driver
+  /// only; zero otherwise): shards spawned, shards executed by a thief
+  /// rather than their seeded owner, and summed worker idle-scan time.
+  std::uint64_t ws_spawned = 0;
+  std::uint64_t ws_steals = 0;
+  double ws_idle_seconds = 0.0;
 };
 
 /// True iff the side vector is a bisection of all its nodes.

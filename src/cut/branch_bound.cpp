@@ -11,6 +11,8 @@
 
 #include "core/bitset64.hpp"
 #include "core/error.hpp"
+#include "core/sharding.hpp"
+#include "core/simd.hpp"
 #include "core/sync.hpp"
 #include "cut/incumbent.hpp"
 #include "cut/transposition.hpp"
@@ -292,6 +294,9 @@ struct BitsetSearcher {
   const std::vector<Bitset64>& adj;  // packed rows, cached on the graph
   std::vector<std::uint8_t> state;   // 0, 1, or kUnassigned
   std::vector<std::uint32_t> a[2];   // assigned-neighbor counts per side
+  std::vector<std::uint32_t> deg_;   // degrees, contiguous for the
+                                     // vectorized branching scan
+  std::uint32_t max_deg_ = 0;        // bounds every a0/a1/deg entry
   Bitset64 mask[2];                  // nodes on each side
   Bitset64 unassigned;               // complement of mask[0] | mask[1]
   SubsetState sub;
@@ -322,6 +327,11 @@ struct BitsetSearcher {
     state.assign(n, kUnassigned);
     a[0].assign(n, 0);
     a[1].assign(n, 0);
+    deg_.resize(n);
+    for (NodeId v = 0; v < n; ++v) {
+      deg_[v] = static_cast<std::uint32_t>(g.degree(v));
+    }
+    max_deg_ = static_cast<std::uint32_t>(g.max_degree());
     mask[0] = Bitset64(n);
     mask[1] = Bitset64(n);
     unassigned = Bitset64(n);
@@ -406,6 +416,49 @@ struct BitsetSearcher {
     state[v] = kUnassigned;
   }
 
+  // Batched prefix seeding for the sharded drivers: set the masks and
+  // per-node state wholesale, then rebuild every derived quantity with
+  // one dispatched multi-row and_count pass (a[s][w] = |adj[w] ∩
+  // mask[s]| for ALL w at once) instead of prefix-many incremental
+  // assign() sweeps. Prefix nodes end up carrying their FULL side
+  // counts where sequential seeding leaves the partial counts frozen at
+  // assignment time — safe, because an assigned node's counts are only
+  // read again on unassignment (assign()'s drift assert checks the node
+  // being newly assigned, whose counts are live either way) and prefix
+  // nodes are never unassigned: the DFS unwinds only below the prefix.
+  // Everything the search reads (unassigned counts, cur_cut, sum_min,
+  // masks) is identical to sequential seeding, so subtree node counts
+  // are unchanged.
+  void seed_prefix(const std::vector<std::uint8_t>& prefix) {
+    for (std::size_t i = 0; i < prefix.size(); ++i) {
+      const NodeId v = order[i];
+      const int s = prefix[i];
+      state[v] = static_cast<std::uint8_t>(s);
+      ++cnt[s];
+      if (sub.in_subset[v]) {
+        ++sub.u_assigned;
+        if (s == 1) ++sub.u1;
+      }
+      mask[s].set(v);
+      unassigned.reset(v);
+    }
+    std::vector<const std::uint64_t*> rows(n);
+    for (NodeId v = 0; v < n; ++v) rows[v] = adj[v].words().data();
+    const simd::KernelTable& k = simd::kernels();
+    for (int s = 0; s < 2; ++s) {
+      k.multi_and_count(rows.data(), mask[s].words().data(),
+                        mask[s].num_words(), n, a[s].data());
+    }
+    // cut = cross edges within the assigned set, each counted once from
+    // its side-1 endpoint; sum_min re-derived over the unassigned rest.
+    cur_cut = 0;
+    mask[1].for_each_set([&](std::size_t v) { cur_cut += a[0][v]; });
+    sum_min = 0;
+    unassigned.for_each_set([&](std::size_t v) {
+      sum_min += std::min(a[0][v], a[1][v]);
+    });
+  }
+
   // Pool the local node count and poll every stop source. Called at an
   // amortized cadence from dfs and once at the end of a worker's run.
   void flush_and_poll() {
@@ -462,17 +515,14 @@ struct BitsetSearcher {
     const std::size_t xlo = r > room1 ? r - room1 : 0;
     std::fill(diff_bucket[0].begin(), diff_bucket[0].end(), 0u);
     std::fill(diff_bucket[1].begin(), diff_bucket[1].end(), 0u);
-    std::size_t p0 = 0, p1 = 0;  // nodes strictly preferring side 0 / 1
-    unassigned.for_each_set([&](std::size_t w) {
-      const std::uint32_t a0 = a[0][w], a1 = a[1][w];
-      if (a0 > a1) {  // placing w on side 0 costs a1 (its cheaper side)
-        ++p0;
-        ++diff_bucket[0][a0 - a1];
-      } else if (a1 > a0) {
-        ++p1;
-        ++diff_bucket[1][a1 - a0];
-      }
-    });
+    // Dispatched scan: nodes strictly preferring side 0 / 1 (placing a
+    // node on side 0 costs a1, its cheaper side), differences bucketed.
+    std::uint32_t p01[2] = {0, 0};
+    simd::kernels().diff_histogram(unassigned.words().data(), n, a[0].data(),
+                                   a[1].data(), max_deg_, p01,
+                                   diff_bucket[0].data(),
+                                   diff_bucket[1].data());
+    const std::size_t p0 = p01[0], p1 = p01[1];
     const std::size_t ties = r - p0 - p1;
     std::size_t forced = 0;
     const std::vector<std::uint32_t>* bucket = nullptr;
@@ -589,28 +639,19 @@ struct BitsetSearcher {
   // Dynamic branching order: descend on the most constrained unassigned
   // node — largest side-count difference (its bad branch is the
   // likeliest to prune), then most assigned neighbors, then highest
-  // degree, then lowest id (determinism). Word-level scan over the
-  // unassigned mask. Unlike the scalar kernel's static BFS order, this
-  // re-ranks after every assignment; it is the main tree-size lever of
-  // the bitset kernel.
+  // degree, then lowest id (determinism). This re-ranks after every
+  // assignment, making it an O(unassigned) sweep per expanded node —
+  // the hottest scan of the bitset kernel — so it runs through the
+  // dispatched select_max_key, whose vector paths reproduce the scalar
+  // first-max-in-index-order argmax bit for bit (node counts are
+  // therefore dispatch-invariant).
   [[nodiscard]] NodeId select_next() const {
-    NodeId best = 0;
-    std::uint64_t best_key = 0;
-    bool found = false;
-    unassigned.for_each_set([&](std::size_t w) {
-      const std::uint32_t a0 = a[0][w], a1 = a[1][w];
-      const std::uint32_t diff = a0 > a1 ? a0 - a1 : a1 - a0;
-      const std::uint64_t key = (static_cast<std::uint64_t>(diff) << 42) |
-                                (static_cast<std::uint64_t>(a0 + a1) << 21) |
-                                static_cast<std::uint64_t>(g.degree(w));
-      if (!found || key > best_key) {
-        found = true;
-        best_key = key;
-        best = static_cast<NodeId>(w);
-      }
-    });
-    BFLY_ASSERT(found);
-    return best;
+    const std::size_t best = simd::kernels().select_max_key(
+        unassigned.words().data(), n, a[0].data(), a[1].data(), deg_.data(),
+        max_deg_);
+    BFLY_ASSERT_MSG(best != static_cast<std::size_t>(-1),
+                    "select_next called with no unassigned node");
+    return static_cast<NodeId>(best);
   }
 
   // Strong-branching selection key used in symmetry mode: score each
@@ -896,6 +937,7 @@ struct BitsetRunOutcome {
   std::uint64_t visited = 0;
   std::uint64_t tt_hits = 0;
   std::uint64_t tt_stores = 0;
+  StealStats ws;
 };
 
 BitsetRunOutcome run_bitset_search(const Graph& g,
@@ -907,8 +949,11 @@ BitsetRunOutcome run_bitset_search(const Graph& g,
   // Checkpointing (either direction) forces the seed-prefix driver even
   // for serial runs: the prefix subtree is the unit of resume, so the
   // interrupted run and its continuation partition the tree identically.
-  const bool checkpointing =
-      opts.on_checkpoint != nullptr || opts.resume != nullptr;
+  // Sharded runs (shard_count > 1) also force the prefix driver: the
+  // shard filter partitions the prefix list, and each shard's emitted
+  // checkpoint is what the out-of-process merger combines.
+  const bool checkpointing = opts.on_checkpoint != nullptr ||
+                             opts.resume != nullptr || opts.shard_count > 1;
 
   // Symmetry pruning is silently disabled whenever its preconditions
   // fail (subset mode, masks wider than one word, group too large to
@@ -983,20 +1028,21 @@ BitsetRunOutcome run_bitset_search(const Graph& g,
         prefixes.empty() ? 0 : static_cast<unsigned>(prefixes[0].size());
 
     if (!checkpointing) {
-      TaskGroup group(threads);
-      for (const auto& prefix : prefixes) {
-        group.add([&g, &opts, &order, &shared, &prefix] {
-          BitsetSearcher s(g, opts, order, shared);
-          for (std::size_t i = 0; i < prefix.size(); ++i) {
-            s.assign(order[i], prefix[i]);
-          }
-          // The prefix was enumerated under the same feasibility rules
-          // dfs enforces, so descending from its depth is sound.
-          if (s.sub.feasible()) s.dfs(static_cast<NodeId>(prefix.size()));
-          s.flush_and_poll();
-        });
-      }
-      group.wait();
+      WorkStealingScheduler::Options wopts;
+      wopts.num_workers = threads;
+      out.ws = WorkStealingScheduler::run(
+          prefixes.size(),
+          [&g, &opts, &order, &shared, &prefixes](std::size_t pi, unsigned) {
+            BitsetSearcher s(g, opts, order, shared);
+            s.seed_prefix(prefixes[pi]);
+            // The prefix was enumerated under the same feasibility rules
+            // dfs enforces, so descending from its depth is sound.
+            if (s.sub.feasible()) {
+              s.dfs(static_cast<NodeId>(prefixes[pi].size()));
+            }
+            s.flush_and_poll();
+          },
+          wopts);
     } else {
       PrefixLedger ledger;
       {
@@ -1015,9 +1061,7 @@ BitsetRunOutcome run_bitset_search(const Graph& g,
         // checkpoint survives, the in-flight subtree re-runs on resume.
         BFLY_FAULT_POINT(kCrash);
         BitsetSearcher s(g, opts, order, shared);
-        for (std::size_t i = 0; i < prefixes[pi].size(); ++i) {
-          s.assign(order[i], prefixes[pi][i]);
-        }
+        s.seed_prefix(prefixes[pi]);
         if (s.sub.feasible()) s.dfs(static_cast<NodeId>(prefixes[pi].size()));
         s.flush_and_poll();
         if (s.aborted || shared.aborted.load(std::memory_order_relaxed)) {
@@ -1046,28 +1090,35 @@ BitsetRunOutcome run_bitset_search(const Graph& g,
           opts.on_checkpoint(st);
         }
       };
-      // Snapshot of the resume flags before any worker starts: a prefix
-      // pending here can only be completed by its own run_prefix call.
-      std::vector<std::uint8_t> pending_skip;
+      // Work list snapshot before any worker starts: a prefix pending
+      // here can only be completed by its own run_prefix call. The shard
+      // filter (shard_index picks every shard_count-th prefix) composes
+      // with the resume flags, so a sharded resume re-runs exactly its
+      // own unfinished subtrees.
+      std::vector<std::size_t> todo;
       {
         const sync::MutexLock lock(ledger.mu);
-        pending_skip = ledger.done;
-      }
-      if (threads <= 1) {
-        // Serial: a thrown SimulatedCrash (or real bad_alloc) abandons
-        // the remaining prefixes immediately, like a dying process.
         for (std::size_t pi = 0; pi < prefixes.size(); ++pi) {
-          if (!pending_skip[pi]) run_prefix(pi);
-        }
-      } else {
-        TaskGroup group(threads);
-        for (std::size_t pi = 0; pi < prefixes.size(); ++pi) {
-          if (!pending_skip[pi]) {
-            group.add([&run_prefix, pi] { run_prefix(pi); });
+          if (ledger.done[pi]) continue;
+          if (opts.shard_count > 1 &&
+              pi % opts.shard_count != opts.shard_index) {
+            continue;
           }
+          todo.push_back(pi);
         }
-        group.wait();
       }
+      // With one worker the scheduler drains inline in index order, so a
+      // thrown SimulatedCrash (or real bad_alloc) abandons the remaining
+      // prefixes immediately, like a dying process — byte-identical to
+      // the old serial loop, which checkpoint replay relies on.
+      WorkStealingScheduler::Options wopts;
+      wopts.num_workers = threads;
+      out.ws = WorkStealingScheduler::run(
+          todo.size(),
+          [&run_prefix, &todo](std::size_t i, unsigned) {
+            run_prefix(todo[i]);
+          },
+          wopts);
     }
   }
 
@@ -1125,6 +1176,8 @@ CutResult min_bisection_branch_bound(const Graph& g,
     }
     res.exactness = s.aborted ? Exactness::kHeuristic : Exactness::kExact;
   } else {
+    BFLY_CHECK(opts.shard_count >= 1 && opts.shard_index < opts.shard_count,
+               "shard_index must be < shard_count (and shard_count >= 1)");
     const unsigned threads =
         opts.num_threads == 0 ? default_thread_count() : opts.num_threads;
     BitsetRunOutcome out = run_bitset_search(g, opts, threads);
@@ -1133,9 +1186,17 @@ CutResult min_bisection_branch_bound(const Graph& g,
     res.nodes_visited = out.visited;
     res.tt_hits = out.tt_hits;
     res.tt_stores = out.tt_stores;
+    res.ws_spawned = out.ws.spawned;
+    res.ws_steals = out.ws.steals;
+    res.ws_idle_seconds = out.ws.idle_seconds;
     res.capacity = out.capacity;
     res.sides = std::move(out.sides);
-    res.exactness = out.aborted ? Exactness::kHeuristic : Exactness::kExact;
+    // A sharded run searched only its slice of the prefix list: even a
+    // clean finish is a partial proof, so it never claims exactness —
+    // the merged, unsharded resume makes that claim for the ensemble.
+    res.exactness = out.aborted || opts.shard_count > 1
+                        ? Exactness::kHeuristic
+                        : Exactness::kExact;
   }
 
   if (!res.sides.empty() && checked_build()) {

@@ -24,7 +24,8 @@
 //
 // The bitset kernel can also run in parallel: every feasible assignment
 // of the first seed_depth BFS-order nodes becomes a subproblem seed,
-// dispatched over a TaskGroup; workers share one incumbent (the
+// dispatched over the work-stealing shard scheduler (core/sharding.hpp,
+// one deque per worker); workers share one incumbent (the
 // portfolio's SharedIncumbent machinery), so any improvement found by
 // one worker immediately tightens every other worker's pruning bound.
 // The proven optimal capacity is identical for any thread count; only
@@ -155,6 +156,17 @@ struct BranchBoundOptions {
   /// dropped once full; correctness is unaffected — the table is a
   /// pruning cache, never a proof obligation).
   std::size_t tt_max_entries = std::size_t{1} << 20;
+  /// Shard the seed-prefix work list for multi-process search: of the
+  /// enumerated prefixes, this run searches only those with
+  /// index % shard_count == shard_index (1 = unsharded, the default).
+  /// A sharded run is partial BY CONSTRUCTION, so its result reports
+  /// kHeuristic even when every shard subtree closed; the proof is
+  /// reassembled out of process by merging the shards' checkpoints
+  /// (robust::merge_snapshots) and resuming the merged state unsharded
+  /// — with every prefix done, that resume returns kExact immediately.
+  /// Forces the prefix driver; composes with resume. Bitset kernel only.
+  std::size_t shard_count = 1;
+  std::size_t shard_index = 0;
   /// Checkpoint sink: called with a consistent snapshot after every
   /// seed-prefix subtree completes (calls are serialized; under the
   /// parallel driver they arrive on worker threads). Setting this — or

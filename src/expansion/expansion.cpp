@@ -7,6 +7,7 @@
 
 #include "core/error.hpp"
 #include "core/math_util.hpp"
+#include "core/sharding.hpp"
 #include "core/sync.hpp"
 #include "core/thread_pool.hpp"
 #include "robust/fault_injection.hpp"
@@ -400,25 +401,25 @@ ExactExpansionResult exact_expansion_full(const Graph& g,
   // Each worker owns its ShardSweep (membership vectors, per-size
   // tables) for exactly as long as the shard runs, then folds it into
   // the merger — peak memory is one sweep per live thread, not one per
-  // job. A shard that throws (the kCrash fault point) is never
-  // absorbed; the exception propagates through the group join below.
-  auto run_shard = [&](std::size_t i) {
-    ShardSweep shard(g, opts, max_k, shared);
-    shard.run(p, jobs[i].pattern);
-    merger.absorb(i, jobs[i].weight, shard);
-  };
-  if (jobs.size() == 1) {
-    run_shard(0);
-  } else {
-    TaskGroup group(threads);
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      group.add([&run_shard, i] { run_shard(i); });
-    }
-    group.wait();
-  }
+  // job. Shards are dispatched over the work-stealing scheduler, so an
+  // unlucky worker whose shards all finish early steals the remainder
+  // instead of idling (orbit-weighted shards vary widely in size). A
+  // shard that throws (the kCrash fault point) is never absorbed; the
+  // scheduler rethrows the first failure after draining, and the serial
+  // single-shard path propagates immediately.
+  const StealStats ws = WorkStealingScheduler::run(
+      jobs.size(), [&](std::size_t i, unsigned /*worker*/) {
+        ShardSweep shard(g, opts, max_k, shared);
+        shard.run(p, jobs[i].pattern);
+        merger.absorb(i, jobs[i].weight, shard);
+      },
+      WorkStealingScheduler::Options{threads, false});
 
   ExactExpansionResult res;
   merger.finalize(res);
+  res.ws_spawned = ws.spawned;
+  res.ws_steals = ws.steals;
+  res.ws_idle_seconds = ws.idle_seconds;
   res.scanned_states = shared.pooled_visited.load(std::memory_order_relaxed);
   res.exactness = shared.aborted.load(std::memory_order_relaxed)
                       ? cut::Exactness::kHeuristic

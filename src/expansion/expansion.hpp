@@ -97,6 +97,12 @@ struct ExactExpansionResult {
   /// the ratio is the realized orbit compression. The state budget and
   /// progress cell track this count (it is the real work done).
   std::uint64_t scanned_states = 0;
+  /// Work-stealing scheduler telemetry (multi-shard sweeps; zero for
+  /// the single-shard serial path): shards spawned, shards executed by
+  /// a thief rather than their seeded owner, and summed idle-scan time.
+  std::uint64_t ws_spawned = 0;
+  std::uint64_t ws_steals = 0;
+  double ws_idle_seconds = 0.0;
 };
 
 /// Exact EE(G, k) and NE(G, k) for every k in [1, max_k] by exhaustive

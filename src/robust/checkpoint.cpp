@@ -315,4 +315,45 @@ bool snapshot_exists(const std::filesystem::path& path) {
          std::filesystem::file_size(path, ec) >= 20 && !ec;
 }
 
+BisectionSnapshot merge_snapshots(std::span<const BisectionSnapshot> shards) {
+  if (shards.empty()) {
+    throw SnapshotError(SnapshotFault::kMalformed,
+                        "merge_snapshots needs at least one shard");
+  }
+  BisectionSnapshot merged = shards[0];
+  for (std::size_t i = 1; i < shards.size(); ++i) {
+    const BisectionSnapshot& s = shards[i];
+    if (s.fingerprint != merged.fingerprint) {
+      throw SnapshotError(SnapshotFault::kWrongGraph,
+                          "shard snapshots were taken on different graphs");
+    }
+    if (s.state.seed_depth != merged.state.seed_depth ||
+        s.state.prefix_done.size() != merged.state.prefix_done.size() ||
+        s.state.symmetry_mode != merged.state.symmetry_mode) {
+      throw SnapshotError(
+          SnapshotFault::kMalformed,
+          "shard snapshots disagree on seed depth, prefix count, or "
+          "symmetry mode — not shards of one run");
+    }
+    for (std::size_t pi = 0; pi < merged.state.prefix_done.size(); ++pi) {
+      merged.state.prefix_done[pi] |= s.state.prefix_done[pi];
+    }
+    if (s.state.incumbent_capacity < merged.state.incumbent_capacity) {
+      merged.state.incumbent_capacity = s.state.incumbent_capacity;
+      merged.state.incumbent_sides = s.state.incumbent_sides;
+    }
+    merged.state.nodes_spent += s.state.nodes_spent;
+    merged.state.tt_hits += s.state.tt_hits;
+    merged.state.tt_stores += s.state.tt_stores;
+  }
+  return merged;
+}
+
+bool snapshot_closed(const BisectionSnapshot& snap) {
+  for (const std::uint8_t done : snap.state.prefix_done) {
+    if (done == 0) return false;
+  }
+  return !snap.state.prefix_done.empty();
+}
+
 }  // namespace bfly::robust

@@ -100,4 +100,23 @@ void save_snapshot(const std::filesystem::path& path,
 /// still happens in load_snapshot).
 [[nodiscard]] bool snapshot_exists(const std::filesystem::path& path);
 
+/// Reassembles a multi-process sharded search (BranchBoundOptions::
+/// shard_count) into one resumable state: the shards' prefix-done maps
+/// are OR-ed (each shard only ever searched — and marked — prefixes of
+/// its own residue class), the best incumbent wins (capacity ties break
+/// toward the earlier argument, keeping the merge order-insensitive up
+/// to witness choice), and node/transposition counters sum. Every shard
+/// must come from the same run shape: equal fingerprints (else
+/// kWrongGraph), equal seed_depth / prefix count / symmetry_mode (else
+/// kMalformed), non-empty input (else kMalformed). Resuming the merged
+/// snapshot unsharded closes the proof: when every prefix is done the
+/// resume returns immediately with exactness kExact.
+[[nodiscard]] BisectionSnapshot merge_snapshots(
+    std::span<const BisectionSnapshot> shards);
+
+/// True when a (typically merged) snapshot's every seed prefix is done —
+/// the search space is covered and an unsharded resume will simply
+/// certify the incumbent instead of searching.
+[[nodiscard]] bool snapshot_closed(const BisectionSnapshot& snap);
+
 }  // namespace bfly::robust

@@ -587,5 +587,94 @@ TEST(FaultSweep, RandomPlanNeverCorruptsTheSolve) {
   std::filesystem::remove(so.checkpoint_path);
 }
 
+// Multi-process sharded search, simulated faithfully in one process:
+// three independent solver invocations each search only their residue
+// class of the seed prefixes (BranchBoundOptions::shard_count) and
+// communicate ONLY through encoded snapshot bytes — the same wire
+// format separate machines would exchange. The merger reassembles the
+// proof: every prefix done, best incumbent, pooled node count; the
+// merged, unsharded resume then certifies optimality without searching.
+TEST(ShardedSearch, ShardMergeResumeProvesClosure) {
+  const Graph g = topo::Butterfly(8).graph();
+  const std::uint64_t fp = robust::graph_fingerprint(g);
+  const auto reference = cut::min_bisection_branch_bound(g);
+  ASSERT_EQ(reference.exactness, cut::Exactness::kExact);
+
+  constexpr std::size_t kShards = 3;
+  std::vector<std::vector<std::uint8_t>> wire(kShards);
+  std::uint64_t shard_nodes = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    cut::BranchBoundSearchState last;
+    cut::BranchBoundOptions opts;
+    opts.shard_count = kShards;
+    opts.shard_index = s;
+    opts.on_checkpoint = [&last](const cut::BranchBoundSearchState& st) {
+      last = st;
+    };
+    const auto res = cut::min_bisection_branch_bound(g, opts);
+    // Partial by construction: a shard never claims exactness, even
+    // after cleanly finishing every subtree it owns.
+    EXPECT_EQ(res.exactness, cut::Exactness::kHeuristic);
+    shard_nodes += res.nodes_visited;
+    wire[s] = robust::encode_snapshot({fp, std::move(last)});
+  }
+
+  std::vector<robust::BisectionSnapshot> shards;
+  shards.reserve(kShards);
+  for (const auto& bytes : wire) {
+    shards.push_back(robust::decode_snapshot(bytes));
+    EXPECT_FALSE(robust::snapshot_closed(shards.back()));
+  }
+  const robust::BisectionSnapshot merged = robust::merge_snapshots(shards);
+  EXPECT_TRUE(robust::snapshot_closed(merged));
+  EXPECT_EQ(merged.state.incumbent_capacity, reference.capacity);
+  EXPECT_EQ(merged.state.nodes_spent, shard_nodes);
+
+  // The closure step: with every prefix done, the unsharded resume
+  // returns the ensemble's incumbent as kExact without expanding a node.
+  cut::BranchBoundOptions closing;
+  closing.resume = &merged.state;
+  const auto closed = cut::min_bisection_branch_bound(g, closing);
+  EXPECT_EQ(closed.exactness, cut::Exactness::kExact);
+  EXPECT_EQ(closed.capacity, reference.capacity);
+  EXPECT_EQ(closed.nodes_visited, shard_nodes);
+  cut::validate_cut(g, closed, /*require_bisection=*/true);
+}
+
+TEST(ShardedSearch, MergeRejectsMismatchedShards) {
+  robust::BisectionSnapshot a;
+  a.fingerprint = 1;
+  a.state.seed_depth = 4;
+  a.state.prefix_done = {1, 0, 1};
+  robust::BisectionSnapshot b = a;
+
+  EXPECT_THROW((void)robust::merge_snapshots({}), robust::SnapshotError);
+
+  b.fingerprint = 2;
+  std::vector<robust::BisectionSnapshot> wrong_graph{a, b};
+  EXPECT_THROW((void)robust::merge_snapshots(wrong_graph),
+               robust::SnapshotError);
+
+  b = a;
+  b.state.seed_depth = 5;
+  std::vector<robust::BisectionSnapshot> wrong_depth{a, b};
+  EXPECT_THROW((void)robust::merge_snapshots(wrong_depth),
+               robust::SnapshotError);
+
+  // A well-formed pair merges: done maps OR, counters sum, best wins.
+  b = a;
+  b.state.prefix_done = {0, 1, 0};
+  a.state.incumbent_capacity = 9;
+  a.state.nodes_spent = 10;
+  b.state.incumbent_capacity = 7;
+  b.state.nodes_spent = 32;
+  std::vector<robust::BisectionSnapshot> ok{a, b};
+  const robust::BisectionSnapshot merged = robust::merge_snapshots(ok);
+  EXPECT_EQ(merged.state.prefix_done, (std::vector<std::uint8_t>{1, 1, 1}));
+  EXPECT_EQ(merged.state.incumbent_capacity, 7u);
+  EXPECT_EQ(merged.state.nodes_spent, 42u);
+  EXPECT_TRUE(robust::snapshot_closed(merged));
+}
+
 }  // namespace
 }  // namespace bfly

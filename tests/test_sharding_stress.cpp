@@ -1,0 +1,154 @@
+// Stress and contract tests for the work-stealing shard scheduler
+// (core/sharding.hpp) and the exact searches dispatched over it. Runs
+// under `ctest -L tsan`: the deques, the steal scan, and the solver
+// integrations (shared incumbent, pooled counters, shard merger) are
+// exactly the shared state a data race would corrupt.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/sharding.hpp"
+#include "cut/branch_bound.hpp"
+#include "expansion/expansion.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly {
+namespace {
+
+TEST(WorkStealing, ExecutesEveryShardExactlyOnce) {
+  constexpr std::size_t kShards = 203;  // not a multiple of the workers
+  std::vector<std::atomic<int>> hits(kShards);
+  for (auto& h : hits) h.store(0);
+  const StealStats stats = WorkStealingScheduler::run(
+      kShards,
+      [&](std::size_t shard, unsigned worker) {
+        EXPECT_LT(worker, 4u);
+        hits[shard].fetch_add(1, std::memory_order_relaxed);
+      },
+      WorkStealingScheduler::Options{4, false});
+  for (std::size_t i = 0; i < kShards; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "shard " << i;
+  }
+  EXPECT_EQ(stats.spawned, kShards);
+  EXPECT_LE(stats.steals, stats.spawned);
+}
+
+TEST(WorkStealing, SeedToFirstForcesSteals) {
+  // Every shard starts in worker 0's deque; workers 1..3 can only run
+  // shards they stole. The barrier at entry guarantees the thieves are
+  // alive before worker 0 could drain everything itself.
+  constexpr std::size_t kShards = 64;
+  std::atomic<unsigned> arrived{0};
+  const StealStats stats = WorkStealingScheduler::run(
+      kShards,
+      [&](std::size_t, unsigned) {
+        arrived.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      },
+      WorkStealingScheduler::Options{4, true});
+  EXPECT_EQ(arrived.load(), kShards);
+  EXPECT_EQ(stats.spawned, kShards);
+  EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(WorkStealing, SerialRunsInlineInIndexOrder) {
+  std::vector<std::size_t> order;
+  const StealStats stats = WorkStealingScheduler::run(
+      17,
+      [&](std::size_t shard, unsigned worker) {
+        EXPECT_EQ(worker, 0u);
+        order.push_back(shard);  // serial: no synchronization needed
+      },
+      WorkStealingScheduler::Options{1, false});
+  std::vector<std::size_t> want(17);
+  std::iota(want.begin(), want.end(), 0);
+  EXPECT_EQ(order, want);
+  EXPECT_EQ(stats.steals, 0u);
+  EXPECT_EQ(stats.spawned, 17u);
+}
+
+TEST(WorkStealing, FirstExceptionRethrownAfterDrain) {
+  std::atomic<int> executed{0};
+  try {
+    WorkStealingScheduler::run(
+        50,
+        [&](std::size_t shard, unsigned) {
+          executed.fetch_add(1, std::memory_order_relaxed);
+          if (shard == 13) throw std::runtime_error("shard 13 failed");
+        },
+        WorkStealingScheduler::Options{4, false});
+    FAIL() << "expected the shard exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 13 failed");
+  }
+  // TaskGroup semantics: the failure does not cancel the other shards.
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(WorkStealing, RepeatedSmallRoundsUnderContention) {
+  // Many short rounds shake startup/termination races (the window where
+  // a worker decides the pool is drained while another still runs).
+  for (int round = 0; round < 40; ++round) {
+    std::atomic<std::uint64_t> sum{0};
+    const std::size_t shards = 1 + static_cast<std::size_t>(round % 9);
+    const StealStats stats = WorkStealingScheduler::run(
+        shards,
+        [&](std::size_t shard, unsigned) {
+          sum.fetch_add(shard + 1, std::memory_order_relaxed);
+        },
+        WorkStealingScheduler::Options{3, round % 2 == 1});
+    EXPECT_EQ(sum.load(), shards * (shards + 1) / 2);
+    EXPECT_EQ(stats.spawned, shards);
+  }
+}
+
+// The solver integrations: parallel searches dispatched over the
+// scheduler must prove the same optimum as serial, with live steal
+// telemetry. (Witnesses may differ between capacity ties — the
+// documented contract — so only values are compared.)
+TEST(WorkStealing, BranchBoundParallelMatchesSerial) {
+  const topo::Butterfly b8(8);
+  const Graph& g = b8.graph();
+  cut::BranchBoundOptions serial;
+  serial.kernel = cut::BranchBoundKernel::kBitset;
+  const cut::CutResult want = cut::min_bisection_branch_bound(g, serial);
+  ASSERT_EQ(want.exactness, cut::Exactness::kExact);
+
+  cut::BranchBoundOptions par = serial;
+  par.num_threads = 4;
+  par.seed_depth = 6;
+  const cut::CutResult got = cut::min_bisection_branch_bound(g, par);
+  EXPECT_EQ(got.exactness, cut::Exactness::kExact);
+  EXPECT_EQ(got.capacity, want.capacity);
+  EXPECT_GT(got.ws_spawned, 1u);
+  EXPECT_LE(got.ws_steals, got.ws_spawned);
+}
+
+TEST(WorkStealing, ExpansionShardedMatchesSerial) {
+  const topo::WrappedButterfly w4(4);
+  const Graph& g = w4.graph();  // n = 8, 256 states: fast even under tsan
+  expansion::ExactExpansionOptions serial;
+  const expansion::ExactExpansionResult want =
+      expansion::exact_expansion_full(g, serial);
+  ASSERT_EQ(want.exactness, cut::Exactness::kExact);
+
+  expansion::ExactExpansionOptions par;
+  par.num_threads = 4;
+  par.shard_bits = 4;
+  const expansion::ExactExpansionResult got =
+      expansion::exact_expansion_full(g, par);
+  EXPECT_EQ(got.exactness, cut::Exactness::kExact);
+  EXPECT_EQ(got.ws_spawned, 16u);
+  for (std::size_t k = 1; k < want.table.size(); ++k) {
+    EXPECT_EQ(got.table[k].ee, want.table[k].ee) << "k=" << k;
+    EXPECT_EQ(got.table[k].ne, want.table[k].ne) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace bfly

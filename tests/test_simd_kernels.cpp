@@ -1,0 +1,270 @@
+// Differential suite for the runtime-dispatched SIMD kernel table
+// (core/simd.hpp): every level this machine can run — scalar, AVX2,
+// AVX-512 — must be bit-identical to the scalar reference on random
+// inputs, including tail words (bit counts not divisible by the lane
+// width), zero-length bitsets, sparse masks (which take the scalar
+// delegation shortcut), and both sides of every internal tier gate
+// (packed 32-bit vs wide 64-bit branching keys; field-accumulator vs
+// movemask vs scalar histograms). Also pins the dispatch-control
+// surface: level naming, clamping, and the runtime override.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <vector>
+
+#include "core/simd.hpp"
+
+namespace bfly::simd {
+namespace {
+
+// Every level available on this build + machine, scalar first. The
+// loops below compare each against the scalar table, so on a machine
+// without AVX the suite degenerates to scalar-vs-scalar (still runs).
+std::vector<DispatchLevel> available_levels() {
+  std::vector<DispatchLevel> levels{DispatchLevel::kScalar};
+  if (detected_level() >= DispatchLevel::kAvx2) {
+    levels.push_back(DispatchLevel::kAvx2);
+  }
+  if (detected_level() >= DispatchLevel::kAvx512) {
+    levels.push_back(DispatchLevel::kAvx512);
+  }
+  return levels;
+}
+
+struct RandomInput {
+  std::size_t nbits = 0;
+  std::vector<std::uint64_t> mask;
+  std::vector<std::uint64_t> other;
+  std::vector<std::uint32_t> a0, a1, deg;
+};
+
+// Random bitset pair + per-bit values, honoring the Bitset64 invariant
+// that bits above nbits are zero. `density` controls mask population so
+// both the sparse shortcut and the dense vector paths are exercised.
+RandomInput make_input(std::mt19937_64& rng, std::size_t nbits,
+                       std::uint32_t max_value, double density) {
+  RandomInput in;
+  in.nbits = nbits;
+  const std::size_t words = (nbits + 63) / 64;
+  in.mask.assign(words, 0);
+  in.other.assign(words, 0);
+  in.a0.assign(nbits, 0);
+  in.a1.assign(nbits, 0);
+  in.deg.assign(nbits, 0);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<std::uint32_t> val(0, max_value);
+  for (std::size_t i = 0; i < nbits; ++i) {
+    if (coin(rng) < density) in.mask[i / 64] |= std::uint64_t{1} << (i % 64);
+    if (coin(rng) < 0.5) in.other[i / 64] |= std::uint64_t{1} << (i % 64);
+    in.a0[i] = val(rng);
+    in.a1[i] = val(rng);
+    in.deg[i] = val(rng);
+  }
+  return in;
+}
+
+const std::size_t kSizes[] = {0, 1, 63, 64, 65, 80, 128,
+                              160, 200, 257, 448, 1000, 2100};
+
+TEST(SimdKernels, CountAndAndCountMatchScalar) {
+  std::mt19937_64 rng(7);
+  const auto& ref = kernels_for(DispatchLevel::kScalar);
+  for (const DispatchLevel level : available_levels()) {
+    const KernelTable& kt = kernels_for(level);
+    for (const std::size_t nbits : kSizes) {
+      for (const double density : {0.05, 0.5, 0.97}) {
+        const RandomInput in = make_input(rng, nbits, 9, density);
+        const std::size_t words = in.mask.size();
+        EXPECT_EQ(kt.count(in.mask.data(), words),
+                  ref.count(in.mask.data(), words));
+        EXPECT_EQ(kt.and_count(in.mask.data(), in.other.data(), words),
+                  ref.and_count(in.mask.data(), in.other.data(), words));
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, AssignOpsMatchScalar) {
+  std::mt19937_64 rng(11);
+  const auto& ref = kernels_for(DispatchLevel::kScalar);
+  for (const DispatchLevel level : available_levels()) {
+    const KernelTable& kt = kernels_for(level);
+    for (const std::size_t nbits : kSizes) {
+      const RandomInput in = make_input(rng, nbits, 9, 0.5);
+      const std::size_t words = in.mask.size();
+      auto a_or = in.mask, a_and = in.mask, a_andnot = in.mask;
+      auto r_or = in.mask, r_and = in.mask, r_andnot = in.mask;
+      kt.or_assign(a_or.data(), in.other.data(), words);
+      kt.and_assign(a_and.data(), in.other.data(), words);
+      kt.andnot_assign(a_andnot.data(), in.other.data(), words);
+      ref.or_assign(r_or.data(), in.other.data(), words);
+      ref.and_assign(r_and.data(), in.other.data(), words);
+      ref.andnot_assign(r_andnot.data(), in.other.data(), words);
+      EXPECT_EQ(a_or, r_or);
+      EXPECT_EQ(a_and, r_and);
+      EXPECT_EQ(a_andnot, r_andnot);
+    }
+  }
+}
+
+TEST(SimdKernels, MultiAndCountMatchesScalar) {
+  std::mt19937_64 rng(13);
+  const auto& ref = kernels_for(DispatchLevel::kScalar);
+  for (const DispatchLevel level : available_levels()) {
+    const KernelTable& kt = kernels_for(level);
+    for (const std::size_t nbits : {std::size_t{0}, std::size_t{80},
+                                    std::size_t{200}}) {
+      const std::size_t words = (nbits + 63) / 64;
+      std::vector<std::vector<std::uint64_t>> rows_data;
+      std::vector<const std::uint64_t*> rows;
+      for (int r = 0; r < 9; ++r) {
+        rows_data.push_back(make_input(rng, nbits, 1, 0.4).mask);
+        rows.push_back(rows_data.back().data());
+      }
+      const RandomInput in = make_input(rng, nbits, 1, 0.6);
+      std::vector<std::uint32_t> got(rows.size(), 0xdead);
+      std::vector<std::uint32_t> want(rows.size(), 0xbeef);
+      kt.multi_and_count(rows.data(), in.mask.data(), words, rows.size(),
+                         got.data());
+      ref.multi_and_count(rows.data(), in.mask.data(), words, rows.size(),
+                          want.data());
+      EXPECT_EQ(got, want);
+    }
+  }
+}
+
+// max_value < 1024 exercises the packed 32-bit key path; the larger
+// bound forces the wide 64-bit path. Both must reproduce the scalar
+// first-max-in-index-order tie break bit for bit, which the low-value
+// runs stress hard (dozens of exact key ties per mask).
+TEST(SimdKernels, SelectMaxKeyMatchesScalar) {
+  std::mt19937_64 rng(17);
+  const auto& ref = kernels_for(DispatchLevel::kScalar);
+  for (const DispatchLevel level : available_levels()) {
+    const KernelTable& kt = kernels_for(level);
+    for (const std::size_t nbits : kSizes) {
+      for (const std::uint32_t max_value : {0u, 3u, 1023u, 40000u}) {
+        for (const double density : {0.08, 0.5, 1.0}) {
+          const RandomInput in = make_input(rng, nbits, max_value, density);
+          EXPECT_EQ(kt.select_max_key(in.mask.data(), nbits, in.a0.data(),
+                                      in.a1.data(), in.deg.data(), max_value),
+                    ref.select_max_key(in.mask.data(), nbits, in.a0.data(),
+                                       in.a1.data(), in.deg.data(), max_value))
+              << "level=" << to_string(level) << " nbits=" << nbits
+              << " max_value=" << max_value << " density=" << density;
+        }
+      }
+    }
+  }
+}
+
+// Also check select against a from-scratch reference (not just the
+// shipped scalar kernel), so a shared bug cannot hide.
+TEST(SimdKernels, SelectMaxKeyMatchesBruteForce) {
+  std::mt19937_64 rng(19);
+  for (const DispatchLevel level : available_levels()) {
+    const KernelTable& kt = kernels_for(level);
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::size_t nbits = 1 + static_cast<std::size_t>(rng() % 200);
+      const RandomInput in = make_input(rng, nbits, 6, 0.6);
+      std::uint64_t best_key = 0;
+      std::size_t best = static_cast<std::size_t>(-1);
+      for (std::size_t i = 0; i < nbits; ++i) {
+        if (((in.mask[i / 64] >> (i % 64)) & 1u) == 0) continue;
+        const std::uint64_t d = in.a0[i] > in.a1[i] ? in.a0[i] - in.a1[i]
+                                                    : in.a1[i] - in.a0[i];
+        const std::uint64_t key = (d << 42) |
+                                  (std::uint64_t{in.a0[i] + in.a1[i]} << 21) |
+                                  in.deg[i];
+        if (key + 1 > best_key) {
+          best_key = key + 1;
+          best = i;
+        }
+      }
+      EXPECT_EQ(kt.select_max_key(in.mask.data(), nbits, in.a0.data(),
+                                  in.a1.data(), in.deg.data(), 6),
+                best);
+    }
+  }
+}
+
+// Sweeps max_diff across every histogram tier: <= 4 (combined signed
+// field accumulator, both below and above its word-capacity gate),
+// 5..16 (per-bucket movemask), > 16 (scalar fallback inside the vector
+// kernel), plus sparse masks that take the delegation shortcut.
+TEST(SimdKernels, DiffHistogramMatchesScalar) {
+  std::mt19937_64 rng(23);
+  const auto& ref = kernels_for(DispatchLevel::kScalar);
+  for (const DispatchLevel level : available_levels()) {
+    const KernelTable& kt = kernels_for(level);
+    for (const std::size_t nbits : kSizes) {
+      for (const std::uint32_t max_diff : {1u, 4u, 9u, 16u, 25u}) {
+        for (const double density : {0.06, 0.5, 1.0}) {
+          const RandomInput in = make_input(rng, nbits, max_diff, density);
+          std::vector<std::uint32_t> gp(2, 0), wp(2, 0);
+          std::vector<std::uint32_t> gb0(max_diff + 1, 0), gb1(max_diff + 1, 0);
+          std::vector<std::uint32_t> wb0(max_diff + 1, 0), wb1(max_diff + 1, 0);
+          kt.diff_histogram(in.mask.data(), nbits, in.a0.data(), in.a1.data(),
+                            max_diff, gp.data(), gb0.data(), gb1.data());
+          ref.diff_histogram(in.mask.data(), nbits, in.a0.data(), in.a1.data(),
+                             max_diff, wp.data(), wb0.data(), wb1.data());
+          EXPECT_EQ(gp, wp) << "level=" << to_string(level)
+                            << " nbits=" << nbits << " max_diff=" << max_diff;
+          EXPECT_EQ(gb0, wb0);
+          EXPECT_EQ(gb1, wb1);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, LevelNamesRoundTrip) {
+  for (const DispatchLevel level :
+       {DispatchLevel::kScalar, DispatchLevel::kAvx2, DispatchLevel::kAvx512}) {
+    DispatchLevel parsed = DispatchLevel::kScalar;
+    ASSERT_TRUE(parse_level(to_string(level), parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  DispatchLevel out = DispatchLevel::kAvx2;
+  EXPECT_FALSE(parse_level("sse9", out));
+  EXPECT_EQ(out, DispatchLevel::kAvx2);  // untouched on failure
+}
+
+// CI's dispatch legs (AVX2 pin, scalar-fallback pin) export
+// BFLY_SIMD_DISPATCH and rely on the pin being honored at startup;
+// asserted here so a broken env override fails its leg instead of
+// silently exercising the wrong kernels. Unpinned runs skip.
+TEST(SimdDispatch, EnvPinIsHonored) {
+  const char* env = std::getenv("BFLY_SIMD_DISPATCH");
+  if (env == nullptr || *env == '\0') {
+    GTEST_SKIP() << "BFLY_SIMD_DISPATCH not set";
+  }
+  DispatchLevel requested = DispatchLevel::kScalar;
+  if (!parse_level(env, requested)) {
+    GTEST_SKIP() << "unparseable pin '" << env << "' (startup clamps it)";
+  }
+  EXPECT_EQ(active_level(), std::min(requested, detected_level()));
+}
+
+TEST(SimdDispatch, SetActiveLevelClampsAndRestores) {
+  const DispatchLevel initial = active_level();
+  EXPECT_LE(initial, detected_level());
+  // Scalar is always available.
+  EXPECT_TRUE(set_active_level(DispatchLevel::kScalar));
+  EXPECT_EQ(active_level(), DispatchLevel::kScalar);
+  // Above-detection requests are refused without side effects.
+  if (detected_level() < DispatchLevel::kAvx512) {
+    EXPECT_FALSE(set_active_level(DispatchLevel::kAvx512));
+    EXPECT_EQ(active_level(), DispatchLevel::kScalar);
+  }
+  // The active table and the per-level table are the same object.
+  EXPECT_EQ(&kernels(), &kernels_for(active_level()));
+  EXPECT_TRUE(set_active_level(initial));
+  EXPECT_EQ(active_level(), initial);
+}
+
+}  // namespace
+}  // namespace bfly::simd
