@@ -61,6 +61,11 @@ int g_failures = 0;
 // AVX2-over-scalar nodes/s ratio from the W32 budgeted rows; 0 until
 // measured (or when the machine / --dispatch pin rules AVX2 out).
 double g_bb_simd_speedup = 0.0;
+// Per-level scalar-relative speedups from the W32 dispatch rows
+// (0 = level not run). compare_bench.py derives the same ratios from
+// the rows; these fields are for humans reading the archived JSON.
+double g_bb_speedup_avx2 = 0.0;
+double g_bb_speedup_avx512 = 0.0;
 
 void push_row(Row r) {
   r.nodes_per_sec = r.seconds > 0.0
@@ -156,6 +161,15 @@ double dispatch_case(const std::string& instance, const Graph& g,
   simd::set_active_level(restore);
   const double scalar = secs_by_level[static_cast<int>(DispatchLevel::kScalar)];
   const double avx2 = secs_by_level[static_cast<int>(DispatchLevel::kAvx2)];
+  const double avx512 =
+      secs_by_level[static_cast<int>(DispatchLevel::kAvx512)];
+  if (scalar > 0.0) {
+    // Each level is measured against scalar only — never against
+    // another vector level, whose relative clocks flap under
+    // frequency scaling (see compare_bench.py's per-level floors).
+    if (avx2 > 0.0) g_bb_speedup_avx2 = scalar / avx2;
+    if (avx512 > 0.0) g_bb_speedup_avx512 = scalar / avx512;
+  }
   return (scalar > 0.0 && avx2 > 0.0) ? scalar / avx2 : 0.0;
 }
 
@@ -298,6 +312,10 @@ void write_json(const std::string& path, bool smoke) {
   std::fprintf(f, "  \"dispatch_active\": \"%s\",\n",
                simd::to_string(simd::active_level()));
   std::fprintf(f, "  \"bb_simd_speedup\": %.3f,\n", g_bb_simd_speedup);
+  std::fprintf(f,
+               "  \"bb_simd_speedup_by_level\": "
+               "{\"avx2\": %.3f, \"avx512\": %.3f},\n",
+               g_bb_speedup_avx2, g_bb_speedup_avx512);
   std::fprintf(f, "  \"rows\": [\n");
   for (std::size_t i = 0; i < g_rows.size(); ++i) {
     const Row& r = g_rows[i];

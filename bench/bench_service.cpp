@@ -1,0 +1,252 @@
+// E24: service load generator — latency and throughput of the query
+// daemon's executor, cold (empty cache, every query solves) vs warm
+// (every query is an LRU hit), plus a concurrent mixed burst for
+// sustained QPS. Runs the Service in-process so the numbers measure
+// admission + cache + executor, not pipe plumbing.
+//
+// The smoke test doubles as a latency gate: the warm-cache p99 for the
+// repeated BW(B8) query must come in under 1 ms (the acceptance bar for
+// "cached lookups are never starved"), and every warm hit must be
+// bit-identical to the cold answer — a nonzero exit otherwise.
+//
+// JSON rows ride the same (instance, kernel, threads) schema as
+// bench_exact_kernels, so compare_bench.py gates them against
+// bench/baselines/BENCH_service.json. Warm-latency rows sit far below
+// the gate's 0.1 s absolute noise floor; the cold solve rows are the
+// regression-bearing ones.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/executor.hpp"
+
+namespace {
+
+using namespace bfly;
+using Clock = std::chrono::steady_clock;
+
+int g_failures = 0;
+
+struct Row {
+  std::string instance;
+  std::string kernel;
+  unsigned threads;
+  double seconds;
+};
+std::vector<Row> g_rows;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+service::Request bw(service::Family family, std::uint32_t n,
+                    service::Policy policy = service::Policy::kExact) {
+  service::Request r;
+  r.kind = service::QueryKind::kBisectionWidth;
+  r.family = family;
+  r.n = n;
+  r.policy = policy;
+  return r;
+}
+
+double percentile(std::vector<double>& ms, double p) {
+  if (ms.empty()) return 0.0;
+  std::sort(ms.begin(), ms.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(ms.size() - 1) + 0.5);
+  return ms[std::min(idx, ms.size() - 1)];
+}
+
+void write_json(const std::string& path, bool smoke, double cold_p50,
+                double cold_p99, double warm_p50, double warm_p99,
+                double qps_warm, double qps_mixed) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    ++g_failures;
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"service\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"cold_p50_ms\": %.3f,\n  \"cold_p99_ms\": %.3f,\n",
+               cold_p50, cold_p99);
+  std::fprintf(f, "  \"warm_p50_ms\": %.4f,\n  \"warm_p99_ms\": %.4f,\n",
+               warm_p50, warm_p99);
+  std::fprintf(f, "  \"qps_warm\": %.0f,\n  \"qps_mixed\": %.0f,\n",
+               qps_warm, qps_mixed);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const Row& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"instance\": \"%s\", \"kernel\": \"%s\", "
+                 "\"threads\": %u, \"seconds\": %.6f}%s\n",
+                 r.instance.c_str(), r.kernel.c_str(), r.threads, r.seconds,
+                 i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "usage: bench_service [--smoke] [--out=FILE]\n");
+      return 2;
+    }
+  }
+
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path() / "bfly_bench_service_cache";
+  std::filesystem::remove_all(cache_dir);
+
+  service::ServiceOptions opts;
+  opts.cache_dir = cache_dir;
+  opts.workers = 2;
+  opts.default_deadline_seconds = smoke ? 20.0 : 60.0;
+  service::Service svc(opts);
+
+  // ---- Cold: every instance solved once (empty cache). ----
+  struct Instance {
+    const char* name;
+    service::Request req;
+  };
+  // Exact-feasible instances run the full proof; the 80-node B16 sits
+  // past the exact frontier (see bench_exact_kernels), so it exercises
+  // the heuristic path instead of burning its whole deadline.
+  const std::vector<Instance> instances = {
+      {"B8", bw(service::Family::kButterfly, 8)},
+      {"W8", bw(service::Family::kWrapped, 8)},
+      {"CCC8", bw(service::Family::kCcc, 8)},
+      {"Q16", bw(service::Family::kHypercube, 16)},
+      {"B16", bw(service::Family::kButterfly, 16,
+                 service::Policy::kHeuristic)},
+  };
+  std::vector<double> cold_ms;
+  std::vector<std::uint64_t> cold_values;
+  for (const Instance& inst : instances) {
+    const service::Response r = svc.query(inst.req);
+    if (r.status != service::Status::kOk) {
+      std::fprintf(stderr, "FAIL: cold %s returned %s (%s)\n", inst.name,
+                   service::to_string(r.status), r.detail.c_str());
+      ++g_failures;
+      cold_values.push_back(0);
+      continue;
+    }
+    cold_ms.push_back(r.wall_ms);
+    cold_values.push_back(r.value);
+    g_rows.push_back({inst.name, "service-cold", 1, r.wall_ms / 1e3});
+    std::printf("cold  %-5s value=%llu exact=%d  %8.2f ms\n", inst.name,
+                static_cast<unsigned long long>(r.value), r.exact ? 1 : 0,
+                r.wall_ms);
+  }
+
+  // ---- Warm: repeated BW(B8), every hit from the LRU. ----
+  const std::size_t warm_reps = smoke ? 500 : 5000;
+  std::vector<double> warm_ms;
+  warm_ms.reserve(warm_reps);
+  const auto warm_t0 = Clock::now();
+  for (std::size_t i = 0; i < warm_reps; ++i) {
+    const service::Response r = svc.query(instances[0].req);
+    if (r.status != service::Status::kOk ||
+        r.source != service::Source::kMemory ||
+        r.value != cold_values[0]) {
+      std::fprintf(stderr,
+                   "FAIL: warm rep %zu: status=%s source=%s value=%llu"
+                   " (cold value %llu)\n",
+                   i, service::to_string(r.status),
+                   service::to_string(r.source),
+                   static_cast<unsigned long long>(r.value),
+                   static_cast<unsigned long long>(cold_values[0]));
+      ++g_failures;
+      break;
+    }
+    warm_ms.push_back(r.wall_ms);
+  }
+  const double warm_wall = seconds_since(warm_t0);
+  const double qps_warm =
+      warm_wall > 0.0 ? static_cast<double>(warm_reps) / warm_wall : 0.0;
+  g_rows.push_back({"B8", "service-warm-burst", 1, warm_wall});
+
+  // ---- Mixed concurrent burst: 4 client threads, warm + boundary. ----
+  const std::size_t mixed_per_thread = smoke ? 200 : 2000;
+  constexpr unsigned kClients = 4;
+  std::atomic<std::uint64_t> mixed_ok{0};
+  std::atomic<std::uint64_t> mixed_bad{0};
+  const auto mixed_t0 = Clock::now();
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (unsigned c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t i = 0; i < mixed_per_thread; ++i) {
+          service::Request r = c % 2 == 0
+                                   ? instances[0].req
+                                   : instances[(c / 2 + 1) % instances.size()]
+                                         .req;
+          const service::Response resp = svc.query(r);
+          if (resp.status == service::Status::kOk) {
+            mixed_ok.fetch_add(1);
+          } else {
+            mixed_bad.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const double mixed_wall = seconds_since(mixed_t0);
+  const double qps_mixed =
+      mixed_wall > 0.0
+          ? static_cast<double>(mixed_ok.load()) / mixed_wall
+          : 0.0;
+  g_rows.push_back({"mixed", "service-burst", kClients, mixed_wall});
+  if (mixed_bad.load() != 0) {
+    std::fprintf(stderr, "FAIL: %llu mixed-burst queries not OK\n",
+                 static_cast<unsigned long long>(mixed_bad.load()));
+    ++g_failures;
+  }
+
+  const double cold_p50 = percentile(cold_ms, 0.50);
+  const double cold_p99 = percentile(cold_ms, 0.99);
+  const double warm_p50 = percentile(warm_ms, 0.50);
+  const double warm_p99 = percentile(warm_ms, 0.99);
+  std::printf("cold  p50 %8.2f ms   p99 %8.2f ms\n", cold_p50, cold_p99);
+  std::printf("warm  p50 %8.4f ms   p99 %8.4f ms   (%zu reps, %.0f QPS)\n",
+              warm_p50, warm_p99, warm_reps, qps_warm);
+  std::printf("mixed %u clients: %.0f QPS sustained\n", kClients, qps_mixed);
+
+  // The acceptance bar: a warm BW(B8) lookup is a sub-millisecond hit
+  // even at p99 — cached queries are never starved by solver work.
+  if (warm_p99 >= 1.0) {
+    std::fprintf(stderr, "FAIL: warm-cache p99 %.4f ms >= 1 ms\n", warm_p99);
+    ++g_failures;
+  }
+
+  const service::ServiceStats stats = svc.stats();
+  if (stats.quarantined != 0) {
+    std::fprintf(stderr, "FAIL: %llu cache entries quarantined\n",
+                 static_cast<unsigned long long>(stats.quarantined));
+    ++g_failures;
+  }
+
+  if (!out_path.empty()) {
+    write_json(out_path, smoke, cold_p50, cold_p99, warm_p50, warm_p99,
+               qps_warm, qps_mixed);
+  }
+  std::filesystem::remove_all(cache_dir);
+  return g_failures == 0 ? 0 : 1;
+}

@@ -43,12 +43,15 @@ import sys
 REL_TOLERANCE = 0.25  # >25% slower fails...
 ABS_FLOOR_SECONDS = 0.1  # ...but only beyond CI timing noise
 
-# The exact-kernel bench publishes ``bb_simd_speedup`` — the AVX2-over-
-# scalar nodes/s ratio on the W32 budgeted dispatch rows. The target is
-# >= 1.5x; the gate floor sits below it so CI jitter on a shared runner
-# cannot flap the build, while a real dispatch regression (the AVX2
-# kernels silently degrading toward scalar speed) still fails.
-SPEEDUP_FLOOR = 1.2
+# SIMD dispatch gate: each vector level is compared against the SAME
+# RUN's scalar row (the ``bb-bitset@<level>`` dispatch rows), never
+# against another vector level — racing avx512 against avx2 across runs
+# traded wins under frequency scaling (ROADMAP item 4). Per-level
+# floors sit below the >= 1.5x target so shared-runner jitter cannot
+# flap the build, while a level silently degrading toward scalar speed
+# still fails. AVX-512 gets a lower floor: license-based downclocking
+# legitimately eats part of its win.
+SPEEDUP_FLOORS = {"avx2": 1.2, "avx512": 1.1}
 
 _TIME_UNITS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
 
@@ -127,6 +130,11 @@ def compare(fresh: dict[tuple, dict], base: dict[tuple, dict],
                 f"{label}: {name} visited {f['nodes']} nodes"
                 f" (baseline {b['nodes']}) — search-kernel regression")
         slower = f["seconds"] - b["seconds"]
+        # Pinned-dispatch rows (bb-bitset@<level>) are gated within-run
+        # by the per-level speedup floors instead: their cross-run wall
+        # times flap with CPU frequency scaling. Node counts stay exact.
+        if len(key) > 1 and "@" in str(key[1]):
+            continue
         if gate_wall and slower > ABS_FLOOR_SECONDS and \
                 f["seconds"] > b["seconds"] * (1.0 + REL_TOLERANCE):
             failures.append(
@@ -139,29 +147,62 @@ def compare(fresh: dict[tuple, dict], base: dict[tuple, dict],
     return failures
 
 
-def speedup_failures(fresh_doc: dict, base_doc: dict, label: str) -> list[str]:
-    """Gates the SIMD dispatch speedup when both sides measured one.
+def level_speedups(rows: dict[tuple, dict]) -> dict[str, float]:
+    """Within-run vector-over-scalar speedups from the bb-bitset@<level>
+    dispatch rows: for each level, seconds(scalar)/seconds(level) on the
+    instance with the most scalar signal (largest scalar time). The
+    dispatch kernels are bit-identical by contract, so the time ratio is
+    the nodes/s ratio."""
+    by_instance: dict[str, dict[str, float]] = {}
+    for key, v in rows.items():
+        if len(key) < 3 or key[2] != 1:
+            continue
+        kernel = str(key[1])
+        if not kernel.startswith("bb-bitset@"):
+            continue
+        level = kernel.rsplit("@", 1)[1]
+        by_instance.setdefault(str(key[0]), {})[level] = v["seconds"]
+    best_scalar = -1.0
+    picked: dict[str, float] = {}
+    for levels in by_instance.values():
+        scalar = levels.get("scalar", 0.0)
+        if scalar <= 0.0 or scalar <= best_scalar:
+            continue
+        best_scalar = scalar
+        picked = {lvl: scalar / secs for lvl, secs in levels.items()
+                  if lvl != "scalar" and secs > 0.0}
+    return picked
 
-    A fresh value of 0 means the run had no AVX2 dispatch row — the
-    machine lacks AVX2 or ``--dispatch=scalar`` pinned it. That is the
-    scalar-fallback configuration, not a kernel regression, so the gate
-    is skipped (with a note) rather than failed.
+
+def speedup_failures(fresh_rows: dict[tuple, dict],
+                     base_rows: dict[tuple, dict], label: str) -> list[str]:
+    """Gates each vector level against the SAME run's scalar row.
+
+    A level present in the baseline but absent from the fresh run is
+    skipped with a note (scalar-only machine, or a --dispatch pin) —
+    that is the fallback configuration, not a kernel regression. Levels
+    are never compared against each other.
     """
-    base_sp = float(base_doc.get("bb_simd_speedup", 0.0) or 0.0)
-    fresh_sp = float(fresh_doc.get("bb_simd_speedup", 0.0) or 0.0)
-    if base_sp <= 0.0:
-        return []
-    if fresh_sp <= 0.0:
-        print(f"note: {label}: no AVX2 dispatch row in the fresh run"
-              " (scalar-only machine or pin); speedup gate skipped")
-        return []
-    if fresh_sp < SPEEDUP_FLOOR:
-        return [f"{label}: bb_simd_speedup {fresh_sp:.2f}x is below the"
-                f" {SPEEDUP_FLOOR:.1f}x floor (baseline {base_sp:.2f}x)"
-                " — SIMD dispatch regression"]
-    print(f"{label}: bb_simd_speedup {fresh_sp:.2f}x"
-          f" (baseline {base_sp:.2f}x, floor {SPEEDUP_FLOOR:.1f}x)")
-    return []
+    fresh_sp = level_speedups(fresh_rows)
+    base_sp = level_speedups(base_rows)
+    failures = []
+    for level, floor in sorted(SPEEDUP_FLOORS.items()):
+        if level not in base_sp:
+            continue  # the baseline never measured this level
+        if level not in fresh_sp:
+            print(f"note: {label}: no {level} dispatch row in the fresh run"
+                  " (machine capability or pin); speedup gate skipped")
+            continue
+        sp = fresh_sp[level]
+        if sp < floor:
+            failures.append(
+                f"{label}: {level}-over-scalar speedup {sp:.2f}x is below"
+                f" the {floor:.2f}x floor (baseline {base_sp[level]:.2f}x)"
+                " — SIMD dispatch regression")
+        else:
+            print(f"{label}: {level}-over-scalar speedup {sp:.2f}x"
+                  f" (baseline {base_sp[level]:.2f}x, floor {floor:.2f}x)")
+    return failures
 
 
 def main() -> int:
@@ -200,7 +241,7 @@ def main() -> int:
         failures.extend(compare(fresh_rows, base_rows, path.name,
                                 dispatch_rank(fresh_doc),
                                 dispatch_rank(base_doc)))
-        failures.extend(speedup_failures(fresh_doc, base_doc, path.name))
+        failures.extend(speedup_failures(fresh_rows, base_rows, path.name))
 
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)

@@ -2,14 +2,20 @@
 
 #include <algorithm>
 #include <array>
-#include <fstream>
-#include <iterator>
 #include <limits>
 #include <system_error>
+
+#include "robust/wire.hpp"
 
 namespace bfly::robust {
 
 namespace {
+
+using wire::fnv1a;
+using wire::fnv1a_u64;
+using wire::put_u32;
+using wire::put_u64;
+using wire::Reader;
 
 constexpr std::array<std::uint8_t, 8> kMagic = {'B', 'F', 'L', 'Y',
                                                 'S', 'N', 'P', '1'};
@@ -20,116 +26,6 @@ constexpr std::uint32_t kVersion = 2;
 constexpr std::uint32_t kMinVersion = 1;
 constexpr std::uint64_t kNoIncumbent =
     std::numeric_limits<std::uint64_t>::max();
-// Plausibility ceiling on every count field: far above any graph this
-// library solves exactly (~64 nodes, thousands of seed prefixes), far
-// below anything that could make a corrupt header allocate real memory.
-constexpr std::uint64_t kMaxCount = std::uint64_t{1} << 26;
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
-
-std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* data,
-                    std::size_t len) {
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= data[i];
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= static_cast<std::uint8_t>(v >> (8 * i));
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-// Bounds-checked little-endian reader: every accessor throws kTruncated
-// instead of reading past the end, so the decoder below can consume
-// attacker-controlled bytes without a single unchecked offset.
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
-
-  [[nodiscard]] std::size_t remaining() const noexcept {
-    return bytes_.size() - pos_;
-  }
-
-  std::uint8_t u8(const char* field) {
-    need(1, field);
-    return bytes_[pos_++];
-  }
-
-  std::uint32_t u32(const char* field) {
-    need(4, field);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 4;
-    return v;
-  }
-
-  std::uint64_t u64(const char* field) {
-    need(8, field);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
-    }
-    pos_ += 8;
-    return v;
-  }
-
-  std::span<const std::uint8_t> raw(std::size_t n, const char* field) {
-    need(n, field);
-    auto s = bytes_.subspan(pos_, n);
-    pos_ += n;
-    return s;
-  }
-
-  /// A length field followed by that many bytes, with the plausibility
-  /// cap applied BEFORE any allocation.
-  std::vector<std::uint8_t> sized_bytes(const char* field) {
-    const std::uint64_t n = u64(field);
-    if (n > kMaxCount) {
-      throw SnapshotError(SnapshotFault::kMalformed,
-                          std::string(field) + " count " + std::to_string(n) +
-                              " exceeds the plausibility ceiling");
-    }
-    if (n > remaining()) {
-      throw SnapshotError(SnapshotFault::kTruncated,
-                          std::string(field) + " declares " +
-                              std::to_string(n) + " bytes but only " +
-                              std::to_string(remaining()) + " remain");
-    }
-    auto s = raw(static_cast<std::size_t>(n), field);
-    return {s.begin(), s.end()};
-  }
-
- private:
-  void need(std::size_t n, const char* field) const {
-    if (n > remaining()) {
-      throw SnapshotError(SnapshotFault::kTruncated,
-                          std::string("stream ends inside ") + field);
-    }
-  }
-
-  std::span<const std::uint8_t> bytes_;
-  std::size_t pos_ = 0;
-};
 
 void require_binary(const std::vector<std::uint8_t>& v, const char* field) {
   for (const std::uint8_t b : v) {
@@ -156,7 +52,7 @@ const char* to_string(SnapshotFault f) {
 }
 
 std::uint64_t graph_fingerprint(const Graph& g) {
-  std::uint64_t h = kFnvOffset;
+  std::uint64_t h = wire::kFnvOffset;
   h = fnv1a_u64(h, g.num_nodes());
   h = fnv1a_u64(h, g.num_edges());
   for (const auto& [u, v] : g.edges()) {
@@ -187,7 +83,7 @@ std::vector<std::uint8_t> encode_snapshot(const BisectionSnapshot& snap) {
   out.push_back(st.symmetry_mode);
   put_u64(out, st.tt_hits);
   put_u64(out, st.tt_stores);
-  put_u64(out, fnv1a(kFnvOffset, out.data(), out.size()));
+  put_u64(out, fnv1a(wire::kFnvOffset, out.data(), out.size()));
   return out;
 }
 
@@ -226,7 +122,7 @@ BisectionSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
   // thrown above already, a flipped payload byte lands here).
   const std::uint64_t declared = r.u64("checksum");
   const std::uint64_t actual =
-      fnv1a(kFnvOffset, bytes.data(), bytes.size() - r.remaining() - 8);
+      fnv1a(wire::kFnvOffset, bytes.data(), bytes.size() - r.remaining() - 8);
   if (declared != actual) {
     throw SnapshotError(SnapshotFault::kBadChecksum,
                         "payload does not match its checksum");
@@ -263,44 +159,12 @@ BisectionSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
 
 void save_snapshot(const std::filesystem::path& path,
                    const BisectionSnapshot& snap) {
-  const std::vector<std::uint8_t> bytes = encode_snapshot(snap);
-  std::filesystem::path tmp = path;
-  tmp += ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw SnapshotError(SnapshotFault::kIo,
-                          "cannot open " + tmp.string() + " for writing");
-    }
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    out.flush();
-    if (!out) {
-      throw SnapshotError(SnapshotFault::kIo,
-                          "short write to " + tmp.string());
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::filesystem::remove(tmp, ec);
-    throw SnapshotError(SnapshotFault::kIo,
-                        "cannot rename snapshot into " + path.string());
-  }
+  wire::atomic_write_file(path, encode_snapshot(snap));
 }
 
 BisectionSnapshot load_snapshot(const std::filesystem::path& path,
                                 std::uint64_t expect_fingerprint) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    throw SnapshotError(SnapshotFault::kIo,
-                        "cannot open " + path.string() + " for reading");
-  }
-  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
-                                  std::istreambuf_iterator<char>()};
-  if (in.bad()) {
-    throw SnapshotError(SnapshotFault::kIo, "read error on " + path.string());
-  }
+  const std::vector<std::uint8_t> bytes = wire::read_file(path);
   BisectionSnapshot snap = decode_snapshot(bytes);
   if (expect_fingerprint != 0 && snap.fingerprint != expect_fingerprint) {
     throw SnapshotError(SnapshotFault::kWrongGraph,

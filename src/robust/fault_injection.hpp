@@ -37,8 +37,11 @@ enum class Site : unsigned {
   kCancelDelay,   ///< delayed cancellation: request_stop sleeps first
   kWorkerStall,   ///< stalled worker: sleeps before running its task
   kCrash,         ///< simulated crash: throws SimulatedCrash mid-search
+  kEnqueue,       ///< service admission failure: throws FaultInjectedError
+  kCacheWrite,    ///< service cache persist failure: throws FaultInjectedError
+  kDispatch,      ///< service executor dispatch failure: throws FaultInjectedError
 };
-inline constexpr unsigned kNumSites = 5;
+inline constexpr unsigned kNumSites = 8;
 
 [[nodiscard]] inline const char* to_string(Site s) {
   switch (s) {
@@ -47,6 +50,9 @@ inline constexpr unsigned kNumSites = 5;
     case Site::kCancelDelay: return "cancel-delay";
     case Site::kWorkerStall: return "worker-stall";
     case Site::kCrash: return "crash";
+    case Site::kEnqueue: return "enqueue";
+    case Site::kCacheWrite: return "cache-write";
+    case Site::kDispatch: return "dispatch";
   }
   return "?";
 }
@@ -186,6 +192,12 @@ class FaultInjector {
       case Site::kCrash:
         throw SimulatedCrash("crash at " + std::string(to_string(site)) +
                              " hit " + std::to_string(hit));
+      case Site::kEnqueue:
+        throw FaultInjectedError(site, "admission queue rejected the request");
+      case Site::kCacheWrite:
+        throw FaultInjectedError(site, "cache persist failed");
+      case Site::kDispatch:
+        throw FaultInjectedError(site, "executor dispatch failed");
     }
   }
 

@@ -154,11 +154,10 @@ struct DeadlineClock {
     if (armed) token.set_deadline(deadline);
   }
 
-  /// Exponential backoff before retry `attempt`, truncated so it never
+  /// Policy backoff before retry `attempt`, truncated so it never
   /// sleeps past the deadline.
   void backoff(const SupervisorOptions& opts, unsigned attempt) const {
-    double ms = opts.backoff_initial_ms *
-                std::pow(opts.backoff_multiplier, static_cast<double>(attempt));
+    double ms = opts.backoff.delay_ms(attempt);
     if (armed) ms = std::min(ms, remaining_seconds() * 1e3);
     if (ms > 0.0) {
       std::this_thread::sleep_for(
@@ -168,6 +167,20 @@ struct DeadlineClock {
 };
 
 }  // namespace
+
+double BackoffPolicy::delay_ms(unsigned attempt) const {
+  double ms = initial_ms * std::pow(multiplier, static_cast<double>(attempt));
+  if (cap_ms > 0.0) ms = std::min(ms, cap_ms);
+  if (jitter_fraction > 0.0) {
+    // SplitMix64 keyed by (seed, attempt): the jitter is part of the
+    // schedule, not noise — replaying a policy replays its sleeps.
+    SplitMix64 sm(jitter_seed ^ (0x9e3779b97f4a7c15ull * (attempt + 1)));
+    const double unit =
+        static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0, 1)
+    ms += ms * jitter_fraction * unit;
+  }
+  return std::max(0.0, ms);
+}
 
 const char* to_string(SolveStatus s) {
   switch (s) {

@@ -50,6 +50,24 @@ enum class SolveStatus {
 
 [[nodiscard]] const char* to_string(SolveStatus s);
 
+/// Retry backoff schedule: delay_ms(attempt) is a pure function of the
+/// policy, so the service layer and tests can pin an exact, replayable
+/// schedule (and a jittered production schedule is still deterministic
+/// given its seed).
+struct BackoffPolicy {
+  double initial_ms = 5.0;    ///< delay before retry attempt 0
+  double multiplier = 2.0;    ///< exponential growth per attempt
+  double cap_ms = 2000.0;     ///< schedule ceiling (0 = uncapped)
+  /// Fraction of the base delay added as deterministic jitter in
+  /// [0, jitter_fraction * base), keyed by (jitter_seed, attempt) so
+  /// identical policies always sleep identically. 0 = no jitter.
+  double jitter_fraction = 0.0;
+  std::uint64_t jitter_seed = 0;
+
+  /// The full delay for retry `attempt` (0-based), jitter included.
+  [[nodiscard]] double delay_ms(unsigned attempt) const;
+};
+
 struct SupervisorOptions {
   /// Wall-clock budget for the whole solve, every retry and ladder step
   /// included (0 = unlimited). On expiry the supervisor stops starting
@@ -57,10 +75,9 @@ struct SupervisorOptions {
   double deadline_seconds = 0.0;
   /// Transient-failure retries per ladder step.
   unsigned max_retries = 3;
-  /// Exponential backoff between retries: initial * multiplier^attempt,
-  /// truncated so it never sleeps past the deadline.
-  double backoff_initial_ms = 5.0;
-  double backoff_multiplier = 2.0;
+  /// Backoff schedule between retries, truncated at sleep time so it
+  /// never runs past the deadline.
+  BackoffPolicy backoff;
   /// Watchdog poll period, and how long the progress cell may freeze
   /// before the attempt is declared stalled and cancelled
   /// (stall_timeout_ms 0 = watchdog off).

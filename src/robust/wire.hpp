@@ -1,0 +1,195 @@
+// Shared wire-format machinery behind the BFLYSNP snapshots and the
+// BFLYSVC service cache entries (DESIGN.md §9/§14).
+//
+// Both persistent formats follow the same hostile-input contract:
+//
+//   magic | u32 version | payload | u64 FNV-1a of everything before it
+//
+// decoded through a bounds-checked little-endian Reader that throws a
+// structured SnapshotError instead of ever reading past the end or
+// trusting a length field before capping it, and written through
+// atomic_write_file's temp-plus-rename so a crash mid-write leaves the
+// old file or none — never a torn one. This header is that machinery,
+// factored out of checkpoint.cpp so the service cache is the same code
+// path the kill-and-resume tests and fuzz_checkpoint already hammer,
+// not a reimplementation with its own bugs.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <span>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "robust/checkpoint.hpp"
+
+namespace bfly::robust::wire {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+[[nodiscard]] inline std::uint64_t fnv1a(std::uint64_t h,
+                                         const std::uint8_t* data,
+                                         std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a_u64(std::uint64_t h,
+                                             std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint8_t>(v >> (8 * i));
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+/// Bounds-checked little-endian reader: every accessor throws
+/// SnapshotError{kTruncated} instead of reading past the end, so the
+/// decoders can consume attacker-controlled bytes without a single
+/// unchecked offset. `max_count` caps every length field BEFORE the
+/// allocation it would drive.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes,
+                  std::uint64_t max_count = std::uint64_t{1} << 26)
+      : bytes_(bytes), max_count_(max_count) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return bytes_.size() - pos_;
+  }
+
+  /// Bytes consumed so far (the prefix a trailing checksum covers).
+  [[nodiscard]] std::size_t consumed() const noexcept { return pos_; }
+
+  std::uint8_t u8(const char* field) {
+    need(1, field);
+    return bytes_[pos_++];
+  }
+
+  std::uint32_t u32(const char* field) {
+    need(4, field);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64(const char* field) {
+    need(8, field);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::span<const std::uint8_t> raw(std::size_t n, const char* field) {
+    need(n, field);
+    auto s = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// A length field followed by that many bytes, with the plausibility
+  /// cap applied BEFORE any allocation.
+  std::vector<std::uint8_t> sized_bytes(const char* field) {
+    const std::uint64_t n = u64(field);
+    if (n > max_count_) {
+      throw SnapshotError(SnapshotFault::kMalformed,
+                          std::string(field) + " count " + std::to_string(n) +
+                              " exceeds the plausibility ceiling");
+    }
+    if (n > remaining()) {
+      throw SnapshotError(SnapshotFault::kTruncated,
+                          std::string(field) + " declares " +
+                              std::to_string(n) + " bytes but only " +
+                              std::to_string(remaining()) + " remain");
+    }
+    auto s = raw(static_cast<std::size_t>(n), field);
+    return {s.begin(), s.end()};
+  }
+
+ private:
+  void need(std::size_t n, const char* field) const {
+    if (n > remaining()) {
+      throw SnapshotError(SnapshotFault::kTruncated,
+                          std::string("stream ends inside ") + field);
+    }
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::uint64_t max_count_;
+  std::size_t pos_ = 0;
+};
+
+/// Atomically replaces `path` with `bytes`: writes a sibling temp file
+/// and renames it into place, so a crash (or kill -9) mid-write leaves
+/// either the old file or none. Throws SnapshotError{kIo} when the
+/// filesystem refuses.
+inline void atomic_write_file(const std::filesystem::path& path,
+                              std::span<const std::uint8_t> bytes) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw SnapshotError(SnapshotFault::kIo,
+                          "cannot open " + tmp.string() + " for writing");
+    }
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      throw SnapshotError(SnapshotFault::kIo, "short write to " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw SnapshotError(SnapshotFault::kIo,
+                        "cannot rename " + tmp.string() + " into " +
+                            path.string());
+  }
+}
+
+/// Reads the whole file. Throws SnapshotError{kIo} on any filesystem
+/// refusal; the caller's decoder owns every other failure class.
+[[nodiscard]] inline std::vector<std::uint8_t> read_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw SnapshotError(SnapshotFault::kIo,
+                        "cannot open " + path.string() + " for reading");
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  if (in.bad()) {
+    throw SnapshotError(SnapshotFault::kIo, "read error on " + path.string());
+  }
+  return bytes;
+}
+
+}  // namespace bfly::robust::wire

@@ -1,0 +1,130 @@
+#include "service/daemon.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "core/sync.hpp"
+
+namespace bfly::service {
+
+namespace {
+
+[[nodiscard]] std::string stats_line(const ServiceStats& s) {
+  std::string out = "STATS";
+  const auto field = [&out](const char* name, std::uint64_t v) {
+    out += ' ';
+    out += name;
+    out += '=';
+    out += std::to_string(v);
+  };
+  field("received", s.received);
+  field("ok", s.ok);
+  field("shed", s.shed);
+  field("deadline", s.deadline_expired);
+  field("bad_request", s.bad_request);
+  field("failed", s.failed);
+  field("hits_memory", s.hits_memory);
+  field("hits_disk", s.hits_disk);
+  field("computed", s.computed);
+  field("coalesced", s.coalesced);
+  field("persist_failures", s.persist_failures);
+  field("quarantined", s.quarantined);
+  field("recovered", s.recovered_entries);
+  field("tmp_removed", s.tmp_removed);
+  return out;
+}
+
+[[nodiscard]] bool is_verb(const std::string& line, const char* verb) {
+  std::size_t i = 0;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+    ++i;
+  }
+  std::size_t j = i;
+  while (j < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[j])) == 0) {
+    ++j;
+  }
+  const std::string_view tok(line.data() + i, j - i);
+  if (tok.size() != std::string_view(verb).size()) return false;
+  for (std::size_t k = 0; k < tok.size(); ++k) {
+    if (std::toupper(static_cast<unsigned char>(tok[k])) != verb[k]) {
+      return false;
+    }
+  }
+  return !tok.empty();
+}
+
+}  // namespace
+
+int run_daemon(std::istream& in, std::ostream& out,
+               const DaemonOptions& opts) {
+  Service service(opts.service);
+
+  // Responses land from worker threads; one mutex keeps lines whole.
+  sync::Mutex out_mu;
+  std::uint64_t outstanding = 0;
+  sync::Mutex count_mu;
+  sync::CondVar drained_cv;
+
+  const ServiceStats boot = service.stats();
+  if (opts.announce_ready) {
+    sync::MutexLock lock(out_mu);
+    out << "READY recovered=" << boot.recovered_entries
+        << " quarantined=" << boot.quarantined
+        << " tmp_removed=" << boot.tmp_removed << '\n'
+        << std::flush;
+  }
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (is_verb(line, "QUIT") || is_verb(line, "EXIT")) break;
+    if (is_verb(line, "STATS")) {
+      const std::string s = stats_line(service.stats());
+      sync::MutexLock lock(out_mu);
+      out << s << '\n' << std::flush;
+      continue;
+    }
+
+    Request req;
+    try {
+      req = parse_request(line);
+    } catch (const ProtocolError& e) {
+      Response bad;
+      bad.status = Status::kBadRequest;
+      bad.detail = e.what();
+      sync::MutexLock lock(out_mu);
+      out << format_response(bad) << '\n' << std::flush;
+      continue;
+    }
+
+    {
+      sync::MutexLock lock(count_mu);
+      ++outstanding;
+    }
+    service.query_async(std::move(req), [&](Response resp) {
+      {
+        sync::MutexLock lock(out_mu);
+        out << format_response(resp) << '\n' << std::flush;
+      }
+      sync::MutexLock lock(count_mu);
+      --outstanding;
+      drained_cv.notify_all();
+    });
+  }
+
+  // Wait for in-flight responses before tearing the service down, so
+  // every admitted request gets its line even on a QUIT-under-load.
+  {
+    sync::MutexLock lock(count_mu);
+    while (outstanding != 0) drained_cv.wait(lock);
+  }
+  service.shutdown();
+  return 0;
+}
+
+}  // namespace bfly::service

@@ -1,0 +1,29 @@
+// Line-protocol front end over the Service executor: one request per
+// input line, one response line per request, written as each completes
+// (out of order under load — clients correlate by id). The stream pair
+// is abstract so tests drive a daemon through stringstreams and the
+// bfly_serviced binary just passes std::cin/std::cout.
+#pragma once
+
+#include <iosfwd>
+
+#include "service/executor.hpp"
+
+namespace bfly::service {
+
+struct DaemonOptions {
+  ServiceOptions service;
+  /// Print "READY ..." once recovery is done, so a driver (the chaos
+  /// harness) knows when the daemon is accepting queries.
+  bool announce_ready = true;
+};
+
+/// Runs the read-parse-submit loop until EOF or a QUIT line, then
+/// drains outstanding responses and returns 0. Daemon-level verbs:
+/// QUIT/EXIT end the session, STATS prints a counter line. A line the
+/// parser rejects yields an ERR bad-request response; nothing a client
+/// writes can bring the loop down.
+int run_daemon(std::istream& in, std::ostream& out,
+               const DaemonOptions& opts);
+
+}  // namespace bfly::service

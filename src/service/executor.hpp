@@ -1,0 +1,156 @@
+// The query executor behind the daemon (DESIGN.md §14): admission
+// control, fair-share scheduling, coalescing, and the two-tier cache,
+// multiplexing concurrent requests over a small worker pool whose
+// solver calls ride the Supervisor's retry/degradation ladder.
+//
+// Fair share by construction: cache hits, BOUNDARY computations, and
+// every rejection are served inline on the submitting thread — they
+// never enter the solver queue, so a giant exact request grinding in a
+// worker cannot add a microsecond to a warm lookup. Only bisection
+// cache misses queue; the bounded queue sheds (kShed) when full, a
+// request whose deadline passed while queued is dropped honestly
+// (kDeadline), and identical in-flight (canonical key, policy) pairs
+// coalesce into one computation.
+//
+// Chaos sites: kEnqueue (admission), kDispatch (worker pickup), and
+// kCacheWrite (inside the persistent tier) — each injected fault
+// surfaces as an honest status or a lost persistence, never a wrong
+// value and never a dead daemon.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sync.hpp"
+#include "robust/supervisor.hpp"
+#include "service/cache.hpp"
+#include "service/request.hpp"
+
+namespace bfly::service {
+
+struct ServiceOptions {
+  /// Solver worker threads draining the miss queue.
+  unsigned workers = 2;
+  /// Bounded admission queue; a miss arriving when this many distinct
+  /// computations are queued is shed.
+  std::size_t queue_capacity = 64;
+  std::size_t lru_capacity = 1024;
+  /// Persistent-tier directory (empty = memory-only service).
+  std::filesystem::path cache_dir;
+  /// Applied when a request carries no deadline (0 = unlimited).
+  double default_deadline_seconds = 30.0;
+  /// Applied when a request carries no node budget.
+  std::uint64_t default_node_budget = 1ull << 20;
+  /// Threads inside each solver call (1 = deterministic serial solves).
+  unsigned solver_threads = 1;
+  /// Retry backoff pinned for the whole service, so replayed fault
+  /// schedules sleep identically (see robust::BackoffPolicy).
+  robust::BackoffPolicy backoff;
+  /// Spin workers in the constructor. Tests set false to stage the
+  /// queue deterministically, then call start().
+  bool autostart = true;
+};
+
+/// Monotonic counters; stats() returns a coherent-enough snapshot
+/// (individual counters are exact, cross-counter sums can be mid-update
+/// by one request).
+struct ServiceStats {
+  std::uint64_t received = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t bad_request = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t hits_memory = 0;
+  std::uint64_t hits_disk = 0;
+  std::uint64_t computed = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t persist_failures = 0;
+  std::uint64_t quarantined = 0;      ///< corrupt cache files set aside
+  std::uint64_t recovered_entries = 0;  ///< intact entries found at startup
+  std::uint64_t tmp_removed = 0;        ///< torn writes swept at startup
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opts);
+  ~Service();
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Starts the worker pool (idempotent; the constructor already did it
+  /// unless opts.autostart was false).
+  void start();
+
+  /// Submits a request; `done` runs exactly once — inline for cache
+  /// hits, boundaries, and rejections, or on a worker thread later.
+  void query_async(Request req, std::function<void(Response)> done);
+
+  /// Blocking convenience around query_async.
+  [[nodiscard]] Response query(const Request& req);
+
+  /// Stops workers and sheds everything still queued. Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return opts_;
+  }
+
+ private:
+  /// One requester: a queued leader or a coalesced follower.
+  struct Party {
+    Request req;
+    std::uint64_t key = 0;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline_tp{};
+    std::chrono::steady_clock::time_point t0{};
+    bool coalesced = false;
+    std::function<void(Response)> done;
+  };
+
+  /// One in-flight computation — queued or already running on a
+  /// worker. The entry lives until the computation finishes, so an
+  /// identical request arriving mid-solve joins it (`parties` holds the
+  /// late joiners; the pre-pop parties travel with the worker).
+  struct Pending {
+    std::vector<Party> parties;
+    bool running = false;
+  };
+
+  void respond(Party& party, Response r) const;
+  void worker_loop();
+  void run_computation(std::uint64_t pkey, std::vector<Party> parties);
+  /// Removes the pending entry and returns the parties that joined
+  /// after the worker picked the computation up (idempotent: a second
+  /// call, or a call after the entry was never created, returns empty).
+  [[nodiscard]] std::vector<Party> detach_pending(std::uint64_t pkey);
+  [[nodiscard]] Response solve_bisection_for(
+      const Party& party, double remaining_seconds) const;
+
+  ServiceOptions opts_;
+  ServiceCache cache_;
+
+  mutable sync::Mutex mu_;
+  sync::CondVar work_cv_;
+  std::deque<std::uint64_t> queue_ BFLY_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, Pending> pending_ BFLY_GUARDED_BY(mu_);
+  bool stopping_ BFLY_GUARDED_BY(mu_) = false;
+  bool started_ BFLY_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
+
+  struct Counters {
+    std::atomic<std::uint64_t> received{0}, ok{0}, shed{0}, deadline{0},
+        bad_request{0}, failed{0}, hits_memory{0}, hits_disk{0}, computed{0},
+        coalesced{0}, persist_failures{0};
+  };
+  mutable Counters counters_;
+};
+
+}  // namespace bfly::service

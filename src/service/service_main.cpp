@@ -1,0 +1,95 @@
+// bfly_serviced: the bisection query daemon over stdin/stdout.
+//
+//   bfly_serviced [--cache-dir=DIR] [--workers=N] [--queue=N] [--lru=N]
+//                 [--deadline-ms=MS] [--fault-seed=S]
+//
+// Protocol: see service/request.hpp (and the README "Service" section).
+// --fault-seed arms fault::FaultPlan::random(S) for the whole session —
+// the chaos harness's seeded sweep — and is a no-op (with a warning)
+// when the build lacks BFLY_FAULT_INJECTION.
+
+#include <charconv>
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "robust/fault_injection.hpp"
+#include "service/daemon.hpp"
+
+namespace {
+
+bool parse_flag(std::string_view arg, std::string_view name,
+                std::string_view& value) {
+  if (arg.size() <= name.size() + 1 || arg.substr(0, name.size()) != name ||
+      arg[name.size()] != '=') {
+    return false;
+  }
+  value = arg.substr(name.size() + 1);
+  return true;
+}
+
+std::uint64_t parse_num(std::string_view value, const char* flag) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), v);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    std::cerr << "bfly_serviced: bad value for " << flag << ": " << value
+              << '\n';
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bfly::service::DaemonOptions opts;
+  bool fault_seed_set = false;
+  std::uint64_t fault_seed = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string_view value;
+    if (parse_flag(arg, "--cache-dir", value)) {
+      opts.service.cache_dir = std::filesystem::path(value);
+    } else if (parse_flag(arg, "--workers", value)) {
+      opts.service.workers =
+          static_cast<unsigned>(parse_num(value, "--workers"));
+    } else if (parse_flag(arg, "--queue", value)) {
+      opts.service.queue_capacity =
+          static_cast<std::size_t>(parse_num(value, "--queue"));
+    } else if (parse_flag(arg, "--lru", value)) {
+      opts.service.lru_capacity =
+          static_cast<std::size_t>(parse_num(value, "--lru"));
+    } else if (parse_flag(arg, "--deadline-ms", value)) {
+      opts.service.default_deadline_seconds =
+          static_cast<double>(parse_num(value, "--deadline-ms")) / 1e3;
+    } else if (parse_flag(arg, "--fault-seed", value)) {
+      fault_seed = parse_num(value, "--fault-seed");
+      fault_seed_set = true;
+    } else {
+      std::cerr << "bfly_serviced: unknown argument " << arg << '\n'
+                << "usage: bfly_serviced [--cache-dir=DIR] [--workers=N]"
+                   " [--queue=N] [--lru=N] [--deadline-ms=MS]"
+                   " [--fault-seed=S]\n";
+      return 2;
+    }
+  }
+  if (!fault_seed_set) {
+    if (const char* env = std::getenv("BFLY_SERVICE_FAULT_SEED")) {
+      fault_seed = parse_num(env, "BFLY_SERVICE_FAULT_SEED");
+      fault_seed_set = true;
+    }
+  }
+  if (fault_seed_set) {
+    if (bfly::fault::compiled_in()) {
+      bfly::fault::FaultInjector::instance().arm(
+          bfly::fault::FaultPlan::random(fault_seed));
+    } else {
+      std::cerr << "bfly_serviced: fault seed ignored"
+                   " (built without BFLY_FAULT_INJECTION)\n";
+    }
+  }
+
+  return bfly::service::run_daemon(std::cin, std::cout, opts);
+}

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <thread>
 #include <filesystem>
 #include <new>
 #include <string>
@@ -452,7 +453,7 @@ TEST(Supervisor, CrashRetryResumesFromCheckpointAndProvesOptimal) {
 
   robust::SupervisorOptions so;
   so.checkpoint_path = temp_snapshot_path("supervisor_crash");
-  so.backoff_initial_ms = 1.0;
+  so.backoff.initial_ms = 1.0;
   robust::Supervisor sup(so);
 
   fault::ScopedFaultPlan crash(
@@ -475,7 +476,7 @@ TEST(Supervisor, DegradationLadderAlwaysReturnsAValidCut) {
   const Graph g = topo::Butterfly(4).graph();
   robust::SupervisorOptions so;
   so.max_retries = 1;
-  so.backoff_initial_ms = 1.0;
+  so.backoff.initial_ms = 1.0;
   robust::Supervisor sup(so);
 
   // Allocation failure on EVERY exact-solver entry: both exact rungs
@@ -503,7 +504,7 @@ TEST(Supervisor, WatchdogReplacesStalledWorkers) {
   so.num_threads = 2;
   so.heartbeat_interval_ms = 25.0;
   so.stall_timeout_ms = 250.0;
-  so.backoff_initial_ms = 1.0;
+  so.backoff.initial_ms = 1.0;
   robust::Supervisor sup(so);
 
   // Both workers' first task pulls sleep for 2 s: the progress cell
@@ -529,7 +530,7 @@ TEST(Supervisor, ExpansionLadderDegradesToPerSizeEnumeration) {
 
   robust::SupervisorOptions so;
   so.max_retries = 1;
-  so.backoff_initial_ms = 1.0;
+  so.backoff.initial_ms = 1.0;
   robust::Supervisor sup(so);
   fault::ScopedFaultPlan alloc(fault::FaultPlan{}.set(
       fault::Site::kAlloc, /*fire_at_hit=*/1, /*fire_count=*/1u << 20));
@@ -574,8 +575,8 @@ TEST(FaultSweep, RandomPlanNeverCorruptsTheSolve) {
   // hits; 24 retries out-lasts any combination of firing windows, so a
   // surviving supervisor must end the ladder at the exact rung.
   so.max_retries = 24;
-  so.backoff_initial_ms = 1.0;
-  so.backoff_multiplier = 1.0;
+  so.backoff.initial_ms = 1.0;
+  so.backoff.multiplier = 1.0;
   so.checkpoint_path = temp_snapshot_path("fault_sweep");
   robust::Supervisor sup(so);
 
@@ -674,6 +675,100 @@ TEST(ShardedSearch, MergeRejectsMismatchedShards) {
   EXPECT_EQ(merged.state.incumbent_capacity, 7u);
   EXPECT_EQ(merged.state.nodes_spent, 42u);
   EXPECT_TRUE(robust::snapshot_closed(merged));
+}
+
+// N concurrent supervised solves sharing one armed fault plan: the
+// site counters are process-global, so the plan's fire window lands on
+// whichever requests hit it first — a SUBSET of the fleet absorbs the
+// faults. Degradation must stay independent: every request, faulted or
+// not, retries on its own and still proves the optimum; the fleet-wide
+// faults_survived total equals exactly the number of faults fired.
+TEST(SupervisorConcurrency, SharedFaultPlanHitsSubsetIndependently) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "BFLY_FAULT_INJECTION is off in this build";
+  }
+  const Graph g = topo::Butterfly(4).graph();
+  const auto reference = cut::min_bisection_branch_bound(g);
+
+  constexpr unsigned kRequests = 4;
+  constexpr std::uint32_t kFaults = 2;  // fewer faults than requests
+  fault::ScopedFaultPlan plan(fault::FaultPlan{}.set(
+      fault::Site::kAlloc, /*fire_at_hit=*/1, /*fire_count=*/kFaults));
+
+  std::vector<robust::SolveReport> reports(kRequests);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kRequests);
+    for (unsigned i = 0; i < kRequests; ++i) {
+      threads.emplace_back([&, i] {
+        robust::SupervisorOptions so;
+        so.backoff.initial_ms = 1.0;
+        robust::Supervisor sup(so);
+        reports[i] = sup.solve_bisection(g);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  unsigned total_faults = 0;
+  unsigned faulted_requests = 0;
+  for (const auto& rep : reports) {
+    // Faulted or not, every request recovers to the exact optimum —
+    // max_retries (3) covers even both faults landing on one request.
+    EXPECT_EQ(rep.status, robust::SolveStatus::kExactOptimal);
+    EXPECT_EQ(rep.best.capacity, reference.capacity);
+    EXPECT_EQ(rep.degradation_step, 0u);
+    cut::validate_cut(g, rep.best, /*require_bisection=*/true);
+    total_faults += rep.faults_survived;
+    if (rep.faults_survived > 0) ++faulted_requests;
+  }
+  EXPECT_EQ(total_faults, kFaults);
+  EXPECT_GE(faulted_requests, 1u);
+  EXPECT_LE(faulted_requests, kFaults);
+  EXPECT_EQ(fault::FaultInjector::instance().fired(fault::Site::kAlloc),
+            kFaults);
+}
+
+// The same fleet under a plan that faults EVERY exact entry: each
+// request degrades on its own schedule and lands on the same heuristic
+// rung with a valid (not necessarily optimal) bisection — one request's
+// degradation never leaks into another's report.
+TEST(SupervisorConcurrency, EveryRequestDegradesIndependently) {
+  if (!fault::compiled_in()) {
+    GTEST_SKIP() << "BFLY_FAULT_INJECTION is off in this build";
+  }
+  const Graph g = topo::Butterfly(4).graph();
+
+  constexpr unsigned kRequests = 3;
+  fault::ScopedFaultPlan plan(fault::FaultPlan{}.set(
+      fault::Site::kAlloc, /*fire_at_hit=*/1, /*fire_count=*/1u << 20));
+
+  std::vector<robust::SolveReport> reports(kRequests);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kRequests);
+    for (unsigned i = 0; i < kRequests; ++i) {
+      threads.emplace_back([&, i] {
+        robust::SupervisorOptions so;
+        so.max_retries = 1;
+        so.backoff.initial_ms = 1.0;
+        robust::Supervisor sup(so);
+        reports[i] = sup.solve_bisection(g);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  for (const auto& rep : reports) {
+    EXPECT_EQ(rep.status, robust::SolveStatus::kDegradedHeuristic);
+    EXPECT_EQ(rep.degradation_step, 2u);
+    EXPECT_EQ(rep.best.exactness, cut::Exactness::kHeuristic);
+    // Each request absorbed its OWN ladder's faults: 2 attempts x 2
+    // exact rungs, regardless of what its neighbors were doing.
+    EXPECT_EQ(rep.faults_survived, 4u);
+    EXPECT_EQ(rep.retries, 2u);
+    cut::validate_cut(g, rep.best, /*require_bisection=*/true);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Chaos harness for the bfly_serviced query daemon (EXPERIMENTS.md E24).
+
+Three acts, each against a throwaway cache directory:
+
+1. **Reference pass** — a fault-free daemon answers the full query list;
+   its OK responses (value + exactness per query) become the ground
+   truth for everything after.
+2. **Kill and restart** — a fresh daemon is SIGKILLed mid-burst (no
+   drain, no atexit), then restarted over the same cache directory. The
+   restart must report ZERO quarantined entries (atomic temp-plus-rename
+   means a kill can strand *.tmp litter but never a torn *.bfc), and
+   every recovered answer must be bit-identical to the reference.
+3. **Seeded fault sweep** — daemons run with --fault-seed S arming
+   FaultPlan::random(S) (enqueue/cache-write/dispatch chaos sites
+   included). Shed/failed responses are acceptable under injected
+   faults; a WRONG value never is. After each seeded run a clean daemon
+   restarts on the surviving cache and must again see zero quarantined
+   entries and serve only reference-identical answers.
+
+Exit status: 0 clean, 1 any violation, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+# Cheap instances (the largest exact solve is ~10 ms) so the harness is
+# a crash-consistency test, not a solver benchmark.
+QUERIES = [
+    "BW b 4 id=q0",
+    "BW b 8 id=q1",
+    "BW w 4 id=q2",
+    "BW w 8 id=q3",
+    "BW ccc 4 id=q4",
+    "BW q 8 id=q5",
+    "BW q 16 id=q6",
+    "BOUNDARY b 4 0f id=q7",
+    "BOUNDARY b 4 13 id=q8",
+    "BW b 4 policy=portfolio id=q9",
+]
+
+OK_RE = re.compile(
+    r"^OK id=(?P<id>\S*) key=(?P<key>[0-9a-f]{16}) value=(?P<value>\d+)"
+    r" exact=(?P<exact>[01]) source=(?P<source>\S+)")
+ERR_RE = re.compile(r"^ERR id=(?P<id>\S*) status=(?P<status>\S+)")
+READY_RE = re.compile(
+    r"^READY recovered=(?P<recovered>\d+) quarantined=(?P<quarantined>\d+)"
+    r" tmp_removed=(?P<tmp>\d+)")
+
+
+class Failure(Exception):
+    pass
+
+
+class Daemon:
+    """One bfly_serviced process with a line-pumping reader thread."""
+
+    def __init__(self, binary: str, cache_dir: str, fault_seed=None):
+        cmd = [binary, f"--cache-dir={cache_dir}", "--workers=2"]
+        if fault_seed is not None:
+            cmd.append(f"--fault-seed={fault_seed}")
+        self.proc = subprocess.Popen(
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True, bufsize=1)
+        self.lines: list[str] = []
+        self._cond = threading.Condition()
+        self._reader = threading.Thread(target=self._pump, daemon=True)
+        self._reader.start()
+
+    def _pump(self):
+        for line in self.proc.stdout:
+            with self._cond:
+                self.lines.append(line.rstrip("\n"))
+                self._cond.notify_all()
+
+    def send(self, line: str):
+        self.proc.stdin.write(line + "\n")
+        self.proc.stdin.flush()
+
+    def wait_lines(self, n: int, timeout: float = 60.0) -> list[str]:
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while len(self.lines) < n:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise Failure(
+                        f"timed out waiting for {n} lines, have "
+                        f"{len(self.lines)}: {self.lines}")
+                self._cond.wait(remaining)
+            return list(self.lines)
+
+    def ready_line(self) -> dict:
+        first = self.wait_lines(1)[0]
+        m = READY_RE.match(first)
+        if not m:
+            raise Failure(f"expected READY banner, got: {first!r}")
+        return {k: int(v) for k, v in m.groupdict().items()}
+
+    def quit(self) -> int:
+        try:
+            self.send("QUIT")
+            self.proc.stdin.close()
+        except (BrokenPipeError, ValueError):
+            pass
+        rc = self.proc.wait(timeout=60)
+        self._reader.join(timeout=10)
+        return rc
+
+    def kill(self):
+        self.proc.kill()
+        self.proc.wait(timeout=60)
+        self._reader.join(timeout=10)
+
+
+def parse_responses(lines: list[str]) -> dict[str, dict]:
+    out = {}
+    for line in lines:
+        m = OK_RE.match(line)
+        if m:
+            out[m.group("id")] = {
+                "status": "ok",
+                "value": int(m.group("value")),
+                "exact": int(m.group("exact")),
+                "source": m.group("source"),
+            }
+            continue
+        m = ERR_RE.match(line)
+        if m:
+            out[m.group("id")] = {"status": m.group("status")}
+    return out
+
+
+def run_session(binary, cache_dir, queries, fault_seed=None):
+    """Full polite session: READY, all queries, QUIT, parsed responses."""
+    d = Daemon(binary, cache_dir, fault_seed)
+    ready = d.ready_line()
+    for q in queries:
+        d.send(q)
+    d.wait_lines(1 + len(queries))
+    rc = d.quit()
+    if rc != 0:
+        raise Failure(f"daemon exited {rc}; stderr: {d.proc.stderr.read()}")
+    return ready, parse_responses(d.lines)
+
+
+def check_against_reference(responses, reference, label,
+                            allow_errors=False):
+    """Every OK answer must match the reference bit for bit."""
+    violations = []
+    for qid, ref in reference.items():
+        got = responses.get(qid)
+        if got is None or got["status"] != "ok":
+            if allow_errors:
+                continue
+            violations.append(f"{label}: {qid} missing or not OK: {got}")
+            continue
+        if got["value"] != ref["value"]:
+            violations.append(
+                f"{label}: {qid} value {got['value']} != reference"
+                f" {ref['value']} — WRONG ANSWER")
+        # An unproven bound may be re-proven later, but a proof must
+        # never be forgotten by the cache.
+        if ref["exact"] and not got["exact"]:
+            violations.append(
+                f"{label}: {qid} lost exactness (reference proved it)")
+    return violations
+
+
+def act_reference(binary, workdir):
+    cache = os.path.join(workdir, "cache_ref")
+    ready, responses = run_session(binary, cache, QUERIES)
+    bad = [q for q, r in responses.items() if r["status"] != "ok"]
+    if bad:
+        raise Failure(f"reference pass had non-OK responses: {bad}")
+    if ready["quarantined"]:
+        raise Failure("reference pass started with quarantined entries")
+    print(f"reference: {len(responses)} OK answers")
+    return responses
+
+
+def act_kill_restart(binary, workdir, reference):
+    cache = os.path.join(workdir, "cache_kill")
+    violations = []
+    # Burst, then SIGKILL as soon as half the responses are out — the
+    # rest of the burst dies mid-flight, possibly mid-cache-write.
+    d = Daemon(binary, cache)
+    d.ready_line()
+    for q in QUERIES:
+        d.send(q)
+    d.wait_lines(1 + len(QUERIES) // 2)
+    d.kill()
+    print(f"kill-restart: SIGKILL after "
+          f"{len(d.lines) - 1}/{len(QUERIES)} responses")
+
+    ready, responses = run_session(binary, cache, QUERIES)
+    print(f"kill-restart: READY recovered={ready['recovered']}"
+          f" quarantined={ready['quarantined']}"
+          f" tmp_removed={ready['tmp']}")
+    if ready["quarantined"]:
+        violations.append(
+            f"kill-restart: {ready['quarantined']} quarantined entries —"
+            " a kill must never produce a torn committed file")
+    bad = [q for q, r in responses.items() if r["status"] != "ok"]
+    if bad:
+        violations.append(f"kill-restart: non-OK after restart: {bad}")
+    violations += check_against_reference(responses, reference,
+                                          "kill-restart")
+    return violations
+
+
+def act_fault_sweep(binary, workdir, reference, seeds):
+    violations = []
+    for seed in seeds:
+        cache = os.path.join(workdir, f"cache_seed{seed}")
+        label = f"seed {seed}"
+        try:
+            _, chaotic = run_session(binary, cache, QUERIES,
+                                     fault_seed=seed)
+        except Failure as e:
+            violations.append(f"{label}: daemon did not survive: {e}")
+            continue
+        ok = sum(1 for r in chaotic.values() if r["status"] == "ok")
+        violations += check_against_reference(chaotic, reference, label,
+                                              allow_errors=True)
+        # Clean restart over whatever the chaotic run persisted.
+        ready, recovered = run_session(binary, cache, QUERIES)
+        if ready["quarantined"]:
+            violations.append(
+                f"{label}: restart quarantined {ready['quarantined']}"
+                " entries persisted under injected faults")
+        violations += check_against_reference(recovered, reference,
+                                              f"{label} restart")
+        print(f"fault sweep {label}: {ok}/{len(QUERIES)} OK under chaos,"
+              f" restart recovered={ready['recovered']}"
+              f" quarantined={ready['quarantined']}")
+    return violations
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--daemon", required=True,
+                    help="path to the bfly_serviced binary")
+    ap.add_argument("--fault-seeds", default="",
+                    help="comma-separated FaultPlan::random seeds (empty ="
+                         " skip the sweep, e.g. a build without"
+                         " BFLY_FAULT_INJECTION)")
+    ap.add_argument("--workdir", default=None,
+                    help="scratch directory (default: a fresh tempdir)")
+    args = ap.parse_args()
+
+    if not os.access(args.daemon, os.X_OK):
+        print(f"daemon binary not executable: {args.daemon}",
+              file=sys.stderr)
+        return 2
+    seeds = [int(s) for s in args.fault_seeds.split(",") if s.strip()]
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="bfly_chaos_")
+    os.makedirs(workdir, exist_ok=True)
+    violations: list[str] = []
+    try:
+        reference = act_reference(args.daemon, workdir)
+        violations += act_kill_restart(args.daemon, workdir, reference)
+        if seeds:
+            violations += act_fault_sweep(args.daemon, workdir, reference,
+                                          seeds)
+    except Failure as e:
+        violations.append(str(e))
+    finally:
+        if args.workdir is None:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    for v in violations:
+        print(f"FAIL: {v}", file=sys.stderr)
+    if not violations:
+        acts = 2 + (1 if seeds else 0)
+        print(f"service chaos clean ({acts} acts,"
+              f" {len(seeds)} fault seeds)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
