@@ -1,58 +1,111 @@
-// E9 — Section 1.2 routing motivation: with one random-destination
-// packet per node, roughly N/4 messages cross any bisection in each
-// direction, so routing needs at least ~N/(4 BW) steps. We simulate
-// store-and-forward routing on Bn and Wn and report the measured
-// makespan next to the bound.
+// E9 — Section 1.2 routing motivation, now driven by the phase-based
+// SoA engine (DESIGN.md §15): with one random-destination packet per
+// node, roughly N/4 messages cross any bisection in each direction, so
+// routing needs at least ~N/(4 BW) steps. We route the workload through
+// SimEngine on Bn and Wn and report the measured makespan next to the
+// bound, with the slowdown makespan/(N/(4·BW)) as the headline column.
+//
+// BW provenance: exact (branch-and-bound) for B4/B8 where the solver is
+// instant; the constructive column-split value everywhere else — for
+// butterflies those coincide (the paper's Theorem 1 story), so the
+// slowdown column is against the real bisection width, not a heuristic.
 #include <iostream>
 
+#include "cut/branch_bound.hpp"
 #include "cut/constructive.hpp"
 #include "io/table.hpp"
-#include "routing/butterfly_routing.hpp"
-#include "routing/experiments.hpp"
+#include "routing/sim_engine.hpp"
+#include "routing/traffic.hpp"
 #include "topology/butterfly.hpp"
 #include "topology/wrapped_butterfly.hpp"
 
+namespace {
+
+using namespace bfly;
+
+struct RowData {
+  std::size_t bw = 0;
+  std::string bw_kind;
+  routing::TrafficSet traffic;
+  routing::EngineStats stats;
+};
+
+template <typename Topo>
+RowData run_row(const Topo& topo, const cut::CutResult& cutres,
+                const std::string& bw_kind, std::uint64_t seed) {
+  RowData row;
+  row.bw = cutres.capacity;
+  row.bw_kind = bw_kind;
+  routing::TrafficSpec spec;  // uniform, one packet per node
+  spec.seed = seed;
+  row.traffic = routing::make_traffic(topo, spec, &cutres.sides);
+  routing::SimEngine eng(topo.graph());
+  eng.load(row.traffic.paths);
+  row.stats = eng.run();
+  return row;
+}
+
+void add_row(io::Table& t, const std::string& name, std::size_t num_nodes,
+             const RowData& row) {
+  const auto bound = routing::traffic_bound(row.traffic, row.bw,
+                                            row.stats.max_link_load);
+  t.add(name, std::to_string(num_nodes),
+        std::to_string(row.bw) + " (" + row.bw_kind + ")",
+        std::to_string(std::max(row.traffic.cross_ab, row.traffic.cross_ba)),
+        io::fmt(bound.c14_bound, 2), std::to_string(row.stats.makespan),
+        std::to_string(row.stats.max_link_load),
+        bound.c14_bound > 0.0
+            ? io::fmt(row.stats.makespan / bound.c14_bound, 2)
+            : "-");
+}
+
+// "B" + std::to_string(n) via append — GCC 12's -Wrestrict misfires on
+// the insert-based operator+(const char*, string&&) under -O2.
+std::string tag(const char* prefix, std::uint32_t n) {
+  std::string s(prefix);
+  s += std::to_string(n);
+  return s;
+}
+
+}  // namespace
+
 int main() {
   using namespace bfly;
-  std::cout << "E9 / Section 1.2 — routing time vs the bisection bound\n\n";
+  std::cout << "E9 / Section 1.2 — routing time vs the bisection bound\n"
+               "(phase-driven SoA engine, uniform:ppn=1 traffic)\n\n";
 
-  io::Table t({"net", "N", "BW used", "crossing msgs (≈N/4)",
-               "bound N/(4BW)", "makespan", "max link load"});
-  for (const std::uint32_t n : {8u, 16u, 32u, 64u}) {
+  io::Table t({"net", "N", "BW (source)", "max dir crossings",
+               "bound N/(4BW)", "makespan", "max link load", "slowdown"});
+
+  for (const std::uint32_t n : {4u, 8u, 16u, 64u, 256u, 1024u}) {
     const topo::Butterfly bf(n);
-    const auto cutres = cut::column_split_bisection(bf);
-    const auto route = [&](NodeId s, NodeId d) {
-      return routing::route_bn(bf, s, d);
-    };
-    const auto rep = routing::random_destination_experiment(
-        bf.graph(), route, cutres.sides, cutres.capacity, 42 + n);
-    t.add("B" + std::to_string(n), std::to_string(bf.num_nodes()),
-          std::to_string(cutres.capacity),
-          std::to_string(rep.cross_bisection),
-          io::fmt(rep.bisection_time_bound, 2),
-          std::to_string(rep.sim.makespan),
-          std::to_string(rep.sim.max_link_load));
+    const auto cons = cut::column_split_bisection(bf);
+    if (n <= 8) {
+      // Exact BW from the branch-and-bound solver; the constructive cut
+      // must agree (Theorem 1), so assert rather than silently report.
+      const auto exact = cut::min_bisection_branch_bound(bf.graph());
+      BFLY_CHECK(exact.capacity == cons.capacity,
+                 "constructive cut disagrees with exact BW");
+      add_row(t, tag("B", n), bf.num_nodes(),
+              run_row(bf, exact, "exact", 42 + n));
+    } else {
+      add_row(t, tag("B", n), bf.num_nodes(),
+              run_row(bf, cons, "constructive", 42 + n));
+    }
   }
   for (const std::uint32_t n : {8u, 16u, 32u, 64u}) {
     const topo::WrappedButterfly wb(n);
-    const auto cutres = cut::column_split_bisection(wb);
-    const auto route = [&](NodeId s, NodeId d) {
-      return routing::route_wn(wb, s, d);
-    };
-    const auto rep = routing::random_destination_experiment(
-        wb.graph(), route, cutres.sides, cutres.capacity, 4242 + n);
-    t.add("W" + std::to_string(n), std::to_string(wb.num_nodes()),
-          std::to_string(cutres.capacity),
-          std::to_string(rep.cross_bisection),
-          io::fmt(rep.bisection_time_bound, 2),
-          std::to_string(rep.sim.makespan),
-          std::to_string(rep.sim.max_link_load));
+    const auto cons = cut::column_split_bisection(wb);
+    add_row(t, tag("W", n), wb.num_nodes(),
+            run_row(wb, cons, "constructive", 4242 + n));
   }
   t.print(std::cout);
 
   std::cout << "\nReading: makespan always dominates the bisection bound;\n"
                "with one packet per node the bound is loose (the paper's\n"
-               "argument is about aggregate bandwidth), but it scales the\n"
-               "same way the measurements do.\n";
+               "argument is about aggregate bandwidth), and the slowdown\n"
+               "column shrinks as ppn grows — bench_routing_sim's ppn=16\n"
+               "rows sit near 5x, the cut-saturating scenario within 2x\n"
+               "of its certified per-instance bound.\n";
   return 0;
 }

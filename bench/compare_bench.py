@@ -5,7 +5,7 @@ Usage:
     compare_bench.py [--baseline-dir bench/baselines] FRESH.json [FRESH2.json ...]
     compare_bench.py --update-baseline FRESH.json [...]
 
-Two input formats are recognized by content:
+Three input formats are recognized by content:
 
   * the exact-kernel bench (``{"bench": "exact_kernels", "rows": [...]}``):
     rows are keyed by (instance, kernel, threads). Serial rows carry
@@ -14,6 +14,14 @@ Two input formats are recognized by content:
     a search-kernel change regressed its pruning. Rows with threads > 1
     are exempt from the node gate (parallel node counts race on the
     incumbent) but still face the wall-clock gate.
+  * the routing simulator (``{"bench": "routing_sim", "rows": [...]}``):
+    rows are keyed by (instance, traffic, threads). The engine is
+    deterministic for ANY thread count, so the makespan column is gated
+    like a visited-node count on every row — any drift fails. The
+    cross-run wall gate is skipped (the in-binary throughput floors are
+    the performance gate); instead, each row carrying a
+    ``min_phops_per_s`` floor is re-checked here when the fresh run had
+    its perf gates on (``"gated": true``).
   * google-benchmark output (``{"benchmarks": [...]}``, e.g.
     BENCH_solvers.json): entries are keyed by name and face the
     wall-clock gate only.
@@ -64,7 +72,19 @@ def load(path: pathlib.Path) -> dict:
 def rows_by_key(doc: dict) -> dict[tuple, dict]:
     """Normalizes either format to {key: {"seconds": s, "nodes": n|None}}."""
     out: dict[tuple, dict] = {}
-    if "rows" in doc:  # exact-kernel format
+    if doc.get("bench") == "routing_sim":
+        for r in doc["rows"]:
+            key = (r["instance"], r["traffic"], r["threads"])
+            out[key] = {
+                "seconds": float(r["seconds"]),
+                # Thread-count-deterministic, so gated on every row.
+                "nodes": int(r["makespan"]),
+                "metric": "makespan",
+                # Cross-run wall times flap with the runner; the
+                # in-binary min_phops_per_s floors are the perf gate.
+                "no_wall": True,
+            }
+    elif "rows" in doc:  # exact-kernel format
         for r in doc["rows"]:
             key = (r["instance"], r["kernel"], r["threads"])
             nodes = r.get("visited_nodes")
@@ -126,13 +146,18 @@ def compare(fresh: dict[tuple, dict], base: dict[tuple, dict],
             continue
         if b["nodes"] is not None and f["nodes"] is not None \
                 and f["nodes"] > b["nodes"]:
+            metric = b.get("metric", "visited-node count")
             failures.append(
-                f"{label}: {name} visited {f['nodes']} nodes"
-                f" (baseline {b['nodes']}) — search-kernel regression")
+                f"{label}: {name} {metric} {f['nodes']}"
+                f" (baseline {b['nodes']}) — deterministic regression")
         slower = f["seconds"] - b["seconds"]
         # Pinned-dispatch rows (bb-bitset@<level>) are gated within-run
         # by the per-level speedup floors instead: their cross-run wall
         # times flap with CPU frequency scaling. Node counts stay exact.
+        # Rows flagged no_wall (routing_sim) carry their own in-binary
+        # throughput floors for the same reason.
+        if b.get("no_wall") or f.get("no_wall"):
+            continue
         if len(key) > 1 and "@" in str(key[1]):
             continue
         if gate_wall and slower > ABS_FLOOR_SECONDS and \
@@ -205,6 +230,39 @@ def speedup_failures(fresh_rows: dict[tuple, dict],
     return failures
 
 
+def routing_sim_failures(doc: dict, label: str) -> list[str]:
+    """Re-checks the routing-sim in-binary gates from the emitted JSON:
+    the recorded failure count must be zero, and every row carrying a
+    min_phops_per_s floor must clear it when the run had its perf gates
+    on. (The bench already exits nonzero on these; re-deriving them here
+    keeps the gate honest even when a wrapper swallowed the exit code.)
+    """
+    if doc.get("bench") != "routing_sim":
+        return []
+    failures = []
+    if int(doc.get("failures", 0)) != 0:
+        failures.append(f"{label}: bench recorded"
+                        f" {doc['failures']} in-binary gate failure(s)")
+    if not doc.get("gated", False):
+        print(f"note: {label}: perf gates were off in this run"
+              " (checked/sanitized build); throughput floors skipped")
+        return failures
+    for r in doc.get("rows", []):
+        floor = float(r.get("min_phops_per_s", 0.0))
+        if floor <= 0.0:
+            continue
+        got = float(r.get("phops_per_s", 0.0))
+        name = f"{r['instance']}/{r['traffic']}/{r['threads']}"
+        if got < floor:
+            failures.append(
+                f"{label}: {name} sustained {got / 1e6:.2f}M packets·hops/s,"
+                f" below the {floor / 1e6:.2f}M floor")
+        else:
+            print(f"{label}: {name} {got / 1e6:.2f}M packets·hops/s"
+                  f" (floor {floor / 1e6:.2f}M)")
+    return failures
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("fresh", nargs="+", type=pathlib.Path,
@@ -242,6 +300,7 @@ def main() -> int:
                                 dispatch_rank(fresh_doc),
                                 dispatch_rank(base_doc)))
         failures.extend(speedup_failures(fresh_rows, base_rows, path.name))
+        failures.extend(routing_sim_failures(fresh_doc, path.name))
 
     for f in failures:
         print(f"FAIL: {f}", file=sys.stderr)

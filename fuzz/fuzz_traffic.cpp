@@ -1,0 +1,129 @@
+// Traffic-spec + simulator fuzzer: the input bytes are thrown at the
+// traffic layer twice.
+//
+// First as hostile text: parse_traffic_spec must either reject with
+// TrafficError or produce a spec whose canonical text round-trips
+// (parse(to_string(spec)) == spec) — any other exception, crash, or a
+// spec that does not survive its own rendering is a trap.
+//
+// Then as a structured engine run: a few bytes pick the topology
+// (B8/B16, memoized), pattern, ppn (clamped small), seed, virtual
+// channels, per-queue capacity, and max_steps; the decoded scenario is
+// generated against the constructive witness cut and run through
+// SimEngine. Contracts on every successful run:
+//
+//   * conservation — every packet delivered, steps >= makespan;
+//   * bound domination — makespan >= the certified per-instance lower
+//     bound (directional cut, longest route, static congestion). C14's
+//     P/(4·BW) is deliberately NOT trapped here: it is an expectation-
+//     level claim, and a degenerate fuzzed workload (say, every packet
+//     sent to its own node) legally beats it;
+//   * PreconditionError is allowed ONLY for configs that can legally
+//     stall or overrun (bounded capacity without enough stage-weighted
+//     channels, or a max_steps budget); an unbounded single-channel run
+//     must always drain.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "core/error.hpp"
+#include "cut/constructive.hpp"
+#include "routing/sim_engine.hpp"
+#include "routing/traffic.hpp"
+#include "topology/butterfly.hpp"
+
+namespace {
+
+using namespace bfly;
+
+void check_roundtrip(const routing::TrafficSpec& spec) {
+  const std::string text = routing::to_string(spec);
+  const routing::TrafficSpec back = routing::parse_traffic_spec(text);
+  if (back.pattern != spec.pattern ||
+      back.packets_per_node != spec.packets_per_node ||
+      back.seed != spec.seed ||
+      (spec.pattern == routing::TrafficPattern::kHotspot &&
+       back.hotspot_percent != spec.hotspot_percent)) {
+    std::abort();
+  }
+}
+
+void fuzz_parser(const std::uint8_t* data, std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  routing::TrafficSpec spec;
+  try {
+    spec = routing::parse_traffic_spec(text);
+  } catch (const routing::TrafficError&) {
+    return;  // hostile text rejected as data — the expected outcome
+  }
+  check_roundtrip(spec);
+}
+
+struct Topo {
+  topo::Butterfly bf;
+  cut::CutResult cut;
+  explicit Topo(std::uint32_t n)
+      : bf(n), cut(cut::column_split_bisection(bf)) {}
+};
+
+void fuzz_engine(const std::uint8_t* data, std::size_t size) {
+  if (size < 6) return;
+  static const Topo b8(8);
+  static const Topo b16(16);
+  const Topo& topo = (data[0] & 1u) ? b16 : b8;
+
+  routing::TrafficSpec spec;
+  constexpr routing::TrafficPattern kPatterns[] = {
+      routing::TrafficPattern::kUniform, routing::TrafficPattern::kBitReversal,
+      routing::TrafficPattern::kTranspose, routing::TrafficPattern::kHotspot,
+      routing::TrafficPattern::kCutSaturating};
+  spec.pattern = kPatterns[data[1] % 5u];
+  spec.packets_per_node = 1u + (data[2] % 4u);
+  spec.seed = static_cast<std::uint64_t>(data[3]) << 8 | data[0];
+  spec.hotspot_percent = data[4] % 101u;
+  check_roundtrip(spec);
+
+  routing::SimOptions opts;
+  opts.num_threads = 1u + (data[4] % 3u);
+  opts.vcs_per_link = 1u + (data[5] % 4u);
+  opts.vc_capacity = data[5] >> 4 >= 8u ? 0u : (data[5] >> 4) % 4u;
+  if ((data[1] & 0x80u) != 0) opts.max_steps = 16;
+
+  const auto traffic = routing::make_traffic(topo.bf, spec, &topo.cut.sides);
+  routing::SimEngine eng(topo.bf.graph(), opts);
+  if (opts.vcs_per_link > 1) {
+    eng.load(traffic.paths, routing::stage_weighted_vcs(
+                                topo.bf, traffic.paths, opts.vcs_per_link));
+  } else {
+    eng.load(traffic.paths);
+  }
+
+  routing::EngineStats st;
+  try {
+    st = eng.run();
+  } catch (const PreconditionError&) {
+    // Legal only for configs that can stall (bounded capacity) or trip
+    // the step budget; an unbounded run without a budget must drain.
+    if (opts.vc_capacity == 0 && opts.max_steps == 0) std::abort();
+    return;
+  }
+
+  if (st.delivered != st.num_packets ||
+      st.num_packets != traffic.paths.size() ||
+      st.steps < st.makespan) {
+    std::abort();
+  }
+  const auto bound = routing::traffic_bound(traffic, topo.cut.capacity,
+                                            st.max_link_load);
+  if (static_cast<double>(st.makespan) < bound.lower_bound) std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_parser(data, size);
+  fuzz_engine(data, size);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "routing/packet_sim.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 
@@ -60,7 +61,14 @@ SimResult simulate_store_and_forward(
         ++it;
       }
     }
-    // Phase 2: arrivals advance to their next link (or finish).
+    // Phase 2: arrivals advance to their next link (or finish). The
+    // queue map hands us the arrivals in unordered_map iteration order,
+    // which varies across libraries and runs; sorting by packet id makes
+    // same-step same-link enqueues — and therefore makespan — a pure
+    // function of the input paths. SimEngine reproduces exactly this
+    // tie-break (phase B admits in packet-id order per target queue).
+    std::sort(arrivals.begin(), arrivals.end(),
+              [](const Pkt& a, const Pkt& b) { return a.id < b.id; });
     for (Pkt pkt : arrivals) {
       const auto& path = paths[pkt.id];
       ++pkt.pos;

@@ -1,0 +1,291 @@
+#include "routing/traffic.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+#include "core/error.hpp"
+#include "core/rng.hpp"
+#include "routing/butterfly_routing.hpp"
+
+namespace bfly::routing {
+
+namespace {
+
+std::uint32_t reverse_bits(std::uint32_t c, std::uint32_t dims) {
+  std::uint32_t r = 0;
+  for (std::uint32_t b = 0; b < dims; ++b) {
+    r = (r << 1) | ((c >> b) & 1u);
+  }
+  return r;
+}
+
+std::uint32_t rotate_half(std::uint32_t c, std::uint32_t dims) {
+  const std::uint32_t h = dims / 2;
+  if (h == 0) return c;
+  const std::uint32_t mask = (dims == 32 ? 0xFFFFFFFFu : (1u << dims) - 1);
+  return ((c << h) | (c >> (dims - h))) & mask;
+}
+
+[[noreturn]] void spec_error(std::string_view text, const std::string& why) {
+  throw TrafficError("bad traffic spec \"" + std::string(text) + "\": " + why);
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view field,
+                        std::string_view value, std::uint64_t max) {
+  std::uint64_t out = 0;
+  const auto* end = value.data() + value.size();
+  const auto res = std::from_chars(value.data(), end, out);
+  if (res.ec != std::errc{} || res.ptr != end || value.empty()) {
+    spec_error(text, "malformed value for " + std::string(field));
+  }
+  if (out > max) {
+    spec_error(text, std::string(field) + " out of range");
+  }
+  return out;
+}
+
+struct SpecCounts {
+  bool ppn = false;
+  bool seed = false;
+  bool hot = false;
+};
+
+// Shared generator body. `level_delta(cur, next)` returns +1/-1 for the
+// level direction of one hop; `route(src, dst)` the oblivious path.
+template <typename Topo, typename Route>
+TrafficSet generate(const Topo& topo, const TrafficSpec& spec,
+                    const std::vector<std::uint8_t>* sides, NodeId far_node,
+                    NodeId perm_dst_level_node_base, const Route& route) {
+  const Graph& g = topo.graph();
+  const NodeId num = g.num_nodes();
+  const std::uint32_t ppn = spec.packets_per_node;
+  BFLY_CHECK(ppn >= 1 && ppn <= 4096, "packets_per_node must be in [1, 4096]");
+  if (sides != nullptr) {
+    BFLY_CHECK(sides->size() == num, "witness side vector size mismatch");
+  }
+
+  TrafficSet out;
+  Rng rng(spec.seed);
+
+  // Opposite-side pools for the cut-saturating pattern.
+  std::vector<NodeId> pool[2];
+  if (spec.pattern == TrafficPattern::kCutSaturating) {
+    BFLY_CHECK(sides != nullptr,
+               "cutsat traffic needs a witness bisection (CutResult::sides)");
+    for (NodeId v = 0; v < num; ++v) pool[(*sides)[v] ? 1 : 0].push_back(v);
+    BFLY_CHECK(!pool[0].empty() && !pool[1].empty(),
+               "witness cut must have two nonempty sides");
+  }
+
+  auto add = [&](NodeId src, NodeId dst) {
+    out.paths.push_back(route(src, dst));
+    out.max_hops = std::max(out.max_hops, out.paths.back().size() - 1);
+    if (sides != nullptr && (*sides)[src] != (*sides)[dst]) {
+      if ((*sides)[src] == 0) {
+        ++out.cross_ab;
+      } else {
+        ++out.cross_ba;
+      }
+    }
+  };
+
+  switch (spec.pattern) {
+    case TrafficPattern::kUniform:
+      for (NodeId v = 0; v < num; ++v) {
+        for (std::uint32_t k = 0; k < ppn; ++k) {
+          add(v, static_cast<NodeId>(rng.below(num)));
+        }
+      }
+      break;
+    case TrafficPattern::kBitReversal:
+    case TrafficPattern::kTranspose:
+      for (std::uint32_t c = 0; c < topo.n(); ++c) {
+        const std::uint32_t dc = spec.pattern == TrafficPattern::kBitReversal
+                                     ? reverse_bits(c, topo.dims())
+                                     : rotate_half(c, topo.dims());
+        const NodeId src = topo.node(c, 0);
+        const NodeId dst = perm_dst_level_node_base + dc;
+        for (std::uint32_t k = 0; k < ppn; ++k) add(src, dst);
+      }
+      break;
+    case TrafficPattern::kHotspot:
+      for (NodeId v = 0; v < num; ++v) {
+        for (std::uint32_t k = 0; k < ppn; ++k) {
+          const bool hot = rng.below(100) < spec.hotspot_percent;
+          add(v, hot ? far_node : static_cast<NodeId>(rng.below(num)));
+        }
+      }
+      break;
+    case TrafficPattern::kCutSaturating:
+      for (NodeId v = 0; v < num; ++v) {
+        const auto& opposite = pool[(*sides)[v] ? 0 : 1];
+        for (std::uint32_t k = 0; k < ppn; ++k) {
+          add(v, opposite[rng.below(opposite.size())]);
+        }
+      }
+      break;
+  }
+  return out;
+}
+
+// Segment index per hop: increments when the level direction reverses.
+template <typename LevelDelta>
+std::vector<std::vector<std::uint32_t>> segment_vcs(
+    const std::vector<std::vector<NodeId>>& paths, std::uint32_t vcs,
+    const LevelDelta& level_delta) {
+  BFLY_CHECK(vcs >= 1, "vcs must be >= 1");
+  std::vector<std::vector<std::uint32_t>> out(paths.size());
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const auto& path = paths[p];
+    out[p].resize(path.empty() ? 0 : path.size() - 1);
+    std::uint32_t seg = 0;
+    int prev = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const int d = level_delta(path[i], path[i + 1]);
+      if (prev != 0 && d != prev) ++seg;
+      prev = d;
+      out[p][i] = std::min(seg, vcs - 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniform:
+      return "uniform";
+    case TrafficPattern::kBitReversal:
+      return "bitrev";
+    case TrafficPattern::kTranspose:
+      return "transpose";
+    case TrafficPattern::kHotspot:
+      return "hotspot";
+    case TrafficPattern::kCutSaturating:
+      return "cutsat";
+  }
+  return "?";
+}
+
+TrafficSpec parse_traffic_spec(std::string_view text) {
+  TrafficSpec spec;
+  std::string_view rest = text;
+  const auto take = [&]() -> std::string_view {
+    const std::size_t colon = rest.find(':');
+    std::string_view tok = rest.substr(0, colon);
+    rest = colon == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(colon + 1);
+    return tok;
+  };
+
+  const std::string_view pat = take();
+  if (pat == "uniform") {
+    spec.pattern = TrafficPattern::kUniform;
+  } else if (pat == "bitrev") {
+    spec.pattern = TrafficPattern::kBitReversal;
+  } else if (pat == "transpose") {
+    spec.pattern = TrafficPattern::kTranspose;
+  } else if (pat == "hotspot") {
+    spec.pattern = TrafficPattern::kHotspot;
+  } else if (pat == "cutsat") {
+    spec.pattern = TrafficPattern::kCutSaturating;
+  } else {
+    spec_error(text, "unknown pattern \"" + std::string(pat) + "\"");
+  }
+
+  SpecCounts seen;
+  while (!rest.empty() || text.back() == ':') {
+    if (rest.empty()) spec_error(text, "trailing field separator");
+    const std::string_view field = take();
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      spec_error(text, "field \"" + std::string(field) + "\" is not key=value");
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "ppn") {
+      if (seen.ppn) spec_error(text, "duplicate ppn");
+      seen.ppn = true;
+      spec.packets_per_node =
+          static_cast<std::uint32_t>(parse_u64(text, key, value, 4096));
+      if (spec.packets_per_node == 0) spec_error(text, "ppn out of range");
+    } else if (key == "seed") {
+      if (seen.seed) spec_error(text, "duplicate seed");
+      seen.seed = true;
+      spec.seed = parse_u64(text, key, value, ~0ull);
+    } else if (key == "hot") {
+      if (seen.hot) spec_error(text, "duplicate hot");
+      if (spec.pattern != TrafficPattern::kHotspot) {
+        spec_error(text, "hot= only applies to the hotspot pattern");
+      }
+      seen.hot = true;
+      spec.hotspot_percent =
+          static_cast<std::uint32_t>(parse_u64(text, key, value, 100));
+    } else {
+      spec_error(text, "unknown field \"" + std::string(key) + "\"");
+    }
+  }
+  return spec;
+}
+
+std::string to_string(const TrafficSpec& spec) {
+  std::string out = to_string(spec.pattern);
+  out += ":ppn=" + std::to_string(spec.packets_per_node);
+  out += ":seed=" + std::to_string(spec.seed);
+  if (spec.pattern == TrafficPattern::kHotspot) {
+    out += ":hot=" + std::to_string(spec.hotspot_percent);
+  }
+  return out;
+}
+
+TrafficSet make_traffic(const topo::Butterfly& bf, const TrafficSpec& spec,
+                        const std::vector<std::uint8_t>* witness_sides) {
+  return generate(bf, spec, witness_sides, bf.node(0, bf.dims()),
+                  bf.node(0, bf.dims()),
+                  [&](NodeId s, NodeId d) { return route_bn(bf, s, d); });
+}
+
+TrafficSet make_traffic(const topo::WrappedButterfly& wb,
+                        const TrafficSpec& spec,
+                        const std::vector<std::uint8_t>* witness_sides) {
+  return generate(wb, spec, witness_sides, wb.node(0, 0), wb.node(0, 0),
+                  [&](NodeId s, NodeId d) { return route_wn(wb, s, d); });
+}
+
+std::vector<std::vector<std::uint32_t>> stage_weighted_vcs(
+    const topo::Butterfly& bf, const std::vector<std::vector<NodeId>>& paths,
+    std::uint32_t vcs) {
+  return segment_vcs(paths, vcs, [&](NodeId u, NodeId v) {
+    return bf.level(v) > bf.level(u) ? 1 : -1;
+  });
+}
+
+std::vector<std::vector<std::uint32_t>> stage_weighted_vcs(
+    const topo::WrappedButterfly& wb,
+    const std::vector<std::vector<NodeId>>& paths, std::uint32_t vcs) {
+  // Wrap-aware: a hop to level (l+1) mod dims descends, anything else
+  // (including the wrap edge taken backwards) ascends toward level 0.
+  const std::uint32_t levels = wb.num_levels();
+  return segment_vcs(paths, vcs, [&, levels](NodeId u, NodeId v) {
+    return wb.level(v) == (wb.level(u) + 1) % levels ? 1 : -1;
+  });
+}
+
+BoundReport traffic_bound(const TrafficSet& t, std::size_t bw,
+                          std::size_t max_link_load) {
+  BFLY_CHECK(bw > 0, "bisection width must be positive");
+  BoundReport rep;
+  rep.c14_bound = static_cast<double>(t.paths.size()) /
+                  (4.0 * static_cast<double>(bw));
+  rep.cut_bound = static_cast<double>(std::max(t.cross_ab, t.cross_ba)) /
+                  static_cast<double>(bw);
+  rep.max_hops = t.max_hops;
+  rep.congestion_bound = max_link_load;
+  rep.lower_bound = std::max(
+      {rep.cut_bound, static_cast<double>(rep.max_hops),
+       static_cast<double>(rep.congestion_bound)});
+  return rep;
+}
+
+}  // namespace bfly::routing

@@ -1,0 +1,151 @@
+// Traffic scenarios for the phase-driven simulator (EXPERIMENTS.md E25).
+//
+// A TrafficSpec is a small, string-parseable description of a workload
+// ("uniform:ppn=16:seed=7"); make_traffic() expands it into concrete
+// packet paths on a butterfly via the oblivious routes of
+// butterfly_routing.hpp. Five patterns:
+//
+//   uniform   — every node sends ppn packets to uniformly random nodes
+//               (the paper's Section 1.2 random-destination workload);
+//   bitrev    — column c at level 0 sends ppn packets to the
+//               bit-reversed column at the far level (the classic FFT
+//               permutation, worst case for oblivious routing);
+//   transpose — column (hi, lo) sends to column (lo, hi) (bits rotated
+//               by dims/2), level 0 to far level;
+//   hotspot   — uniform, except hot% of packets target one hotspot
+//               node, modelling a contended server;
+//   cutsat    — adversarial cut-saturating traffic: every node sends
+//               ppn packets to a random node on the OPPOSITE side of a
+//               witness bisection (read straight from a solver
+//               CutResult), so nearly every packet must cross the cut
+//               and the N/(4·BW) gesture tightens to a per-instance
+//               bound of max(crossings per direction)/BW.
+//
+// The generator counts the actual per-direction cut crossings while it
+// builds the paths, and traffic_bound() turns them into the strongest
+// lower bound the repo can certify for the instance:
+//
+//   makespan >= max( cross_ab/BW, cross_ba/BW, longest path )
+//
+// alongside the paper's C14 figure num_packets/(4·BW). Slowdown in the
+// benches is makespan divided by that C14 figure.
+//
+// stage_weighted_vcs() assigns each hop the index of its monotone level
+// segment (wrap-aware for Wn), capped at vcs-1 — the Butterfly-Railway
+// stage-weighting that makes bounded-capacity virtual-channel configs
+// deadlock-free: within a VC class the queue dependency order follows
+// strictly monotone levels, and packets only ever move to a higher
+// class, so the combined dependency graph is acyclic.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+#include "topology/butterfly.hpp"
+#include "topology/wrapped_butterfly.hpp"
+
+namespace bfly::routing {
+
+enum class TrafficPattern : std::uint8_t {
+  kUniform,
+  kBitReversal,
+  kTranspose,
+  kHotspot,
+  kCutSaturating,
+};
+
+[[nodiscard]] const char* to_string(TrafficPattern p);
+
+/// Thrown by parse_traffic_spec on malformed input. Distinct from
+/// PreconditionError so untrusted-config callers (the service layer,
+/// fuzzers) can treat "bad spec text" as data, not a contract violation.
+class TrafficError : public std::runtime_error {
+ public:
+  explicit TrafficError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct TrafficSpec {
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  /// Packets injected per source node (uniform/hotspot/cutsat: every
+  /// node; bitrev/transpose: every level-0 node).
+  std::uint32_t packets_per_node = 1;
+  std::uint64_t seed = 1;
+  /// Percentage of packets aimed at the hotspot (hotspot pattern only).
+  std::uint32_t hotspot_percent = 50;
+};
+
+/// Parses "pattern[:ppn=<u32>][:seed=<u64>][:hot=<u32>]". Patterns:
+/// uniform, bitrev, transpose, hotspot, cutsat. Throws TrafficError on
+/// unknown pattern/key, malformed or duplicate fields, ppn outside
+/// [1, 4096], or hot outside [0, 100]. parse(to_string(s)) == s.
+[[nodiscard]] TrafficSpec parse_traffic_spec(std::string_view text);
+[[nodiscard]] std::string to_string(const TrafficSpec& spec);
+
+struct TrafficSet {
+  std::vector<std::vector<NodeId>> paths;
+  /// Packets whose source is on side 0 / destination on side 1 of the
+  /// witness cut and vice versa (both 0 when no witness was supplied).
+  std::size_t cross_ab = 0;
+  std::size_t cross_ba = 0;
+  std::size_t max_hops = 0;  ///< longest path, in edges
+};
+
+/// Expands a spec into packet paths on Bn via route_bn. `witness_sides`
+/// (a 0/1 side per node, e.g. CutResult::sides) is required for cutsat
+/// and optional otherwise; when present, per-direction crossings are
+/// counted against it. Throws PreconditionError on a missing/mis-sized
+/// witness or a one-sided cut.
+[[nodiscard]] TrafficSet make_traffic(
+    const topo::Butterfly& bf, const TrafficSpec& spec,
+    const std::vector<std::uint8_t>* witness_sides = nullptr);
+
+/// Same on Wn via route_wn (bitrev/transpose map level-0 nodes to the
+/// permuted column at level 0; routes take the full wrap).
+[[nodiscard]] TrafficSet make_traffic(
+    const topo::WrappedButterfly& wb, const TrafficSpec& spec,
+    const std::vector<std::uint8_t>* witness_sides = nullptr);
+
+/// Stage-weighted virtual channels: hop_vcs[p][i] = index of the i-th
+/// hop's monotone level segment within path p, capped at vcs - 1.
+/// Feed to SimEngine::load(paths, hop_vcs) for deadlock-free bounded
+/// capacities. vcs must be >= 1.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> stage_weighted_vcs(
+    const topo::Butterfly& bf, const std::vector<std::vector<NodeId>>& paths,
+    std::uint32_t vcs);
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> stage_weighted_vcs(
+    const topo::WrappedButterfly& wb,
+    const std::vector<std::vector<NodeId>>& paths, std::uint32_t vcs);
+
+/// Lower bounds for routing a TrafficSet across a bisection of width bw.
+struct BoundReport {
+  /// The paper's C14 figure num_packets / (4·BW) — exact in expectation
+  /// for uniform traffic, reported for every scenario as the slowdown
+  /// denominator.
+  double c14_bound = 0.0;
+  /// Per-instance directional cut bound max(cross_ab, cross_ba) / BW:
+  /// each of the bw cut edges forwards at most one packet per direction
+  /// per step. 0 when the set carries no witness crossings.
+  double cut_bound = 0.0;
+  std::size_t max_hops = 0;
+  /// Static congestion bound: a directed link carrying L compiled hops
+  /// needs at least L steps. Pass EngineStats::max_link_load (0 skips).
+  /// With bit-fixing routes and a single-boundary witness cut this is
+  /// the tight one: every A->B packet from a column funnels through
+  /// that column's single cut edge, so only the witness-side half of
+  /// the cut edges can serve a direction and congestion sits at ~2x
+  /// the directional cut bound.
+  std::size_t congestion_bound = 0;
+  /// max(cut_bound, max_hops, congestion_bound): every makespan must
+  /// dominate this — a violation is a simulator bug, asserted by tests
+  /// and benches.
+  double lower_bound = 0.0;
+};
+
+[[nodiscard]] BoundReport traffic_bound(const TrafficSet& t, std::size_t bw,
+                                        std::size_t max_link_load = 0);
+
+}  // namespace bfly::routing
